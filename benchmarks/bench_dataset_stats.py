@@ -1,0 +1,42 @@
+"""E2 — corpus shape: config-size distribution (paper Section 2).
+
+Paper: 7655 routers in 31 networks; configs 50–10,000 lines, P25 = 183,
+P90 = 1123; 4.3 M total lines; 200+ IOS versions.  Absolute counts depend
+on REPRO_BENCH_SCALE; the distribution *shape* is the reproduction target.
+"""
+
+from _tables import fmt, report
+from conftest import BENCH_SCALE
+
+from repro.iosgen import dataset_statistics
+
+
+def test_dataset_statistics(dataset, benchmark):
+    stats = benchmark.pedantic(
+        dataset_statistics, args=(dataset,), rounds=3, iterations=1
+    )
+    versions = set()
+    for network in dataset:
+        for router in network.plan.routers.values():
+            versions.add(router.version)
+    rows = [
+        ("networks", "31", str(stats["networks"]), ""),
+        ("routers", "7655", str(stats["routers"]),
+         "scale={}".format(BENCH_SCALE)),
+        ("total config lines", "4.3M", str(stats["total_lines"]), ""),
+        ("min lines", "~50", fmt(stats["min_lines"]), ""),
+        ("P25 lines", "183", fmt(stats["p25_lines"]),
+         "scale-invariant (per-router)"),
+        ("median lines", "(n/a)", fmt(stats["median_lines"]), ""),
+        ("P90 lines", "1123", fmt(stats["p90_lines"]),
+         "scale-invariant (per-router)"),
+        ("max lines", "10000", fmt(stats["max_lines"]), "long tail"),
+        ("distinct IOS versions", ">200", str(len(versions)),
+         "full family >200; per-corpus sample"),
+    ]
+    report("E2", "corpus shape vs paper Section 2", rows)
+    assert stats["networks"] == 31
+    assert stats["min_lines"] >= 40
+    # Shape: quartile ordering and heavy tail.
+    assert stats["p25_lines"] < stats["median_lines"] < stats["p90_lines"]
+    assert stats["p90_lines"] > 2.5 * stats["p25_lines"]

@@ -1,0 +1,63 @@
+"""E13 — ablation: stored-trie map vs cryptography-based map (Section 4.3).
+
+The paper chose Minshall's data-structure scheme over Xu's cryptographic
+scheme because the stored trie can be *shaped* (class preservation,
+subnet-address preservation), accepting the cost of per-owner state.
+This bench quantifies the trade: shaping support, shareable state, and
+throughput.
+"""
+
+import random
+
+from _tables import report
+
+from repro.core.cryptopan import CryptoPanMap
+from repro.core.ipanon import PrefixPreservingMap
+from repro.netutil import trailing_zero_bits
+
+ADDRESSES = [random.Random(5).randrange(0x01000000, 0xDF000000) for _ in range(4000)]
+SUBNETS = [base & 0xFFFFFF00 for base in ADDRESSES[:500]]
+
+
+def test_property_support_matrix(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    trie = PrefixPreservingMap(b"abl")
+    crypto = CryptoPanMap(b"abl")
+    trie_shaped = sum(
+        trailing_zero_bits(trie.map_int(s)) >= 8 for s in sorted(set(SUBNETS))
+    )
+    crypto_shaped = sum(
+        trailing_zero_bits(crypto.map_int(s)) >= 8 for s in sorted(set(SUBNETS))
+    )
+    total = len(set(SUBNETS))
+    rows = [
+        ("prefix preserving", "both", "both", ""),
+        ("class preserving", "both (static constraint)", "both", ""),
+        ("special-address passthrough", "both", "both", ""),
+        ("subnet-address shaping", "trie only",
+         "trie {}/{} vs crypto {}/{}".format(trie_shaped, total, crypto_shaped, total),
+         "shaping needs stored state"),
+        ("state to share for consistency", "trie: the trie; crypto: ~none",
+         "trie {} nodes vs crypto key-only".format(trie.nodes_created), ""),
+    ]
+    report("E13", "trie vs Crypto-PAn ablation", rows)
+    assert trie_shaped == total
+    assert crypto_shaped < total
+
+
+def test_trie_throughput(benchmark):
+    def run():
+        mapping = PrefixPreservingMap(b"t")
+        for address in ADDRESSES:
+            mapping.map_int(address)
+
+    benchmark(run)
+
+
+def test_cryptopan_throughput(benchmark):
+    def run():
+        mapping = CryptoPanMap(b"t")
+        for address in ADDRESSES:
+            mapping.map_int(address)
+
+    benchmark(run)

@@ -1,0 +1,47 @@
+"""E10 — iterative leak closure (paper Section 6.1).
+
+Paper: "the iteration closes quickly, requiring fewer than 5 iterations
+over 3 months to anonymize 4.3 million lines of configuration from 7655
+routers running more than 200 different IOS versions."
+
+Mechanized here: start each network from a single enabled ASN rule, let
+the automated operator add rules that match highlighted lines, count
+iterations to zero leaks.
+"""
+
+import statistics
+
+from _tables import fmt, report
+
+from repro.attacks.textual import iterative_closure
+
+
+def test_iterative_closure_converges(dataset, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    iteration_counts = []
+    final_leaks = []
+    # Closure is O(corpus x iterations); sample a representative slice:
+    # the two largest backbones plus several enterprises with policy flags.
+    chosen = sorted(
+        dataset, key=lambda n: -sum(len(t) for t in n.configs.values())
+    )[:2]
+    chosen += [n for n in dataset if n.spec.use_community_regexps][:2]
+    chosen += [n for n in dataset if n.spec.use_aspath_range_regexps][:1]
+    for network in {n.name: n for n in chosen}.values():
+        history = iterative_closure(
+            dict(network.configs),
+            "closure-{}".format(network.name).encode(),
+            initial_rules=("R10",),
+        )
+        iteration_counts.append(len(history))
+        final_leaks.append(history[-1].leaks_found)
+    rows = [
+        ("networks exercised", "31 (over 3 months)", str(len(iteration_counts)),
+         "largest + policy-heavy sample"),
+        ("max iterations to closure", "< 5", str(max(iteration_counts)), ""),
+        ("mean iterations", "(n/a)", fmt(statistics.mean(iteration_counts)), ""),
+        ("residual leaks at closure", "0", str(sum(final_leaks)), ""),
+    ]
+    report("E10", "iterative leak closure vs paper Section 6.1", rows)
+    assert max(iteration_counts) < 5
+    assert sum(final_leaks) == 0

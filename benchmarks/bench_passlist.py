@@ -1,0 +1,44 @@
+"""E18 (extension) — pass-list construction by scraping (Section 4.1).
+
+The paper's assumption: "In theory, most Cisco keywords will appear
+somewhere in the guides."  Measures the coverage curve — what fraction of
+the keyword inventory the scraped pass-list reaches as the corpus grows —
+and the false-admission rate (non-keyword material reaching the list).
+"""
+
+from _tables import fmt, report
+
+from repro.core.passlist import BASE_KEYWORDS
+from repro.iosgen.corpus import build_passlist_from_corpus, build_reference_corpus
+
+
+def test_passlist_scrape_coverage(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    inventory = {
+        part
+        for word in BASE_KEYWORDS.split()
+        for part in word.split("-")
+        if len(part) > 1
+    }
+    rows = []
+    coverage_at = {}
+    for pages in (25, 100, 400, 1000):
+        scraped = build_passlist_from_corpus(build_reference_corpus(seed=3, pages=pages))
+        covered = sum(1 for word in inventory if word in scraped)
+        coverage_at[pages] = covered / len(inventory)
+        rows.append(
+            ("coverage after {} pages".format(pages),
+             "most keywords appear somewhere",
+             fmt(100.0 * covered / len(inventory)) + "%",
+             "{} of {} keywords".format(covered, len(inventory))))
+    # False admissions: numbers and addresses must never be scraped in.
+    poisoned = build_passlist_from_corpus(
+        {"p": "use 12345 at 10.0.0.1 or 0xdead and a b c\n" * 5}
+    )
+    rows.append(
+        ("numeric/address admissions", "0",
+         str(sum(1 for token in poisoned if any(c.isdigit() for c in token))),
+         "scraper keeps alphabetic runs only"))
+    report("E18", "pass-list scraping coverage (Section 4.1 assumption)", rows)
+    assert coverage_at[1000] > 0.95
+    assert coverage_at[25] < coverage_at[1000]

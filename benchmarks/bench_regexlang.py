@@ -1,0 +1,81 @@
+"""E7 + E14 — regexp language computation and rewrite styles (Section 4.4).
+
+E7: the paper's brute-force over all 2^16 ASNs is cheap; the language of
+``70[1-3]`` is exactly {701, 702, 703} (with boundaries); rewrites accept
+exactly the permuted language.
+
+E14 (the paper's noted-but-unneeded optimization): minimum-DFA regexp
+reconstruction vs flat alternation — output pattern sizes.
+"""
+
+from _tables import fmt, report
+
+from repro.core.asn import AsnPermutation
+from repro.core.community import CommunityAnonymizer
+from repro.core.regexlang import asn_language, rewrite_aspath_regex, rewrite_community_regex
+
+PATTERNS = [
+    "_70[1-3]_",
+    "_70[2-5]_",
+    "(_1239_|_70[2-5]_)",
+    "_123[0-9]_",
+    "_6451[2-9]_",
+    "_1[0-2][0-9][0-9]_",
+]
+
+
+def test_language_computation(benchmark):
+    language = benchmark(asn_language, "_70[1-3]_")
+    assert language == {701, 702, 703}
+
+
+def test_rewrite_sizes_alternation_vs_mindfa(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    perm = AsnPermutation(b"e14-salt")
+    rows = []
+    for pattern in PATTERNS:
+        alternation = rewrite_aspath_regex(pattern, perm.map_asn, style="alternation")
+        mindfa = rewrite_aspath_regex(pattern, perm.map_asn, style="mindfa")
+        assert asn_language(alternation.rewritten) == asn_language(mindfa.rewritten)
+        language_size = len(asn_language(pattern))
+        rows.append(
+            (pattern,
+             "alternation ({} ASNs)".format(language_size),
+             "{} vs {} chars".format(
+                 len(alternation.rewritten), len(mindfa.rewritten)),
+             "min-DFA saves {}%".format(
+                 round(100 * (1 - len(mindfa.rewritten) /
+                              max(1, len(alternation.rewritten)))))))
+    report("E14", "rewrite size: flat alternation vs minimum-DFA regexp", rows)
+
+
+def test_community_rewrite_length(benchmark):
+    """The paper: 'The resulting regexps could be very long, but this is
+    not a problem when anonymized configs are primarily analyzed by
+    software tools.'  Quantify 'very long' for the Figure 1 pattern."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    perm = AsnPermutation(b"e7-salt")
+    community = CommunityAnonymizer(b"e7-salt", asn_map=perm)
+    alternation = rewrite_community_regex(
+        "_701:7[1-5].._", perm.map_asn, community.map_value, style="alternation"
+    )
+    mindfa = rewrite_community_regex(
+        "_701:7[1-5].._", perm.map_asn, community.map_value, style="mindfa"
+    )
+    rows = [
+        ("original pattern", "15 chars", "15 chars", "_701:7[1-5].._"),
+        ("accepted community values", "500", "500", "7100-7599"),
+        ("alternation rewrite length", "very long",
+         str(len(alternation.rewritten)) + " chars", ""),
+        ("min-DFA rewrite length", "(future work)",
+         str(len(mindfa.rewritten)) + " chars",
+         fmt(len(mindfa.rewritten) / len(alternation.rewritten) * 100) + "% of alternation"),
+    ]
+    report("E7", "community regexp rewrite (Figure 1 line 31)", rows)
+    assert len(mindfa.rewritten) < len(alternation.rewritten)
+
+
+def test_full_universe_scan_cost(benchmark):
+    """Scanning all 2^16 ASNs per regexp is the paper's key feasibility
+    claim; measure it directly."""
+    benchmark(asn_language, "(_1239_|_70[2-5]_|_123[0-9]_)")

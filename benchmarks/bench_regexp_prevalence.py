@@ -1,0 +1,74 @@
+"""E5 — regexp usage prevalence (paper Sections 4.4-4.5).
+
+Paper (over 31 networks): digit wildcards/ranges in public-ASN regexps in
+2 networks, ranges over private ASNs in 3, alternation in 10, community
+regexps in 5, community ranges in 2.  Measured by *parsing the rendered
+configs* (not by trusting the generator flags).
+"""
+
+import re
+
+from _tables import report
+
+from repro.configmodel import ParsedNetwork
+
+
+def _classify_network(configs):
+    """Detect regexp shapes from the configs themselves."""
+    parsed = ParsedNetwork.from_configs(configs)
+    has_public_range = has_private_range = has_alternation = False
+    has_community_regex = has_community_range = False
+    for router in parsed.routers.values():
+        for acl in router.aspath_acls:
+            if "|" in acl.regex:
+                has_alternation = True
+            for match in re.finditer(r"(\d+)\[(\d)-(\d)\]", acl.regex):
+                first_accepted = int(match.group(1) + match.group(2))
+                if first_accepted >= 64512:
+                    has_private_range = True
+                else:
+                    has_public_range = True
+        for community in router.community_lists:
+            if not community.expanded:
+                continue
+            if re.search(r"[\[\].*+?]", community.body) or "|" in community.body:
+                has_community_regex = True
+            if re.search(r"\[\d-\d\]|\.\.", community.body):
+                has_community_range = True
+    return (
+        has_public_range,
+        has_private_range,
+        has_alternation,
+        has_community_regex,
+        has_community_range,
+    )
+
+
+def test_regexp_prevalence(dataset, benchmark):
+    def classify_all():
+        counts = [0, 0, 0, 0, 0]
+        for network in dataset:
+            flags = _classify_network(network.configs)
+            for index, flag in enumerate(flags):
+                counts[index] += bool(flag)
+        return counts
+
+    counts = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    rows = [
+        ("networks with public-ASN range regexps", "2/31",
+         "{}/31".format(counts[0]), ""),
+        ("networks with private-ASN range regexps", "3/31",
+         "{}/31".format(counts[1]), ""),
+        ("networks with alternation regexps", "10/31",
+         "{}/31".format(counts[2]), ""),
+        ("networks with community regexps", "5/31",
+         "{}/31".format(counts[3]), ""),
+        ("  ...of those, with range expressions", "2/31",
+         "{}/31".format(counts[4]), ""),
+    ]
+    report("E5", "regexp prevalence vs paper Sections 4.4-4.5", rows)
+    assert counts[0] == 2
+    assert counts[1] == 3
+    assert counts[2] >= 10  # alternation networks (flag) + range networks
+    assert counts[3] == 5
+    assert counts[4] == 2

@@ -1,0 +1,83 @@
+"""E4 — rule-set sufficiency (paper Sections 4.2, 4.4).
+
+Paper: a set of 28 rules suffices across 200+ IOS versions; the 12
+ASN-locating rules find every ASN.  Measured as: zero residual ASN leaks
+(structured audit) and zero grep-scanner highlights across the whole
+anonymized corpus, plus the per-rule hit inventory.
+"""
+
+from collections import Counter
+
+from _tables import report
+
+from repro.attacks.textual import scan_for_leaks, structured_asn_audit
+from repro.core.rules import all_rules
+
+
+def test_rule_sufficiency(anonymized_dataset, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    total_hits = Counter()
+    audit_leaks = 0
+    highlight_kinds = Counter()
+    total_lines = 0
+    versions = set()
+    for network, anonymizer, result in anonymized_dataset:
+        for rule_id, count in result.report.rule_hits.items():
+            total_hits[rule_id] += count
+        audit_leaks += len(
+            structured_asn_audit(result.configs, anonymizer.report.seen_asns)
+        )
+        for leak in scan_for_leaks(
+            result.configs,
+            seen_asns=anonymizer.report.seen_asns,
+            hashed_tokens=anonymizer.hasher.hashed_inputs.keys(),
+            public_ips=anonymizer.report.seen_public_ips,
+        ):
+            highlight_kinds[leak.kind] += 1
+        total_lines += sum(len(t.splitlines()) for t in result.configs.values())
+        for router in network.plan.routers.values():
+            versions.add(router.version)
+    scan_highlights = sum(highlight_kinds.values())
+
+    rows = [
+        ("context rules defined", "28",
+         str(len({r.rule_id.rstrip("b") for r in all_rules()
+                  if r.rule_id.startswith("R")})),
+         "+ X1 and J1-J10 extensions"),
+        ("IOS versions covered", "200+", str(len(versions)), ""),
+        ("residual ASN leaks (structured audit)", "0", str(audit_leaks), ""),
+        ("grep highlights, ASN family (the paper's)", "a tiny fraction",
+         str(highlight_kinds.get("asn", 0)),
+         "coincidental integers (vlan/seq ids matching short ASNs) - the "
+         "paper's Genuity-AS-1 footnote; all false positives per the "
+         "structured audit"),
+        ("grep highlights, extended ip/string families", "(extension)",
+         "ip={} string={}".format(
+             highlight_kinds.get("ip", 0), highlight_kinds.get("string", 0)),
+         "noisier: outputs can coincide with other inputs by chance"),
+        ("highlight fraction of lines", "tiny",
+         "{:.4%}".format(scan_highlights / max(1, total_lines)), ""),
+        ("highlight kinds", "(n/a)",
+         " ".join("{}={}".format(k, v) for k, v in sorted(highlight_kinds.items()))
+         or "none", ""),
+        ("distinct rules that fired", "(n/a)",
+         str(sum(1 for r in total_hits.values() if r > 0)), ""),
+    ]
+    for rule_id in sorted(total_hits, key=lambda r: (len(r), r)):
+        rows.append(("  hits {}".format(rule_id), "", str(total_hits[rule_id]), ""))
+    report("E4", "28-rule sufficiency across IOS versions", rows)
+    assert audit_leaks == 0
+    # The grep heuristic may highlight coincidental integers for human
+    # review ("usually a tiny fraction of the configs" - Section 6.1).
+    # The paper greps for recorded ASNs; that family must stay tiny.  The
+    # ip/string families are our extensions and are inherently noisier
+    # (mapped outputs coincide with *other* networks' original addresses),
+    # so they are reported but not bounded here.
+    assert highlight_kinds.get("asn", 0) / max(1, total_lines) < 0.005
+    # Every ASN/IP/misc/secret context rule earns its keep: the corpus
+    # exercises all of them at least once.
+    for rule_number in range(6, 29):
+        rule_id = "R{}".format(rule_number)
+        assert total_hits.get(rule_id, 0) > 0, (
+            "{} never fired on the corpus".format(rule_id)
+        )

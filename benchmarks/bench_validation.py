@@ -1,0 +1,61 @@
+"""E8 + E9 — the validation suites pass on every network (paper Section 5).
+
+Paper: both suites produced identical outputs pre- and post-anonymization
+("our tests have given us great confidence that our anonymizer
+implementation preserves information related to routing design").
+"""
+
+from _tables import report
+
+from repro.validation import compare_characteristics, compare_designs
+
+
+def test_suite1_all_networks(parsed_pairs, benchmark):
+    def run():
+        passed, failures = 0, []
+        for name, pre, post in parsed_pairs:
+            result = compare_characteristics(pre, post)
+            if result.passed:
+                passed += 1
+            else:
+                failures.append((name, result.differences[:3]))
+        return passed, failures
+
+    passed, failures = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("networks passing suite 1", "31/31",
+         "{}/{}".format(passed, len(parsed_pairs)), "independent characteristics"),
+    ]
+    for name, diffs in failures:
+        rows.append(("  FAIL " + name, "", "", "; ".join(map(str, diffs))))
+    report("E8", "validation suite 1 (characteristics)", rows)
+    assert passed == len(parsed_pairs), failures
+
+
+def test_suite2_all_networks(parsed_pairs, benchmark):
+    def run():
+        passed, failures = 0, []
+        for name, pre, post in parsed_pairs:
+            result = compare_designs(pre, post)
+            if result.passed:
+                passed += 1
+            else:
+                failures.append((name, result.differences[:3]))
+        return passed, failures
+
+    passed, failures = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ("networks passing suite 2", "31/31",
+         "{}/{}".format(passed, len(parsed_pairs)), "routing-design extraction"),
+    ]
+    for name, diffs in failures:
+        rows.append(("  FAIL " + name, "", "", "; ".join(map(str, diffs))))
+    report("E9", "validation suite 2 (routing design)", rows)
+    assert passed == len(parsed_pairs), failures
+
+
+def test_design_extraction_speed(parsed_pairs, benchmark):
+    from repro.validation import extract_design
+
+    _, pre, _ = parsed_pairs[0]
+    benchmark(extract_design, pre)

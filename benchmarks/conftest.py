@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+The paper-calibrated 31-network corpus is generated once per session at
+``REPRO_BENCH_SCALE`` (default 0.1; set to 1.0 to regenerate the paper's
+full ~3.4M-line corpus — generation plus anonymization then takes several
+minutes).  Every bench file reads these fixtures; each experiment prints a
+paper-vs-measured table via :mod:`_tables`.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.configmodel import ParsedNetwork
+from repro.core import Anonymizer
+from repro.iosgen import paper_dataset
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The 31-network corpus at bench scale."""
+    return paper_dataset(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def anonymized_dataset(dataset):
+    """(network, anonymizer, result) triples — each network under its own
+    owner salt, as the paper's single-blind methodology prescribes."""
+    triples = []
+    for network in dataset:
+        anonymizer = Anonymizer(salt="salt-{}".format(network.name).encode())
+        result = anonymizer.anonymize_network(dict(network.configs))
+        triples.append((network, anonymizer, result))
+    return triples
+
+
+@pytest.fixture(scope="session")
+def parsed_pairs(anonymized_dataset):
+    """(name, pre ParsedNetwork, post ParsedNetwork) per network."""
+    pairs = []
+    for network, _anonymizer, result in anonymized_dataset:
+        pre = ParsedNetwork.from_configs(network.configs)
+        post = ParsedNetwork.from_configs(result.configs)
+        pairs.append((network.name, pre, post))
+    return pairs

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Anonymize a whole enterprise network and validate the result end-to-end.
+
+Generates a synthetic enterprise (the substitute for a real owner's
+configs), anonymizes every router with shared mapping state, runs both of
+the paper's validation suites (Section 5), and finishes with the Section
+6.1 leak scan — the full single-blind workflow a network owner would run
+before uploading data to the paper's proposed clearinghouse.
+
+Run:  python examples/anonymize_enterprise.py
+"""
+
+from repro.attacks import scan_for_leaks
+from repro.configmodel import ParsedNetwork
+from repro.core import Anonymizer
+from repro.iosgen import NetworkSpec, generate_network
+from repro.validation import compare_characteristics, compare_designs
+
+
+def main() -> None:
+    spec = NetworkSpec(
+        name="acme-corp",
+        kind="enterprise",
+        seed=2026,
+        num_pops=5,
+        igp="ospf",
+        num_ebgp_peers=2,
+        use_community_regexps=True,
+        dialer_backup=True,
+        comment_density=0.25,
+    )
+    network = generate_network(spec)
+    total_lines = sum(len(t.splitlines()) for t in network.configs.values())
+    print(
+        "generated {} routers / {} config lines for '{}'".format(
+            len(network.configs), total_lines, spec.name
+        )
+    )
+
+    anonymizer = Anonymizer(salt=b"acme-owner-secret")
+    result = anonymizer.anonymize_network(dict(network.configs))
+    print()
+    print(anonymizer.report.summary())
+
+    pre = ParsedNetwork.from_configs(network.configs)
+    post = ParsedNetwork.from_configs(result.configs)
+    print()
+    print(compare_characteristics(pre, post).summary())
+    print(compare_designs(pre, post).summary())
+
+    leaks = scan_for_leaks(
+        result.configs,
+        seen_asns=anonymizer.report.seen_asns,
+        hashed_tokens=anonymizer.hasher.hashed_inputs.keys(),
+        public_ips=anonymizer.report.seen_public_ips,
+    )
+    print()
+    if leaks:
+        print("{} lines highlighted for human review:".format(len(leaks)))
+        for leak in leaks[:10]:
+            print("  {}:{} [{}] {}".format(
+                leak.source, leak.line_number, leak.kind, leak.line_text.strip()))
+    else:
+        print("leak scan: clean — safe to publish under the single-blind portal")
+
+    sample = sorted(result.configs)[0]
+    print()
+    print("sample anonymized config ({}):".format(sample))
+    print("\n".join(result.configs[sample].splitlines()[:30]))
+    print("...")
+
+
+if __name__ == "__main__":
+    main()

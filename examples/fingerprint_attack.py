@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The Section 6.2/6.3 fingerprinting attacks, run for real.
+
+The paper leaves open "whether address space usage fingerprints are
+sufficiently unique to enable the identification of networks".  This
+example answers it on a 31-network corpus: the attacker fingerprints every
+candidate physical network (what Internet probing would yield), then tries
+to match each anonymized config set back to its owner.
+
+Run:  python examples/fingerprint_attack.py          (takes ~a minute)
+"""
+
+from repro.attacks import (
+    fingerprint_uniqueness,
+    peering_fingerprint,
+    reidentification_experiment,
+    subnet_fingerprint,
+)
+from repro.configmodel import ParsedNetwork
+from repro.core import Anonymizer
+from repro.iosgen import paper_dataset
+
+
+def main() -> None:
+    print("generating the 31-network corpus (scaled)...")
+    networks = paper_dataset(seed=99, scale=0.05)
+
+    pre, post = {}, {}
+    for network in networks:
+        anonymizer = Anonymizer(salt="owner-{}".format(network.name).encode())
+        result = anonymizer.anonymize_network(dict(network.configs))
+        pre[network.name] = ParsedNetwork.from_configs(network.configs)
+        post[network.name] = ParsedNetwork.from_configs(result.configs)
+
+    for label, fingerprint_fn in (
+        ("subnet-size histogram (Section 6.2)", subnet_fingerprint),
+        ("peering structure (Section 6.3)", peering_fingerprint),
+    ):
+        fingerprints = [fingerprint_fn(p) for p in pre.values()]
+        uniqueness = fingerprint_uniqueness(fingerprints)
+        attack = reidentification_experiment(pre, post, fingerprint_fn)
+        print()
+        print("--- {} ---".format(label))
+        print("unique fingerprints: {}/{}".format(uniqueness.unique, uniqueness.total))
+        print("entropy: {:.2f} bits".format(uniqueness.entropy_bits))
+        print("largest collision group: {}".format(uniqueness.largest_collision_group))
+        print(
+            "re-identification: {}/{} correct ({} ambiguous)".format(
+                attack.correct, attack.attempted, attack.ambiguous
+            )
+        )
+
+    print()
+    print(
+        "Interpretation: structure preservation keeps these fingerprints\n"
+        "intact by design, so when the attacker can measure every candidate\n"
+        "network, re-identification succeeds exactly as often as the\n"
+        "fingerprint is unique.  The defense is the paper's: most networks\n"
+        "cannot be externally fingerprinted (firewalls, filtered probes,\n"
+        "compartmentalization) — the fingerprint database can't be built."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The Section 6.1 iterative leak-closure methodology, mechanized.
+
+"After anonymizing configs, we highlight for a human operator lines that
+seem likely to leak information ... Lines they believe are dangerous are
+used to add more rules to the anonymizer.  Our experience is that the
+iteration closes quickly, requiring fewer than 5 iterations."
+
+We start from a deliberately crippled anonymizer (only the `router bgp`
+rule enabled of the 12 ASN rules), scan the output for surviving ASNs, let
+an automated "operator" enable the rules whose patterns match the
+highlighted lines, and repeat until clean.
+
+Run:  python examples/iterative_closure.py
+"""
+
+from repro.attacks import iterative_closure
+from repro.iosgen import NetworkSpec, generate_network
+
+
+def main() -> None:
+    spec = NetworkSpec(
+        name="victim-isp",
+        kind="backbone",
+        seed=31337,
+        num_pops=3,
+        access_per_pop=2,
+        local_asn=7132,
+        num_ebgp_peers=3,
+        use_aspath_range_regexps=True,
+        use_community_regexps=True,
+        use_rfc1918=False,
+        public_block=(0x06000000, 8),
+        lans_per_access=(2, 5),
+        static_burst=(2, 8),
+    )
+    network = generate_network(spec)
+    print(
+        "corpus: {} routers, {} lines".format(
+            len(network.configs),
+            sum(len(t.splitlines()) for t in network.configs.values()),
+        )
+    )
+    print("starting rule set: R10 (router bgp) only\n")
+
+    history = iterative_closure(
+        dict(network.configs), b"closure-secret", initial_rules=("R10",)
+    )
+    for step in history:
+        print(
+            "iteration {}: {:>3} ASN leaks highlighted; enabled rules {}; "
+            "operator adds {}".format(
+                step.iteration,
+                step.leaks_found,
+                ",".join(step.enabled_rules),
+                ",".join(step.rules_added) or "(nothing)",
+            )
+        )
+    closed = history[-1].leaks_found == 0
+    print()
+    print(
+        "closed in {} iterations (paper: fewer than 5): {}".format(
+            len(history), "YES" if closed else "NO"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Anonymizing a multi-vendor (IOS + JunOS) network in one pass.
+
+The paper implements for Cisco IOS and notes the techniques are "directly
+applicable to JunOS".  Real carrier networks mix vendors, so the engine
+auto-detects each file's syntax and applies the matching rule set — while
+sharing one set of value mappings, so a link between a Cisco router and a
+Juniper router still has both ends in the same anonymized /30.
+
+Run:  python examples/multivendor.py
+"""
+
+from repro.configmodel import ParsedNetwork
+from repro.configmodel.junos_parser import looks_like_junos
+from repro.core import Anonymizer
+from repro.iosgen import NetworkSpec, generate_network
+from repro.validation import compare_characteristics, compare_designs
+
+
+def main() -> None:
+    spec = NetworkSpec(
+        name="dualstack-corp",
+        kind="enterprise",
+        seed=4242,
+        num_pops=4,
+        igp="ospf",
+        junos_fraction=0.5,
+        use_community_regexps=True,
+        lans_per_access=(3, 8),
+    )
+    network = generate_network(spec)
+    vendors = {
+        name: ("junos" if looks_like_junos(text) else "ios")
+        for name, text in network.configs.items()
+    }
+    print(
+        "generated {} routers: {} IOS, {} JunOS".format(
+            len(vendors),
+            sum(1 for v in vendors.values() if v == "ios"),
+            sum(1 for v in vendors.values() if v == "junos"),
+        )
+    )
+
+    anonymizer = Anonymizer(salt=b"dualstack-owner-secret")
+    result = anonymizer.anonymize_network(dict(network.configs))
+
+    pre = ParsedNetwork.from_configs(network.configs)
+    post = ParsedNetwork.from_configs(result.configs)
+    print(compare_characteristics(pre, post).summary())
+    print(compare_designs(pre, post).summary())
+
+    # Show one anonymized snippet of each vendor.
+    for wanted in ("ios", "junos"):
+        original_name = next(n for n, v in vendors.items() if v == wanted)
+        new_name = result.name_map[original_name]
+        print()
+        print("--- anonymized {} sample ---".format(wanted))
+        print("\n".join(result.configs[new_name].splitlines()[:18]))
+
+    # The cross-vendor consistency check: an eBGP peer address that appears
+    # in an IOS config and a JunOS config must anonymize identically.
+    print()
+    print(anonymizer.report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: anonymize the paper's Figure 1 config and inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Anonymizer
+
+FIGURE1 = """\
+hostname cr1.lax.foo.com
+!
+banner motd ^C
+FooNet contact xxx@foo.com
+Access strictly prohibited!
+^C
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+interface Serial1/0.5 point-to-point
+ description cr1.sfo-serial3/0.8
+ ip address 1.2.3.4 255.255.255.252
+!
+router bgp 1111
+ redistribute rip
+ neighbor 2.3.4.5 remote-as 701
+ neighbor 2.3.4.5 route-map UUNET-import in
+ neighbor 2.3.4.5 route-map UUNET-export out
+!
+route-map UUNET-import deny 10
+ match as-path 50
+ match community 100
+route-map UUNET-import permit 20
+route-map UUNET-export permit 10
+ match ip address 143
+ set community 701:7100
+!
+access-list 143 permit ip 1.1.1.0 0.0.0.255 2.0.0.0 0.255.255.255
+ip community-list 100 permit 701:7[1-5]..
+ip as-path access-list 50 permit (_1239_|_70[2-5]_)
+!
+router rip
+ network 1.0.0.0
+"""
+
+
+def main() -> None:
+    # The salt is the owner secret: choose a strong one and keep it private
+    # (it keys every hash and permutation).
+    anonymizer = Anonymizer(salt=b"choose-a-strong-owner-secret")
+    anonymized = anonymizer.anonymize_text(FIGURE1, source="cr1.lax.foo.com")
+
+    print("=" * 30, "BEFORE", "=" * 30)
+    print(FIGURE1)
+    print("=" * 30, "AFTER", "=" * 31)
+    print(anonymized)
+    print("=" * 30, "REPORT", "=" * 30)
+    print(anonymizer.report.summary())
+
+    print()
+    print("Things to notice:")
+    print(" * comments, descriptions, and the banner are gone entirely;")
+    print(" * netmasks and inverse masks survive byte-for-byte;")
+    print(" * 1.1.1.1 and the RIP `network` statement still agree (same /8);")
+    print(" * `UUNET-import` hashed to the same digest in all four places;")
+    print(" * the as-path regexp now accepts exactly the permuted ASNs.")
+
+
+if __name__ == "__main__":
+    main()

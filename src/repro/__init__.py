@@ -1,0 +1,41 @@
+"""repro — Structure-Preserving Anonymization of Router Configuration Data.
+
+A full reproduction of Maltz, Zhan, Xie, Zhang, Hjálmtýsson, Greenberg,
+and Rexford, "Structure Preserving Anonymization of Router Configuration
+Data", IMC 2004.
+
+Subpackages
+-----------
+``repro.core``
+    The anonymization engine (the paper's contribution): salted-SHA1 string
+    hashing against a pass-list, comment/banner stripping, the
+    prefix-preserving IP trie with class/special/subnet extensions, the
+    ASN and community permutations, and regexp language rewriting — all
+    orchestrated by a 28-rule pipeline.
+``repro.automata``
+    Regex -> NFA -> DFA -> minimum DFA -> regex machinery used for policy
+    regexp anonymization.
+``repro.iosgen``
+    Synthetic network and Cisco-IOS-style config generator standing in for
+    the paper's proprietary 7655-router carrier corpus.
+``repro.configmodel``
+    IOS config parser and network model.
+``repro.validation``
+    The paper's two pre/post validation suites.
+``repro.attacks``
+    Leak scanning, iterative closure, and fingerprinting analyses.
+
+Quickstart
+----------
+>>> from repro.core import Anonymizer
+>>> anonymizer = Anonymizer(salt=b"owner-secret")
+>>> print(anonymizer.anonymize_text("router bgp 701\\n"))
+router bgp 3929
+<BLANKLINE>
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Anonymizer, AnonymizerConfig
+
+__all__ = ["Anonymizer", "AnonymizerConfig", "__version__"]

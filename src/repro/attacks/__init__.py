@@ -1,0 +1,26 @@
+"""Attack and vulnerability analysis (paper Section 6).
+
+* :mod:`repro.attacks.textual` — the textual-leak scanner and the iterative
+  rule-refinement loop of Section 6.1.
+* :mod:`repro.attacks.fingerprint` — the subnet-size-histogram and
+  peering-structure fingerprints of Sections 6.2–6.3, plus the uniqueness
+  measurement the paper defers to future work.
+"""
+
+from repro.attacks.textual import Leak, scan_for_leaks, iterative_closure
+from repro.attacks.fingerprint import (
+    subnet_fingerprint,
+    peering_fingerprint,
+    fingerprint_uniqueness,
+    reidentification_experiment,
+)
+
+__all__ = [
+    "Leak",
+    "scan_for_leaks",
+    "iterative_closure",
+    "subnet_fingerprint",
+    "peering_fingerprint",
+    "fingerprint_uniqueness",
+    "reidentification_experiment",
+]

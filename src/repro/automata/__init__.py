@@ -1,0 +1,61 @@
+"""Finite-automata machinery for anonymizing routing-policy regular expressions.
+
+The paper (Section 4.4) anonymizes AS-path and community-list regular
+expressions by computing the *language* each regexp accepts over the 16-bit
+ASN space, permuting the accepted public ASNs, and rewriting the regexp.  It
+also notes that "known polynomial-time algorithms for constructing the
+minimum finite automata" could compress the rewritten regexp; this package
+implements that full path:
+
+    parse  ->  NFA (Thompson)  ->  DFA (subset)  ->  min DFA (Hopcroft)
+           ->  regexp (state elimination)
+
+The regexp dialect is the POSIX-ish dialect used by Cisco IOS route policy,
+including the ``_`` metacharacter that matches a delimiter or the start/end
+of the subject string.
+"""
+
+from repro.automata.ast import (
+    Alt,
+    Anchor,
+    Boundary,
+    CharClass,
+    Concat,
+    Dot,
+    Empty,
+    Literal,
+    Plus,
+    Opt,
+    RegexNode,
+    Star,
+)
+from repro.automata.reparse import RegexParseError, parse_regex
+from repro.automata.nfa import NFA, nfa_from_ast
+from repro.automata.dfa import DFA, dfa_from_nfa
+from repro.automata.minimize import minimize_dfa
+from repro.automata.fa2re import dfa_to_regex
+from repro.automata.matcher import RegexMatcher
+
+__all__ = [
+    "Alt",
+    "Anchor",
+    "Boundary",
+    "CharClass",
+    "Concat",
+    "Dot",
+    "Empty",
+    "Literal",
+    "Plus",
+    "Opt",
+    "RegexNode",
+    "Star",
+    "RegexParseError",
+    "parse_regex",
+    "NFA",
+    "nfa_from_ast",
+    "DFA",
+    "dfa_from_nfa",
+    "minimize_dfa",
+    "dfa_to_regex",
+    "RegexMatcher",
+]

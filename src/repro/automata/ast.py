@@ -1,0 +1,257 @@
+"""Abstract syntax tree for the Cisco IOS route-policy regexp dialect.
+
+The dialect is the POSIX-ish flavor accepted by ``ip as-path access-list``
+and ``ip community-list`` commands:
+
+* literals and escaped literals (``\\.``)
+* ``.`` matches any single character of the subject
+* character classes ``[0-9]``, ``[^ab]``, with ranges
+* grouping ``( ... )`` and alternation ``|``
+* postfix ``*``, ``+``, ``?``
+* anchors ``^`` and ``$``
+* ``_`` (Cisco-specific): matches a delimiter character (space, comma,
+  braces, parentheses) or the start or end of the subject string
+
+Nodes are immutable and hashable so they can be deduplicated and used as
+dictionary keys during regexp simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Characters the Cisco ``_`` metacharacter matches (in addition to the
+#: start and end of the input string).
+UNDERSCORE_DELIMITERS = frozenset(" ,{}()")
+
+
+class RegexNode:
+    """Base class for all regexp AST nodes."""
+
+    def to_pattern(self) -> str:
+        """Render this node back into Cisco regexp syntax."""
+        raise NotImplementedError
+
+    def _precedence(self) -> int:
+        """Binding tightness: 0=alt, 1=concat, 2=repeat, 3=atom."""
+        raise NotImplementedError
+
+    def _child_pattern(self, child: "RegexNode", min_prec: int) -> str:
+        text = child.to_pattern()
+        if child._precedence() < min_prec:
+            return "(" + text + ")"
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "{}({!r})".format(type(self).__name__, self.to_pattern())
+
+
+@dataclass(frozen=True)
+class Empty(RegexNode):
+    """The empty string (epsilon)."""
+
+    def to_pattern(self) -> str:
+        return ""
+
+    def _precedence(self) -> int:
+        return 3
+
+
+#: Characters that must be escaped when rendered as literals.
+_METACHARS = frozenset(".^$*+?()[]|\\_")
+
+
+@dataclass(frozen=True)
+class Literal(RegexNode):
+    """A single literal character."""
+
+    char: str
+
+    def to_pattern(self) -> str:
+        if self.char in _METACHARS:
+            return "\\" + self.char
+        return self.char
+
+    def _precedence(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class Dot(RegexNode):
+    """``.`` — any single character."""
+
+    def to_pattern(self) -> str:
+        return "."
+
+    def _precedence(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class CharClass(RegexNode):
+    """A character class such as ``[0-9]`` or ``[^ab]``.
+
+    ``chars`` holds the explicit member characters (ranges are expanded at
+    parse time; re-rendering re-compresses runs back into ranges).
+    """
+
+    chars: frozenset = field(default_factory=frozenset)
+    negated: bool = False
+
+    def to_pattern(self) -> str:
+        body = _render_class_body(self.chars)
+        return "[{}{}]".format("^" if self.negated else "", body)
+
+    def _precedence(self) -> int:
+        return 3
+
+    def matches(self, char: str) -> bool:
+        """Whether *char* is accepted by this class."""
+        return (char in self.chars) != self.negated
+
+
+@dataclass(frozen=True)
+class Anchor(RegexNode):
+    """``^`` (kind='start') or ``$`` (kind='end')."""
+
+    kind: str
+
+    def to_pattern(self) -> str:
+        return "^" if self.kind == "start" else "$"
+
+    def _precedence(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class Boundary(RegexNode):
+    """Cisco ``_``: a delimiter character or the start/end of the subject."""
+
+    def to_pattern(self) -> str:
+        return "_"
+
+    def _precedence(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    """Concatenation of two or more parts."""
+
+    parts: Tuple[RegexNode, ...]
+
+    def to_pattern(self) -> str:
+        return "".join(self._child_pattern(p, 1) for p in self.parts)
+
+    def _precedence(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Alt(RegexNode):
+    """Alternation of two or more branches."""
+
+    parts: Tuple[RegexNode, ...]
+
+    def to_pattern(self) -> str:
+        return "|".join(self._child_pattern(p, 1) for p in self.parts)
+
+    def _precedence(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    """Zero or more repetitions."""
+
+    child: RegexNode
+
+    def to_pattern(self) -> str:
+        return self._child_pattern(self.child, 3) + "*"
+
+    def _precedence(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    """One or more repetitions."""
+
+    child: RegexNode
+
+    def to_pattern(self) -> str:
+        return self._child_pattern(self.child, 3) + "+"
+
+    def _precedence(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class Opt(RegexNode):
+    """Zero or one occurrence."""
+
+    child: RegexNode
+
+    def to_pattern(self) -> str:
+        return self._child_pattern(self.child, 3) + "?"
+
+    def _precedence(self) -> int:
+        return 2
+
+
+def _render_class_body(chars: frozenset) -> str:
+    """Compress a set of characters into class-body syntax with ranges."""
+    ordered = sorted(chars)
+    pieces = []
+    i = 0
+    while i < len(ordered):
+        j = i
+        while j + 1 < len(ordered) and ord(ordered[j + 1]) == ord(ordered[j]) + 1:
+            j += 1
+        if j - i >= 2:
+            pieces.append(_escape_class_char(ordered[i]) + "-" + _escape_class_char(ordered[j]))
+        else:
+            pieces.extend(_escape_class_char(c) for c in ordered[i : j + 1])
+        i = j + 1
+    return "".join(pieces)
+
+
+def _escape_class_char(char: str) -> str:
+    if char in "]-^\\":
+        return "\\" + char
+    return char
+
+
+def concat(*parts: RegexNode) -> RegexNode:
+    """Build a concatenation, flattening nested Concats and dropping epsilons."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Empty()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alternate(*parts: RegexNode) -> RegexNode:
+    """Build an alternation, flattening nested Alts and deduplicating."""
+    flat = []
+    seen = set()
+    for part in parts:
+        branches = part.parts if isinstance(part, Alt) else (part,)
+        for branch in branches:
+            if branch not in seen:
+                seen.add(branch)
+                flat.append(branch)
+    if not flat:
+        raise ValueError("alternation of zero branches has no regexp form")
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))

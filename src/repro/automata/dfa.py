@@ -1,0 +1,213 @@
+"""Deterministic finite automata: subset construction and language utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.automata.nfa import NFA
+
+
+class DFA:
+    """A DFA with a partial transition function (missing edge = reject)."""
+
+    def __init__(
+        self,
+        transitions: Dict[int, Dict[str, int]],
+        start: int,
+        accepts: Set[int],
+        alphabet: Set[str],
+    ) -> None:
+        self.transitions = transitions
+        self.start = start
+        self.accepts = set(accepts)
+        self.alphabet = set(alphabet)
+
+    @property
+    def states(self) -> Set[int]:
+        found = {self.start} | set(self.accepts)
+        for src, edges in self.transitions.items():
+            found.add(src)
+            found.update(edges.values())
+        return found
+
+    def accepts_string(self, text: str) -> bool:
+        """Exact-match acceptance of *text*."""
+        state: Optional[int] = self.start
+        for char in text:
+            state = self.transitions.get(state, {}).get(char)
+            if state is None:
+                return False
+        return state in self.accepts
+
+    def enumerate_language(self, max_length: int) -> List[str]:
+        """All accepted strings of length <= *max_length*, sorted.
+
+        Breadth-first walk; intended for small test languages (e.g. the set
+        of ASN strings a policy regexp accepts).
+        """
+        results = []
+        frontier: List[Tuple[int, str]] = [(self.start, "")]
+        for _ in range(max_length + 1):
+            next_frontier = []
+            for state, prefix in frontier:
+                if state in self.accepts:
+                    results.append(prefix)
+                for char, dst in sorted(self.transitions.get(state, {}).items()):
+                    next_frontier.append((dst, prefix + char))
+            frontier = next_frontier
+        return sorted(results)
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        seen = {self.start}
+        stack = [self.start]
+        while stack:
+            state = stack.pop()
+            if state in self.accepts:
+                return False
+            for dst in self.transitions.get(state, {}).values():
+                if dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return True
+
+    def equivalent_to(self, other: "DFA") -> bool:
+        """Language equivalence via synchronized product walk.
+
+        ``None`` stands for the implicit dead state on either side.
+        """
+        alphabet = self.alphabet | other.alphabet
+        start_pair = (self.start, other.start)
+        seen = {start_pair}
+        stack = [start_pair]
+        while stack:
+            a, b = stack.pop()
+            a_accept = a in self.accepts if a is not None else False
+            b_accept = b in other.accepts if b is not None else False
+            if a_accept != b_accept:
+                return False
+            for char in alphabet:
+                a_next = self.transitions.get(a, {}).get(char) if a is not None else None
+                b_next = other.transitions.get(b, {}).get(char) if b is not None else None
+                pair = (a_next, b_next)
+                if pair == (None, None):
+                    continue
+                if pair not in seen:
+                    seen.add(pair)
+                    stack.append(pair)
+        return True
+
+
+def _complete(dfa: DFA, alphabet: Set[str]) -> Tuple[Dict[int, Dict[str, int]], int]:
+    """Complete transition table over *alphabet* with an explicit dead state.
+
+    Returns (transitions, dead_state_id)."""
+    dead = max(dfa.states, default=0) + 1
+    transitions: Dict[int, Dict[str, int]] = {}
+    for state in dfa.states | {dead}:
+        row = {}
+        for char in alphabet:
+            row[char] = dfa.transitions.get(state, {}).get(char, dead)
+        transitions[state] = row
+    transitions[dead] = {char: dead for char in alphabet}
+    return transitions, dead
+
+
+def complement_dfa(dfa: DFA, alphabet: Iterable[str]) -> DFA:
+    """DFA accepting exactly the strings over *alphabet* that *dfa* rejects."""
+    alphabet = set(alphabet) | set(dfa.alphabet)
+    transitions, dead = _complete(dfa, alphabet)
+    accepts = {s for s in transitions if s not in dfa.accepts}
+    return DFA(transitions, dfa.start, accepts, alphabet)
+
+
+def _product(a: DFA, b: DFA, accept_rule) -> DFA:
+    """Synchronized product; acceptance decided by accept_rule(in_a, in_b)."""
+    alphabet = a.alphabet | b.alphabet
+    a_table, a_dead = _complete(a, alphabet)
+    b_table, b_dead = _complete(b, alphabet)
+    ids: Dict[Tuple[int, int], int] = {}
+    transitions: Dict[int, Dict[str, int]] = {}
+    accepts: Set[int] = set()
+
+    def intern(pair):
+        if pair not in ids:
+            ids[pair] = len(ids)
+        return ids[pair]
+
+    start_pair = (a.start, b.start)
+    worklist = [start_pair]
+    intern(start_pair)
+    seen = {start_pair}
+    while worklist:
+        pair = worklist.pop()
+        pair_id = ids[pair]
+        if accept_rule(pair[0] in a.accepts, pair[1] in b.accepts):
+            accepts.add(pair_id)
+        for char in alphabet:
+            nxt = (a_table[pair[0]][char], b_table[pair[1]][char])
+            transitions.setdefault(pair_id, {})[char] = intern(nxt)
+            if nxt not in seen:
+                seen.add(nxt)
+                worklist.append(nxt)
+    return DFA(transitions, ids[start_pair], accepts, alphabet)
+
+
+def intersect_dfa(a: DFA, b: DFA) -> DFA:
+    """DFA accepting the intersection of the two languages."""
+    return _product(a, b, lambda in_a, in_b: in_a and in_b)
+
+
+def union_dfa(a: DFA, b: DFA) -> DFA:
+    """DFA accepting the union of the two languages."""
+    return _product(a, b, lambda in_a, in_b: in_a or in_b)
+
+
+def difference_dfa(a: DFA, b: DFA) -> DFA:
+    """DFA accepting strings in *a*'s language but not *b*'s."""
+    return _product(a, b, lambda in_a, in_b: in_a and not in_b)
+
+
+def dfa_from_nfa(nfa: NFA) -> DFA:
+    """Subset construction."""
+    start_set = nfa.epsilon_closure({nfa.start})
+    ids: Dict[FrozenSet[int], int] = {start_set: 0}
+    transitions: Dict[int, Dict[str, int]] = {}
+    accepts: Set[int] = set()
+    worklist: List[FrozenSet[int]] = [start_set]
+    while worklist:
+        current = worklist.pop()
+        current_id = ids[current]
+        if current & nfa.accepts:
+            accepts.add(current_id)
+        # Collect the characters actually leaving this state set.
+        outgoing: Dict[str, Set[int]] = {}
+        for state in current:
+            for char, dests in nfa.transitions.get(state, {}).items():
+                outgoing.setdefault(char, set()).update(dests)
+        for char, dests in outgoing.items():
+            closure = nfa.epsilon_closure(dests)
+            if closure not in ids:
+                ids[closure] = len(ids)
+                worklist.append(closure)
+            transitions.setdefault(current_id, {})[char] = ids[closure]
+    return DFA(transitions, 0, accepts, set(nfa.alphabet))
+
+
+def dfa_from_strings(strings: Iterable[str]) -> DFA:
+    """Build a trie-shaped DFA accepting exactly the given finite language."""
+    transitions: Dict[int, Dict[str, int]] = {}
+    accepts: Set[int] = set()
+    alphabet: Set[str] = set()
+    next_id = 1
+    for text in strings:
+        state = 0
+        for char in text:
+            alphabet.add(char)
+            edges = transitions.setdefault(state, {})
+            if char not in edges:
+                edges[char] = next_id
+                next_id += 1
+            state = edges[char]
+        accepts.add(state)
+    return DFA(transitions, 0, accepts, alphabet)

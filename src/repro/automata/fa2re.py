@@ -1,0 +1,87 @@
+"""DFA -> regexp conversion via GNFA state elimination.
+
+Completes the pipeline the paper lists as an available-but-unneeded
+optimization: regexp -> language -> permuted language -> minimum DFA ->
+regexp, producing rewritten patterns far shorter than a flat alternation
+when the permuted ASNs share structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.automata import ast
+from repro.automata.ast import CharClass, Empty, Literal, RegexNode, Star
+from repro.automata.dfa import DFA
+
+
+def _char_node(chars) -> RegexNode:
+    chars = sorted(chars)
+    if len(chars) == 1:
+        return Literal(chars[0])
+    return CharClass(frozenset(chars), negated=False)
+
+
+def _star(node: RegexNode) -> RegexNode:
+    if isinstance(node, Empty):
+        return Empty()
+    if isinstance(node, Star):
+        return node
+    return Star(node)
+
+
+def dfa_to_regex(dfa: DFA) -> Optional[RegexNode]:
+    """Convert *dfa* into an equivalent regexp AST.
+
+    Returns ``None`` when the DFA accepts the empty language.  The result
+    has exact-match semantics: it describes precisely the strings the DFA
+    accepts (callers add anchors/boundaries as needed).
+    """
+    if dfa.is_empty():
+        return None
+
+    # GNFA: fresh start (-1) and accept (-2) states, edges labeled with ASTs.
+    edges: Dict[Tuple[int, int], RegexNode] = {}
+
+    def add_edge(src: int, dst: int, label: RegexNode) -> None:
+        if (src, dst) in edges:
+            edges[(src, dst)] = ast.alternate(edges[(src, dst)], label)
+        else:
+            edges[(src, dst)] = label
+
+    start, accept = -1, -2
+    add_edge(start, dfa.start, Empty())
+    for final in dfa.accepts:
+        add_edge(final, accept, Empty())
+
+    # Group parallel character edges into classes.
+    grouped: Dict[Tuple[int, int], set] = {}
+    for src, row in dfa.transitions.items():
+        for char, dst in row.items():
+            grouped.setdefault((src, dst), set()).add(char)
+    for (src, dst), chars in grouped.items():
+        add_edge(src, dst, _char_node(chars))
+
+    interior = set(dfa.states)
+
+    def elimination_cost(state: int) -> int:
+        preds = sum(1 for (s, d) in edges if d == state and s != state)
+        succs = sum(1 for (s, d) in edges if s == state and d != state)
+        return preds * succs
+
+    while interior:
+        rip = min(interior, key=elimination_cost)
+        interior.discard(rip)
+        self_loop = edges.pop((rip, rip), None)
+        loop_part = _star(self_loop) if self_loop is not None else Empty()
+        incoming = [(s, label) for (s, d), label in edges.items() if d == rip]
+        outgoing = [(d, label) for (s, d), label in edges.items() if s == rip]
+        for (s, _) in incoming:
+            edges.pop((s, rip))
+        for (d, _) in outgoing:
+            edges.pop((rip, d))
+        for s, in_label in incoming:
+            for d, out_label in outgoing:
+                add_edge(s, d, ast.concat(in_label, loop_part, out_label))
+
+    return edges.get((start, accept))

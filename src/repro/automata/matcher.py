@@ -1,0 +1,116 @@
+"""Regexp matching with Cisco route-policy semantics.
+
+Two independent implementations are provided:
+
+* :class:`RegexMatcher` — our own parser -> NFA -> DFA pipeline (the
+  reference oracle; no reliance on Python's ``re`` semantics).
+* :func:`to_python_regex` — a translation into Python ``re`` syntax used as
+  the fast path for the 2^16 brute-force language scans of Section 4.4.
+
+The two are differentially tested against each other.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.automata.ast import (
+    Alt,
+    Anchor,
+    Boundary,
+    CharClass,
+    Concat,
+    Dot,
+    Empty,
+    Literal,
+    Opt,
+    Plus,
+    RegexNode,
+    Star,
+)
+from repro.automata.dfa import DFA, dfa_from_nfa
+from repro.automata.nfa import END_SENTINEL, START_SENTINEL, compile_search_nfa
+from repro.automata.reparse import parse_regex
+
+#: Default subject alphabet: ASN digits plus the community separator and
+#: the delimiter characters ``_`` can consume.
+DEFAULT_ALPHABET = frozenset("0123456789:. ,{}()")
+
+
+class RegexMatcher:
+    """Compiled Cisco-dialect regexp with search (unanchored) semantics."""
+
+    def __init__(self, pattern: str, alphabet=DEFAULT_ALPHABET):
+        self.pattern = pattern
+        self.ast = parse_regex(pattern)
+        self.alphabet = frozenset(alphabet)
+        nfa = compile_search_nfa(self.ast, self.alphabet)
+        self._dfa: DFA = dfa_from_nfa(nfa)
+
+    def matches(self, subject: str) -> bool:
+        """Whether the pattern matches anywhere within *subject*."""
+        unknown = set(subject) - self.alphabet
+        if unknown:
+            raise ValueError(
+                "subject contains characters outside the compile alphabet: {!r}".format(
+                    sorted(unknown)
+                )
+            )
+        return self._dfa.accepts_string(START_SENTINEL + subject + END_SENTINEL)
+
+
+def to_python_regex(node: RegexNode) -> str:
+    """Translate a Cisco-dialect AST into Python ``re`` syntax.
+
+    ``_`` becomes ``(?:^|$|[ ,{}()])`` which consumes a delimiter in the
+    middle of the subject and matches zero-width at either end — the
+    documented IOS behavior.  Use with ``re.search`` for Cisco's
+    unanchored matching.
+    """
+    if isinstance(node, Empty):
+        return ""
+    if isinstance(node, Literal):
+        return re.escape(node.char)
+    if isinstance(node, Dot):
+        return "."
+    if isinstance(node, CharClass):
+        body = "".join(_escape_for_class(c) for c in sorted(node.chars))
+        return "[{}{}]".format("^" if node.negated else "", body)
+    if isinstance(node, Anchor):
+        return "^" if node.kind == "start" else "$"
+    if isinstance(node, Boundary):
+        return "(?:^|$|[ ,{}()])"
+    if isinstance(node, Concat):
+        return "".join(_wrap(p) for p in node.parts)
+    if isinstance(node, Alt):
+        return "(?:" + "|".join(to_python_regex(p) for p in node.parts) + ")"
+    if isinstance(node, Star):
+        return _wrap(node.child) + "*"
+    if isinstance(node, Plus):
+        return _wrap(node.child) + "+"
+    if isinstance(node, Opt):
+        return _wrap(node.child) + "?"
+    raise TypeError("unknown regexp node {!r}".format(node))
+
+
+def _escape_for_class(char: str) -> str:
+    if char in "]-^\\":
+        return "\\" + char
+    return char
+
+
+def _wrap(node: RegexNode) -> str:
+    """Render a child that will receive a postfix operator or concatenation."""
+    text = to_python_regex(node)
+    if isinstance(node, (Alt, Concat)) or (isinstance(node, Empty)):
+        return "(?:" + text + ")"
+    if len(text) > 1 and not (
+        text.startswith("(?:") or text.startswith("[") or text.startswith("\\")
+    ):
+        return "(?:" + text + ")"
+    return text
+
+
+def compile_python_regex(pattern: str):
+    """Parse a Cisco-dialect pattern and compile the Python translation."""
+    return re.compile(to_python_regex(parse_regex(pattern)))

@@ -1,0 +1,111 @@
+"""Hopcroft DFA minimization.
+
+Used for the paper's noted-but-unimplemented optimization (Section 4.4):
+rather than rewriting an anonymized ASN regexp as a flat alternation, build
+the minimum DFA for the permuted language and convert it back to a regexp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.automata.dfa import DFA
+
+_DEAD = -1
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Return the minimum DFA for the same language.
+
+    The input may have a partial transition function; it is completed with a
+    dead state internally and the dead class is stripped from the result.
+    """
+    alphabet = sorted(dfa.alphabet)
+    states = set(dfa.states)
+    states.add(_DEAD)
+
+    def delta(state: int, char: str) -> int:
+        if state == _DEAD:
+            return _DEAD
+        return dfa.transitions.get(state, {}).get(char, _DEAD)
+
+    accepting = frozenset(s for s in states if s in dfa.accepts)
+    rejecting = frozenset(states - accepting)
+
+    partition: Set[FrozenSet[int]] = set()
+    worklist: List[FrozenSet[int]] = []
+    for block in (accepting, rejecting):
+        if block:
+            partition.add(block)
+    if accepting and rejecting:
+        worklist.append(min(accepting, rejecting, key=len))
+    elif partition:
+        worklist.append(next(iter(partition)))
+
+    # Reverse transition index: char -> dst -> set(src)
+    reverse: Dict[str, Dict[int, Set[int]]] = {c: {} for c in alphabet}
+    for state in states:
+        for char in alphabet:
+            reverse[char].setdefault(delta(state, char), set()).add(state)
+
+    while worklist:
+        splitter = worklist.pop()
+        for char in alphabet:
+            # X = states whose char-successor is inside the splitter.
+            x: Set[int] = set()
+            for dst in splitter:
+                x.update(reverse[char].get(dst, ()))
+            if not x:
+                continue
+            for block in list(partition):
+                inside = block & x
+                outside = block - x
+                if not inside or not outside:
+                    continue
+                partition.discard(block)
+                inside_f = frozenset(inside)
+                outside_f = frozenset(outside)
+                partition.add(inside_f)
+                partition.add(outside_f)
+                if block in worklist:
+                    worklist.remove(block)
+                    worklist.append(inside_f)
+                    worklist.append(outside_f)
+                else:
+                    worklist.append(min(inside_f, outside_f, key=len))
+
+    # Rebuild the quotient DFA.
+    block_of: Dict[int, FrozenSet[int]] = {}
+    for block in partition:
+        for state in block:
+            block_of[state] = block
+    dead_block = block_of[_DEAD]
+
+    block_ids: Dict[FrozenSet[int], int] = {}
+
+    def block_id(block: FrozenSet[int]) -> int:
+        if block not in block_ids:
+            block_ids[block] = len(block_ids)
+        return block_ids[block]
+
+    start_block = block_of[dfa.start]
+    start_id = block_id(start_block)
+    transitions: Dict[int, Dict[str, int]] = {}
+    accepts: Set[int] = set()
+    worklist2 = [start_block]
+    seen = {start_block}
+    while worklist2:
+        block = worklist2.pop()
+        src_id = block_id(block)
+        representative = next(iter(block))
+        if representative in dfa.accepts:
+            accepts.add(src_id)
+        for char in alphabet:
+            dst_block = block_of[delta(representative, char)]
+            if dst_block == dead_block:
+                continue
+            transitions.setdefault(src_id, {})[char] = block_id(dst_block)
+            if dst_block not in seen:
+                seen.add(dst_block)
+                worklist2.append(dst_block)
+    return DFA(transitions, start_id, accepts, set(dfa.alphabet))

@@ -1,0 +1,206 @@
+"""Thompson construction of NFAs from regexp ASTs.
+
+Anchors and the Cisco ``_`` metacharacter are zero-width in regexp syntax
+but are realized here as *consuming* transitions over two sentinel
+characters wrapped around the subject string:
+
+    subject' = START + subject + END
+
+``^`` becomes a transition on START, ``$`` on END, and ``_`` a transition on
+{START, END} | delimiters.  Unanchored (search) semantics are realized by
+bracketing the compiled pattern with ``.*`` over the extended alphabet.
+This keeps the automaton a plain character NFA with no zero-width tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.automata.ast import (
+    Alt,
+    Anchor,
+    Boundary,
+    CharClass,
+    Concat,
+    Dot,
+    Empty,
+    Literal,
+    Opt,
+    Plus,
+    RegexNode,
+    Star,
+)
+from repro.automata.ast import UNDERSCORE_DELIMITERS
+
+#: Sentinel marking the start of the subject string.
+START_SENTINEL = "\x02"
+#: Sentinel marking the end of the subject string.
+END_SENTINEL = "\x03"
+
+
+class NFA:
+    """A nondeterministic finite automaton with epsilon transitions."""
+
+    def __init__(self) -> None:
+        self.next_state = 0
+        self.transitions: Dict[int, Dict[str, Set[int]]] = {}
+        self.epsilon: Dict[int, Set[int]] = {}
+        self.start = 0
+        self.accepts: Set[int] = set()
+        self.alphabet: Set[str] = set()
+
+    def new_state(self) -> int:
+        state = self.next_state
+        self.next_state += 1
+        return state
+
+    def add_transition(self, src: int, char: str, dst: int) -> None:
+        self.transitions.setdefault(src, {}).setdefault(char, set()).add(dst)
+        self.alphabet.add(char)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon.setdefault(src, set()).add(dst)
+
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable from *states* via epsilon transitions."""
+        stack = list(states)
+        closure = set(stack)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilon.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: Iterable[int], char: str) -> FrozenSet[int]:
+        """One consuming step from the state set *states* on *char*."""
+        result = set()
+        for state in states:
+            result.update(self.transitions.get(state, {}).get(char, ()))
+        return self.epsilon_closure(result)
+
+    def accepts_string(self, text: str) -> bool:
+        """Simulate the NFA over *text* (already sentinel-wrapped if needed)."""
+        current = self.epsilon_closure({self.start})
+        for char in text:
+            current = self.step(current, char)
+            if not current:
+                return False
+        return bool(current & self.accepts)
+
+
+def _expand_chars(node: RegexNode, alphabet: Set[str]) -> Set[str]:
+    """The set of concrete characters a single-char node can consume."""
+    if isinstance(node, Literal):
+        return {node.char}
+    if isinstance(node, Dot):
+        # '.' matches any character of the subject, never the sentinels.
+        return set(alphabet) - {START_SENTINEL, END_SENTINEL}
+    if isinstance(node, CharClass):
+        plain = set(alphabet) - {START_SENTINEL, END_SENTINEL}
+        if node.negated:
+            return plain - set(node.chars)
+        return set(node.chars)
+    if isinstance(node, Anchor):
+        return {START_SENTINEL if node.kind == "start" else END_SENTINEL}
+    if isinstance(node, Boundary):
+        return {START_SENTINEL, END_SENTINEL} | set(UNDERSCORE_DELIMITERS)
+    raise TypeError("not a character node: {!r}".format(node))
+
+
+def nfa_from_ast(node: RegexNode, alphabet: Iterable[str]) -> NFA:
+    """Compile *node* into an NFA with exact-match semantics.
+
+    *alphabet* is the set of subject characters; the sentinels are added
+    automatically.  The compiled NFA matches sentinel-wrapped subjects when
+    the pattern uses anchors or boundaries, otherwise raw subjects.
+    """
+    nfa = NFA()
+    full_alphabet = set(alphabet) | {START_SENTINEL, END_SENTINEL}
+    nfa.alphabet = set(full_alphabet)
+    start, accept = _build(nfa, node, full_alphabet)
+    nfa.start = start
+    nfa.accepts = {accept}
+    return nfa
+
+
+def compile_search_nfa(node: RegexNode, alphabet: Iterable[str]) -> NFA:
+    """Compile *node* with Cisco *search* semantics.
+
+    The resulting NFA must be run on ``START + subject + END``; it accepts
+    iff the pattern matches anywhere within the subject.
+    """
+    nfa = NFA()
+    full_alphabet = set(alphabet) | {START_SENTINEL, END_SENTINEL}
+    nfa.alphabet = set(full_alphabet)
+    inner_start, inner_accept = _build(nfa, node, full_alphabet)
+
+    # Leading and trailing .* over the *full* alphabet (sentinels included)
+    # so an unanchored pattern may begin/end anywhere in the wrapped subject.
+    start = nfa.new_state()
+    accept = nfa.new_state()
+    nfa.add_epsilon(start, inner_start)
+    for char in full_alphabet:
+        nfa.add_transition(start, char, start)
+        nfa.add_transition(accept, char, accept)
+    nfa.add_epsilon(inner_accept, accept)
+    nfa.start = start
+    nfa.accepts = {accept}
+    return nfa
+
+
+def _build(nfa: NFA, node: RegexNode, alphabet: Set[str]):
+    """Thompson construction; returns (start, accept) for *node*."""
+    if isinstance(node, Empty):
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        nfa.add_epsilon(start, accept)
+        return start, accept
+    if isinstance(node, (Literal, Dot, CharClass, Anchor, Boundary)):
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        for char in _expand_chars(node, alphabet):
+            nfa.add_transition(start, char, accept)
+        return start, accept
+    if isinstance(node, Concat):
+        first_start, prev_accept = _build(nfa, node.parts[0], alphabet)
+        for part in node.parts[1:]:
+            part_start, part_accept = _build(nfa, part, alphabet)
+            nfa.add_epsilon(prev_accept, part_start)
+            prev_accept = part_accept
+        return first_start, prev_accept
+    if isinstance(node, Alt):
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        for part in node.parts:
+            part_start, part_accept = _build(nfa, part, alphabet)
+            nfa.add_epsilon(start, part_start)
+            nfa.add_epsilon(part_accept, accept)
+        return start, accept
+    if isinstance(node, Star):
+        inner_start, inner_accept = _build(nfa, node.child, alphabet)
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        nfa.add_epsilon(start, inner_start)
+        nfa.add_epsilon(start, accept)
+        nfa.add_epsilon(inner_accept, inner_start)
+        nfa.add_epsilon(inner_accept, accept)
+        return start, accept
+    if isinstance(node, Plus):
+        inner_start, inner_accept = _build(nfa, node.child, alphabet)
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        nfa.add_epsilon(start, inner_start)
+        nfa.add_epsilon(inner_accept, inner_start)
+        nfa.add_epsilon(inner_accept, accept)
+        return start, accept
+    if isinstance(node, Opt):
+        inner_start, inner_accept = _build(nfa, node.child, alphabet)
+        start = nfa.new_state()
+        accept = nfa.new_state()
+        nfa.add_epsilon(start, inner_start)
+        nfa.add_epsilon(start, accept)
+        nfa.add_epsilon(inner_accept, accept)
+        return start, accept
+    raise TypeError("unknown regexp node {!r}".format(node))

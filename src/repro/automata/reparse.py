@@ -1,0 +1,187 @@
+"""Recursive-descent parser for the Cisco IOS route-policy regexp dialect.
+
+The grammar (loosest-binding first)::
+
+    alternation   :=  concatenation ('|' concatenation)*
+    concatenation :=  repetition*
+    repetition    :=  atom ('*' | '+' | '?')*
+    atom          :=  literal | '.' | '_' | '^' | '$'
+                    | '[' class ']' | '(' alternation ')' | '\\' any
+
+Cisco regexps do not support ``{m,n}`` counted repetition, back-references,
+or non-greedy operators, so neither do we; encountering unsupported syntax
+raises :class:`RegexParseError` so the anonymizer can flag the line for
+human review instead of silently mis-anonymizing it (the paper's iterative
+leak-closure loop, Section 6.1).
+"""
+
+from __future__ import annotations
+
+from repro.automata.ast import (
+    Alt,
+    Anchor,
+    Boundary,
+    CharClass,
+    Concat,
+    Dot,
+    Empty,
+    Literal,
+    Opt,
+    Plus,
+    RegexNode,
+    Star,
+)
+
+
+class RegexParseError(ValueError):
+    """Raised when a pattern is not valid in the supported dialect."""
+
+    def __init__(self, pattern: str, position: int, message: str):
+        super().__init__(
+            "bad regexp {!r} at position {}: {}".format(pattern, position, message)
+        )
+        self.pattern = pattern
+        self.position = position
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    def error(self, message: str) -> RegexParseError:
+        return RegexParseError(self.pattern, self.pos, message)
+
+    def peek(self) -> str:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return ""
+
+    def take(self) -> str:
+        char = self.peek()
+        self.pos += 1
+        return char
+
+    # grammar rules -----------------------------------------------------
+
+    def parse_alternation(self) -> RegexNode:
+        branches = [self.parse_concatenation()]
+        while self.peek() == "|":
+            self.take()
+            branches.append(self.parse_concatenation())
+        if len(branches) == 1:
+            return branches[0]
+        return Alt(tuple(branches))
+
+    def parse_concatenation(self) -> RegexNode:
+        parts = []
+        while self.peek() not in ("", "|", ")"):
+            parts.append(self.parse_repetition())
+        if not parts:
+            return Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def parse_repetition(self) -> RegexNode:
+        node = self.parse_atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.take()
+            if op == "*":
+                node = Star(node)
+            elif op == "+":
+                node = Plus(node)
+            else:
+                node = Opt(node)
+        return node
+
+    def parse_atom(self) -> RegexNode:
+        char = self.peek()
+        if char == "":
+            raise self.error("expected an atom")
+        if char == "(":
+            self.take()
+            node = self.parse_alternation()
+            if self.peek() != ")":
+                raise self.error("unbalanced parenthesis")
+            self.take()
+            return node
+        if char == "[":
+            return self.parse_class()
+        if char == ".":
+            self.take()
+            return Dot()
+        if char == "_":
+            self.take()
+            return Boundary()
+        if char == "^":
+            self.take()
+            return Anchor("start")
+        if char == "$":
+            self.take()
+            return Anchor("end")
+        if char == "\\":
+            self.take()
+            escaped = self.take()
+            if escaped == "":
+                raise self.error("dangling backslash")
+            return Literal(escaped)
+        if char in ("*", "+", "?"):
+            raise self.error("repetition operator with nothing to repeat")
+        if char == "{":
+            raise self.error("counted repetition {m,n} is not supported")
+        self.take()
+        return Literal(char)
+
+    def parse_class(self) -> CharClass:
+        assert self.take() == "["
+        negated = False
+        if self.peek() == "^":
+            negated = True
+            self.take()
+        chars = set()
+        first = True
+        while True:
+            char = self.peek()
+            if char == "":
+                raise self.error("unterminated character class")
+            if char == "]" and not first:
+                self.take()
+                break
+            first = False
+            if char == "\\":
+                self.take()
+                char = self.take()
+                if char == "":
+                    raise self.error("dangling backslash in class")
+            else:
+                self.take()
+            if self.peek() == "-" and self._range_continues():
+                self.take()  # the '-'
+                hi = self.take()
+                if hi == "\\":
+                    hi = self.take()
+                if ord(hi) < ord(char):
+                    raise self.error("reversed range in character class")
+                for code in range(ord(char), ord(hi) + 1):
+                    chars.add(chr(code))
+            else:
+                chars.add(char)
+        return CharClass(frozenset(chars), negated)
+
+    def _range_continues(self) -> bool:
+        """Whether the '-' at the cursor introduces a range (vs a literal '-')."""
+        nxt = self.pos + 1
+        return nxt < len(self.pattern) and self.pattern[nxt] != "]"
+
+
+def parse_regex(pattern: str) -> RegexNode:
+    """Parse *pattern* into a :class:`RegexNode` AST.
+
+    Raises :class:`RegexParseError` for syntax outside the Cisco dialect.
+    """
+    parser = _Parser(pattern)
+    node = parser.parse_alternation()
+    if parser.pos != len(pattern):
+        raise parser.error("trailing characters after end of pattern")
+    return node

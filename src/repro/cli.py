@@ -1,0 +1,199 @@
+"""Command-line interface: ``repro-anonymize``.
+
+Anonymize one or more router configuration files (or a whole directory of
+them as one network) with shared mapping state, print a report, and
+optionally run the leak scanner over the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.attacks.textual import scan_for_leaks
+from repro.core import Anonymizer, AnonymizerConfig
+from repro.core.rules import rule_inventory
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize",
+        description="Structure-preserving anonymization of router configuration data "
+        "(Maltz et al., IMC 2004).",
+    )
+    parser.add_argument("paths", nargs="*", help="config files or directories")
+    parser.add_argument(
+        "--salt",
+        default=None,
+        help="owner secret (required to anonymize; keep it private!)",
+    )
+    parser.add_argument(
+        "--out-dir", default=None, help="directory for anonymized outputs"
+    )
+    parser.add_argument(
+        "--suffix", default=".anon", help="suffix for outputs next to inputs"
+    )
+    parser.add_argument(
+        "--hash-length", type=int, default=16, help="hex chars of SHA1 kept"
+    )
+    parser.add_argument(
+        "--regex-style",
+        choices=("alternation", "mindfa"),
+        default="alternation",
+        help="rewrite style for ASN regexps",
+    )
+    parser.add_argument(
+        "--no-subnet-shaping", action="store_true", help="disable subnet shaping"
+    )
+    parser.add_argument(
+        "--no-class-preserving", action="store_true", help="disable class preservation"
+    )
+    parser.add_argument(
+        "--keep-comments",
+        action="store_true",
+        help="do NOT strip comments (debugging only; comments leak identity)",
+    )
+    parser.add_argument(
+        "--state-file",
+        default=None,
+        help="mapping-state JSON: loaded if it exists, saved after the run "
+        "(keeps later uploads consistent; protect it like the salt)",
+    )
+    parser.add_argument(
+        "--scan-leaks",
+        action="store_true",
+        help="run the Section 6.1 leak scanner over the output",
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print the anonymization report"
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="FILE",
+        help="write the anonymization report (counters, rule hits, flags) "
+        "as JSON",
+    )
+    parser.add_argument(
+        "--export-model",
+        default=None,
+        metavar="FILE",
+        help="also write a vendor-neutral JSON model of the anonymized "
+        "network (the higher-level representation of the paper's "
+        "footnote 1)",
+    )
+    parser.add_argument(
+        "--inventory",
+        action="store_true",
+        help="print the 28-rule inventory and exit",
+    )
+    return parser
+
+
+def _collect_files(paths) -> dict:
+    configs = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.iterdir()):
+                if child.is_file():
+                    configs[str(child)] = child.read_text()
+        elif path.is_file():
+            configs[str(path)] = path.read_text()
+        else:
+            raise FileNotFoundError(raw)
+    return configs
+
+
+def main(argv=None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    if args.inventory:
+        print(rule_inventory())
+        return 0
+    if not args.paths:
+        parser.error("no input files given (or use --inventory)")
+    if args.salt is None:
+        parser.error("--salt is required when anonymizing")
+
+    config = AnonymizerConfig(
+        salt=args.salt.encode("utf-8"),
+        hash_length=args.hash_length,
+        regex_style=args.regex_style,
+        subnet_shaping=not args.no_subnet_shaping,
+        class_preserving=not args.no_class_preserving,
+        strip_comments=not args.keep_comments,
+    )
+    anonymizer = Anonymizer(config)
+    if args.state_file and Path(args.state_file).exists():
+        from repro.core.state import load_state
+
+        load_state(anonymizer, args.state_file)
+        print("loaded mapping state from {}".format(args.state_file))
+    configs = _collect_files(args.paths)
+    outputs = {}
+    for name, text in sorted(configs.items()):
+        outputs[name] = anonymizer.anonymize_text(text, source=name)
+
+    for name, text in outputs.items():
+        source = Path(name)
+        if args.out_dir:
+            out_path = Path(args.out_dir) / (source.name + args.suffix)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        else:
+            out_path = source.with_name(source.name + args.suffix)
+        out_path.write_text(text)
+        print("wrote {}".format(out_path))
+
+    if args.state_file:
+        from repro.core.state import save_state
+
+        save_state(anonymizer, args.state_file)
+        print("saved mapping state to {}".format(args.state_file))
+
+    if args.report:
+        print()
+        print(anonymizer.report.summary())
+
+    if args.report_json:
+        import json
+
+        Path(args.report_json).write_text(
+            json.dumps(anonymizer.report.to_dict(), indent=2, sort_keys=True)
+        )
+        print("wrote report to {}".format(args.report_json))
+
+    if args.export_model:
+        from repro.configmodel import ParsedNetwork
+        from repro.configmodel.export import network_to_json
+
+        model = network_to_json(ParsedNetwork.from_configs(outputs))
+        Path(args.export_model).write_text(model)
+        print("wrote model to {}".format(args.export_model))
+
+    if args.scan_leaks:
+        leaks = scan_for_leaks(
+            outputs,
+            seen_asns=anonymizer.report.seen_asns,
+            hashed_tokens=anonymizer.hasher.hashed_inputs.keys(),
+            public_ips=anonymizer.report.seen_public_ips,
+        )
+        print()
+        if leaks:
+            print("{} lines highlighted for human review:".format(len(leaks)))
+            for leak in leaks[:50]:
+                print(
+                    "  {}:{} [{}={}] {}".format(
+                        leak.source, leak.line_number, leak.kind, leak.value,
+                        leak.line_text.strip(),
+                    )
+                )
+        else:
+            print("leak scan: no highlighted lines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Config parsing and network modeling.
+
+Parses IOS-style config text (pre- or post-anonymization) into a structured
+router model, and assembles routers into a network model with derived
+subnets, adjacencies, and BGP sessions.  The validation suites (paper
+Section 5) run over these models for both sides of an anonymization and
+compare.
+"""
+
+from repro.configmodel.lexer import Stanza, lex_config
+from repro.configmodel.model import (
+    ParsedAclEntry,
+    ParsedAsPathAcl,
+    ParsedBgp,
+    ParsedBgpNeighbor,
+    ParsedCommunityList,
+    ParsedIgp,
+    ParsedInterface,
+    ParsedPrefixList,
+    ParsedRouteMapClause,
+    ParsedRouter,
+    ParsedStaticRoute,
+)
+from repro.configmodel.parser import parse_config
+from repro.configmodel.network import ParsedNetwork
+
+__all__ = [
+    "Stanza",
+    "lex_config",
+    "parse_config",
+    "ParsedNetwork",
+    "ParsedRouter",
+    "ParsedInterface",
+    "ParsedIgp",
+    "ParsedBgp",
+    "ParsedBgpNeighbor",
+    "ParsedRouteMapClause",
+    "ParsedAclEntry",
+    "ParsedAsPathAcl",
+    "ParsedCommunityList",
+    "ParsedPrefixList",
+    "ParsedStaticRoute",
+]

@@ -1,0 +1,129 @@
+"""Exporting parsed networks as a vendor-neutral data model (JSON).
+
+The paper's footnote 1: "Ultimately, we believe that researchers should
+not need to work at the level of the configs themselves, but with a
+higher-level representation that abstracts away the idiosyncrasies of
+particular configuration languages … We see our work as the first logical
+stepping stone to the creation of a high-level representation."
+
+This module takes the step: a :class:`ParsedNetwork` (from IOS, JunOS, or
+mixed configs — pre- or post-anonymization) serializes to one JSON
+document describing routers, interfaces, subnets, routing processes, BGP
+sessions, and policies in vendor-neutral terms.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.configmodel.model import ParsedRouter
+from repro.configmodel.network import ParsedNetwork
+from repro.netutil import int_to_ip
+
+EXPORT_FORMAT_VERSION = 1
+
+
+def router_to_dict(router: ParsedRouter) -> Dict:
+    """Vendor-neutral dictionary form of one router."""
+    return {
+        "hostname": router.hostname,
+        "interfaces": [
+            {
+                "name": interface.name,
+                "type": interface.base_type,
+                "address": int_to_ip(interface.address)
+                if interface.address is not None
+                else None,
+                "prefix_len": interface.prefix_len,
+                "shutdown": interface.shutdown,
+            }
+            for interface in router.interfaces.values()
+        ],
+        "routing_processes": [
+            {
+                "protocol": igp.protocol,
+                "process_id": igp.process_id,
+                "networks": [
+                    {
+                        "base": int_to_ip(base),
+                        "wildcard": int_to_ip(wildcard) if wildcard is not None else None,
+                        "area": area,
+                    }
+                    for base, wildcard, area in igp.networks
+                ],
+                "passive_interfaces": list(igp.passive_interfaces),
+                "redistribute": list(igp.redistribute),
+            }
+            for igp in router.igps
+        ],
+        "bgp": None
+        if router.bgp is None
+        else {
+            "asn": router.bgp.asn,
+            "router_id": int_to_ip(router.bgp.router_id)
+            if router.bgp.router_id is not None
+            else None,
+            "networks": [
+                {"base": int_to_ip(base), "prefix_len": length}
+                for base, length in router.bgp.networks
+            ],
+            "redistribute": list(router.bgp.redistribute),
+            "neighbors": [
+                {
+                    "address": neighbor.address,
+                    "remote_as": neighbor.remote_as,
+                    "import_policy": neighbor.route_map_in,
+                    "export_policy": neighbor.route_map_out,
+                    "authenticated": neighbor.has_password,
+                }
+                for neighbor in router.bgp.neighbors.values()
+            ],
+        },
+        "policies": [
+            {
+                "name": clause.name,
+                "action": clause.action,
+                "sequence": clause.sequence,
+                "matches": list(clause.matches),
+                "actions": list(clause.sets),
+            }
+            for clause in router.route_maps
+        ],
+        "static_routes": [
+            {
+                "prefix": "{}/{}".format(int_to_ip(route.prefix), route.prefix_len),
+                "target": route.target,
+            }
+            for route in router.static_routes
+        ],
+    }
+
+
+def network_to_dict(network: ParsedNetwork) -> Dict:
+    """Vendor-neutral dictionary form of a whole network, with derived
+    cross-router structure included."""
+    return {
+        "format_version": EXPORT_FORMAT_VERSION,
+        "routers": {
+            name: router_to_dict(router) for name, router in network.routers.items()
+        },
+        "derived": {
+            "subnets": [
+                {"base": int_to_ip(base), "prefix_len": length}
+                for base, length in sorted(network.subnets())
+            ],
+            "subnet_size_histogram": {
+                str(length): count
+                for length, count in sorted(network.subnet_size_histogram().items())
+            },
+            "adjacencies": [list(pair) for pair in sorted(network.adjacencies())],
+            "bgp_speakers": network.bgp_speakers(),
+            "ebgp_sessions_per_router": dict(network.ebgp_sessions_per_router()),
+        },
+    }
+
+
+def network_to_json(network: ParsedNetwork, indent: int = 2) -> str:
+    """JSON text form of :func:`network_to_dict`."""
+    return json.dumps(network_to_dict(network), indent=indent, sort_keys=True)

@@ -1,0 +1,63 @@
+"""Stanza lexer for IOS-style configuration text.
+
+IOS running-configs are line-oriented with indentation marking stanza
+membership: a line at column zero opens a stanza; subsequent indented
+lines belong to it.  Banners are the one multi-line construct that ignores
+this rule, so the lexer tracks their delimiters explicitly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List
+
+_BANNER_RE = re.compile(r"^banner\s+\S+\s+(\S)", re.IGNORECASE)
+
+
+@dataclass
+class Stanza:
+    """A top-level command plus its indented children."""
+
+    command: str
+    children: List[str] = field(default_factory=list)
+
+    def first_word(self) -> str:
+        parts = self.command.split()
+        return parts[0].lower() if parts else ""
+
+
+def lex_config(text: str) -> List[Stanza]:
+    """Split config text into stanzas, skipping separators and banners."""
+    stanzas: List[Stanza] = []
+    current: Stanza = None
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].rstrip()
+        index += 1
+        if not line or line.lstrip().startswith("!"):
+            current = None
+            continue
+
+        banner = _BANNER_RE.match(line)
+        if banner is not None:
+            # Swallow the banner body up to its closing delimiter.
+            delimiter = banner.group(1)
+            if delimiter == "^" and len(line) > banner.start(1) + 1:
+                delimiter = line[banner.start(1) : banner.start(1) + 2]
+            remainder = line[banner.end(1):]
+            if delimiter not in remainder:
+                while index < len(lines) and delimiter not in lines[index]:
+                    index += 1
+                index += 1  # the closing-delimiter line
+            current = None
+            continue
+
+        if line[0].isspace():
+            if current is not None:
+                current.children.append(line.strip())
+            continue
+        current = Stanza(command=line.strip())
+        stanzas.append(current)
+    return stanzas

@@ -1,0 +1,150 @@
+"""Parsed-config data model."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ParsedInterface:
+    name: str
+    address: Optional[int] = None
+    prefix_len: Optional[int] = None
+    description: Optional[str] = None
+    encapsulation: Optional[str] = None
+    bandwidth: Optional[int] = None
+    shutdown: bool = False
+    helper_addresses: List[int] = field(default_factory=list)
+    acl_groups: List[str] = field(default_factory=list)  # ip access-group refs
+    isis_enabled: bool = False  # `ip router isis` present
+
+    @property
+    def base_type(self) -> str:
+        """Interface hardware type: the leading alphabetic run of the name."""
+        match = re.match(r"[A-Za-z-]+", self.name)
+        return match.group(0).lower() if match else ""
+
+    @property
+    def is_subinterface(self) -> bool:
+        return "." in self.name
+
+
+@dataclass
+class ParsedBgpNeighbor:
+    address: str
+    remote_as: Optional[int] = None
+    route_map_in: Optional[str] = None
+    route_map_out: Optional[str] = None
+    update_source: Optional[str] = None
+    next_hop_self: bool = False
+    send_community: bool = False
+    has_password: bool = False
+    route_reflector_client: bool = False
+
+
+@dataclass
+class ParsedBgp:
+    asn: int
+    router_id: Optional[int] = None
+    networks: List[Tuple[int, Optional[int]]] = field(default_factory=list)
+    neighbors: Dict[str, ParsedBgpNeighbor] = field(default_factory=dict)
+    redistribute: List[str] = field(default_factory=list)
+    confederation_id: Optional[int] = None
+    confederation_peers: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ParsedIgp:
+    protocol: str
+    process_id: Optional[int] = None
+    networks: List[Tuple[int, Optional[int], Optional[str]]] = field(default_factory=list)
+    passive_interfaces: List[str] = field(default_factory=list)
+    redistribute: List[str] = field(default_factory=list)
+    isis_net: Optional[str] = None  # IS-IS NET (area.system-id.sel)
+
+
+@dataclass
+class ParsedRouteMapClause:
+    name: str
+    action: str
+    sequence: Optional[int] = None
+    matches: List[str] = field(default_factory=list)
+    sets: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ParsedAclEntry:
+    number: str
+    action: str
+    body: str
+
+
+@dataclass
+class ParsedAsPathAcl:
+    number: str
+    action: str
+    regex: str
+
+
+@dataclass
+class ParsedCommunityList:
+    number: str
+    action: str
+    body: str
+    expanded: bool = False
+
+
+@dataclass
+class ParsedPrefixList:
+    name: str
+    sequence: Optional[int]
+    action: str
+    prefix: int
+    prefix_len: int
+    le: Optional[int] = None
+    ge: Optional[int] = None
+
+
+@dataclass
+class ParsedStaticRoute:
+    prefix: int
+    prefix_len: int
+    target: str  # next-hop address or interface name
+
+
+@dataclass
+class ParsedRouter:
+    hostname: Optional[str] = None
+    version: Optional[str] = None
+    interfaces: Dict[str, ParsedInterface] = field(default_factory=dict)
+    igps: List[ParsedIgp] = field(default_factory=list)
+    bgp: Optional[ParsedBgp] = None
+    route_maps: List[ParsedRouteMapClause] = field(default_factory=list)
+    access_lists: List[ParsedAclEntry] = field(default_factory=list)
+    aspath_acls: List[ParsedAsPathAcl] = field(default_factory=list)
+    community_lists: List[ParsedCommunityList] = field(default_factory=list)
+    prefix_lists: List[ParsedPrefixList] = field(default_factory=list)
+    static_routes: List[ParsedStaticRoute] = field(default_factory=list)
+    usernames: List[str] = field(default_factory=list)
+    snmp_communities: List[str] = field(default_factory=list)
+    ntp_servers: List[int] = field(default_factory=list)
+    logging_hosts: List[int] = field(default_factory=list)
+    domain_name: Optional[str] = None
+    dhcp_pools: List[Tuple[str, int, int]] = field(default_factory=list)
+    unparsed: List[str] = field(default_factory=list)
+
+    @property
+    def is_bgp_speaker(self) -> bool:
+        return self.bgp is not None
+
+    def addressed_interfaces(self) -> List[ParsedInterface]:
+        return [i for i in self.interfaces.values() if i.address is not None]
+
+    def route_map_names(self) -> List[str]:
+        seen = []
+        for clause in self.route_maps:
+            if clause.name not in seen:
+                seen.append(clause.name)
+        return seen

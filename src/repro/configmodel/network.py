@@ -1,0 +1,137 @@
+"""Network-level model assembled from parsed routers.
+
+Derives the cross-router structure the validation suites and fingerprint
+attacks need: subnets, physical adjacencies (shared subnets), iBGP/eBGP
+session structure, and the subnet-size histogram.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.configmodel.model import ParsedRouter
+from repro.configmodel.parser import parse_config
+from repro.netutil import is_ipv4, ip_to_int, network_address
+
+
+@dataclass
+class BgpSessionView:
+    router: str
+    neighbor_address: str
+    remote_as: int
+    ebgp: bool
+
+
+class ParsedNetwork:
+    """All the routers of one network, parsed, plus derived structure."""
+
+    def __init__(self, routers: Dict[str, ParsedRouter]):
+        self.routers = routers
+
+    @classmethod
+    def from_configs(cls, configs: Dict[str, str]) -> "ParsedNetwork":
+        """Parse a set of configs, auto-detecting IOS vs JunOS per file."""
+        from repro.configmodel.junos_parser import looks_like_junos, parse_junos_config
+
+        routers = {}
+        for name, text in sorted(configs.items()):
+            if looks_like_junos(text):
+                routers[name] = parse_junos_config(text)
+            else:
+                routers[name] = parse_config(text)
+        return cls(routers)
+
+    # -- derived structure -------------------------------------------------
+
+    def subnets(self) -> Set[Tuple[int, int]]:
+        """Every (network_address, prefix_len) seen on an interface."""
+        found: Set[Tuple[int, int]] = set()
+        for router in self.routers.values():
+            for interface in router.addressed_interfaces():
+                if interface.prefix_len is None:
+                    continue
+                found.add(
+                    (network_address(interface.address, interface.prefix_len),
+                     interface.prefix_len)
+                )
+        return found
+
+    def subnet_size_histogram(self) -> Counter:
+        """prefix_len -> count of distinct subnets (paper Sections 5, 6.2)."""
+        histogram: Counter = Counter()
+        for _, prefix_len in self.subnets():
+            histogram[prefix_len] += 1
+        return histogram
+
+    def adjacencies(self) -> Set[Tuple[str, str]]:
+        """Router pairs sharing an interface subnet (physical topology)."""
+        by_subnet: Dict[Tuple[int, int], List[str]] = {}
+        for name, router in sorted(self.routers.items()):
+            for interface in router.addressed_interfaces():
+                if interface.prefix_len is None or interface.prefix_len >= 32:
+                    continue
+                key = (
+                    network_address(interface.address, interface.prefix_len),
+                    interface.prefix_len,
+                )
+                by_subnet.setdefault(key, []).append(name)
+        pairs: Set[Tuple[str, str]] = set()
+        for members in by_subnet.values():
+            unique = sorted(set(members))
+            for i, a in enumerate(unique):
+                for b in unique[i + 1 :]:
+                    pairs.add((a, b))
+        return pairs
+
+    def bgp_speakers(self) -> List[str]:
+        return sorted(n for n, r in self.routers.items() if r.is_bgp_speaker)
+
+    def local_asns(self) -> Set[int]:
+        return {r.bgp.asn for r in self.routers.values() if r.bgp is not None}
+
+    def bgp_sessions(self) -> List[BgpSessionView]:
+        """Every configured BGP session, classified iBGP/eBGP."""
+        sessions: List[BgpSessionView] = []
+        for name, router in sorted(self.routers.items()):
+            if router.bgp is None:
+                continue
+            for address, neighbor in sorted(router.bgp.neighbors.items()):
+                if neighbor.remote_as is None:
+                    continue
+                sessions.append(
+                    BgpSessionView(
+                        router=name,
+                        neighbor_address=address,
+                        remote_as=neighbor.remote_as,
+                        ebgp=neighbor.remote_as != router.bgp.asn,
+                    )
+                )
+        return sessions
+
+    def ebgp_sessions_per_router(self) -> Counter:
+        """router -> number of eBGP sessions (peering structure, §6.3)."""
+        counter: Counter = Counter()
+        for session in self.bgp_sessions():
+            if session.ebgp:
+                counter[session.router] += 1
+        return counter
+
+    def interface_type_histogram(self) -> Counter:
+        histogram: Counter = Counter()
+        for router in self.routers.values():
+            for interface in router.interfaces.values():
+                histogram[interface.base_type] += 1
+        return histogram
+
+    def loopback_addresses(self) -> Set[int]:
+        found: Set[int] = set()
+        for router in self.routers.values():
+            for interface in router.interfaces.values():
+                if interface.base_type == "loopback" and interface.address is not None:
+                    found.add(interface.address)
+        return found
+
+    def total_interfaces(self) -> int:
+        return sum(len(r.interfaces) for r in self.routers.values())

@@ -1,0 +1,334 @@
+"""Parser: IOS-style config text -> :class:`ParsedRouter`.
+
+Tolerant by design: unrecognized stanzas land in ``unparsed`` rather than
+raising, because the parser must handle both pre-anonymization configs
+(hostnames, real names) and post-anonymization configs (hash digests in
+the same grammatical positions) across every generator dialect.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.configmodel.lexer import Stanza, lex_config
+from repro.configmodel.model import (
+    ParsedAclEntry,
+    ParsedAsPathAcl,
+    ParsedBgp,
+    ParsedBgpNeighbor,
+    ParsedCommunityList,
+    ParsedIgp,
+    ParsedInterface,
+    ParsedPrefixList,
+    ParsedRouteMapClause,
+    ParsedRouter,
+    ParsedStaticRoute,
+)
+from repro.netutil import ip_to_int, is_ipv4, mask_to_len
+
+_ASPATH_RE = re.compile(
+    r"^ip as-path access-list (\S+) (permit|deny) (.+)$", re.IGNORECASE
+)
+_COMMLIST_RE = re.compile(
+    r"^ip community-list (?:(\d+)|standard (\S+)|expanded (\S+)) (permit|deny) (.+)$",
+    re.IGNORECASE,
+)
+_PREFIXLIST_RE = re.compile(
+    r"^ip prefix-list (\S+)(?: seq (\d+))? (permit|deny) (\S+?)/(\d+)"
+    r"(?: ge (\d+))?(?: le (\d+))?$",
+    re.IGNORECASE,
+)
+_ACL_RE = re.compile(r"^access-list (\d+) (permit|deny) (.+)$", re.IGNORECASE)
+_ROUTEMAP_RE = re.compile(r"^route-map (\S+)(?: (permit|deny))?(?: (\d+))?$", re.IGNORECASE)
+_STATIC_RE = re.compile(r"^ip route (\S+) (\S+) (\S+)", re.IGNORECASE)
+
+
+def parse_config(text: str) -> ParsedRouter:
+    """Parse one config file."""
+    router = ParsedRouter()
+    for stanza in lex_config(text):
+        _dispatch(router, stanza)
+    _resolve_isis_coverage(router)
+    return router
+
+
+def _resolve_isis_coverage(router: ParsedRouter) -> None:
+    """IS-IS is interface-activated: build its coverage tuples from the
+    interfaces carrying `ip router isis`."""
+    isis = [igp for igp in router.igps if igp.protocol == "isis"]
+    if not isis:
+        return
+    networks = []
+    for interface in router.interfaces.values():
+        if not getattr(interface, "isis_enabled", False):
+            continue
+        if interface.address is None or interface.prefix_len is None:
+            continue
+        wildcard = (
+            (0xFFFFFFFF >> interface.prefix_len) if interface.prefix_len else 0xFFFFFFFF
+        )
+        base = interface.address & ((~wildcard) & 0xFFFFFFFF)
+        networks.append((base, wildcard, None))
+    for igp in isis:
+        igp.networks.extend(networks)
+
+
+def _dispatch(router: ParsedRouter, stanza: Stanza) -> None:
+    command = stanza.command
+    word = stanza.first_word()
+    if word == "hostname":
+        router.hostname = command.split(None, 1)[1] if " " in command else None
+        return
+    if word == "version":
+        router.version = command.split(None, 1)[1] if " " in command else None
+        return
+    if word == "interface":
+        _parse_interface(router, stanza)
+        return
+    if word == "router":
+        _parse_router_stanza(router, stanza)
+        return
+    if word == "route-map":
+        _parse_route_map(router, stanza)
+        return
+    if word == "access-list":
+        match = _ACL_RE.match(command)
+        if match:
+            router.access_lists.append(
+                ParsedAclEntry(match.group(1), match.group(2).lower(), match.group(3))
+            )
+            return
+    if word == "ip":
+        if _parse_ip_stanza(router, stanza):
+            return
+    if word == "username":
+        parts = command.split()
+        if len(parts) >= 2:
+            router.usernames.append(parts[1])
+        return
+    if word == "snmp-server":
+        parts = command.split()
+        if len(parts) >= 3 and parts[1].lower() == "community":
+            router.snmp_communities.append(parts[2])
+        return
+    if word == "ntp":
+        parts = command.split()
+        if len(parts) >= 3 and parts[1].lower() == "server" and is_ipv4(parts[2]):
+            router.ntp_servers.append(ip_to_int(parts[2]))
+        return
+    if word == "logging":
+        parts = command.split()
+        if len(parts) == 2 and is_ipv4(parts[1]):
+            router.logging_hosts.append(ip_to_int(parts[1]))
+        return
+    router.unparsed.append(command)
+
+
+def _parse_interface(router: ParsedRouter, stanza: Stanza) -> None:
+    parts = stanza.command.split()
+    if len(parts) < 2:
+        return
+    interface = ParsedInterface(name=parts[1])
+    for child in stanza.children:
+        lowered = child.lower()
+        words = child.split()
+        if lowered.startswith("ip address") and len(words) >= 4:
+            if is_ipv4(words[2]) and is_ipv4(words[3]):
+                interface.address = ip_to_int(words[2])
+                interface.prefix_len = mask_to_len(ip_to_int(words[3]))
+        elif lowered.startswith("description"):
+            interface.description = child.split(None, 1)[1] if " " in child else ""
+        elif lowered.startswith("encapsulation") and len(words) >= 2:
+            interface.encapsulation = words[1].lower()
+        elif lowered.startswith("bandwidth") and len(words) >= 2 and words[1].isdigit():
+            interface.bandwidth = int(words[1])
+        elif lowered.startswith("ip helper-address") and len(words) >= 3:
+            if is_ipv4(words[2]):
+                interface.helper_addresses.append(ip_to_int(words[2]))
+        elif lowered.startswith("ip access-group") and len(words) >= 3:
+            interface.acl_groups.append(words[2])
+        elif lowered == "ip router isis":
+            interface.isis_enabled = True
+        elif lowered == "shutdown":
+            interface.shutdown = True
+    router.interfaces[interface.name] = interface
+
+
+def _parse_router_stanza(router: ParsedRouter, stanza: Stanza) -> None:
+    parts = stanza.command.split()
+    if len(parts) < 2:
+        return
+    protocol = parts[1].lower()
+    if protocol == "bgp":
+        _parse_bgp(router, stanza, parts)
+        return
+    igp = ParsedIgp(protocol=protocol)
+    if len(parts) >= 3 and parts[2].isdigit():
+        igp.process_id = int(parts[2])
+    for child in stanza.children:
+        if protocol == "isis" and child.lower().startswith("net "):
+            igp.isis_net = child.split()[1]
+            continue
+        words = child.split()
+        lowered = child.lower()
+        if lowered.startswith("network") and len(words) >= 2 and is_ipv4(words[1]):
+            base = ip_to_int(words[1])
+            wildcard = None
+            area = None
+            if len(words) >= 3 and is_ipv4(words[2]):
+                wildcard = ip_to_int(words[2])
+            if "area" in lowered:
+                area = words[words.index("area") + 1] if "area" in [w.lower() for w in words] else None
+                # robust lookup below
+                for i, token in enumerate(words):
+                    if token.lower() == "area" and i + 1 < len(words):
+                        area = words[i + 1]
+            igp.networks.append((base, wildcard, area))
+        elif lowered.startswith("passive-interface") and len(words) >= 2:
+            igp.passive_interfaces.append(words[1])
+        elif lowered.startswith("redistribute") and len(words) >= 2:
+            igp.redistribute.append(words[1].lower())
+    router.igps.append(igp)
+
+
+def _parse_bgp(router: ParsedRouter, stanza: Stanza, parts) -> None:
+    if len(parts) < 3 or not parts[2].isdigit():
+        return
+    bgp = ParsedBgp(asn=int(parts[2]))
+    for child in stanza.children:
+        words = child.split()
+        lowered = child.lower()
+        if lowered.startswith("neighbor") and len(words) >= 3:
+            peer = words[1]
+            neighbor = bgp.neighbors.setdefault(peer, ParsedBgpNeighbor(address=peer))
+            keyword = words[2].lower()
+            if keyword == "remote-as" and len(words) >= 4 and words[3].isdigit():
+                neighbor.remote_as = int(words[3])
+            elif keyword == "route-map" and len(words) >= 5:
+                if words[4].lower() == "in":
+                    neighbor.route_map_in = words[3]
+                else:
+                    neighbor.route_map_out = words[3]
+            elif keyword == "update-source" and len(words) >= 4:
+                neighbor.update_source = words[3]
+            elif keyword == "next-hop-self":
+                neighbor.next_hop_self = True
+            elif keyword == "send-community":
+                neighbor.send_community = True
+            elif keyword == "route-reflector-client":
+                neighbor.route_reflector_client = True
+            elif keyword == "password":
+                neighbor.has_password = True
+        elif lowered.startswith("network") and len(words) >= 2 and is_ipv4(words[1]):
+            mask = None
+            if len(words) >= 4 and words[2].lower() == "mask" and is_ipv4(words[3]):
+                mask = mask_to_len(ip_to_int(words[3]))
+            bgp.networks.append((ip_to_int(words[1]), mask))
+        elif lowered.startswith("redistribute") and len(words) >= 2:
+            bgp.redistribute.append(words[1].lower())
+        elif lowered.startswith("bgp router-id") and len(words) >= 3 and is_ipv4(words[2]):
+            bgp.router_id = ip_to_int(words[2])
+        elif lowered.startswith("bgp confederation identifier") and words[-1].isdigit():
+            bgp.confederation_id = int(words[-1])
+        elif lowered.startswith("bgp confederation peers"):
+            bgp.confederation_peers = [int(w) for w in words[3:] if w.isdigit()]
+    router.bgp = bgp
+
+
+def _parse_route_map(router: ParsedRouter, stanza: Stanza) -> None:
+    match = _ROUTEMAP_RE.match(stanza.command)
+    if not match:
+        return
+    clause = ParsedRouteMapClause(
+        name=match.group(1),
+        action=(match.group(2) or "permit").lower(),
+        sequence=int(match.group(3)) if match.group(3) else None,
+    )
+    for child in stanza.children:
+        if child.lower().startswith("match "):
+            clause.matches.append(child[6:].strip())
+        elif child.lower().startswith("set "):
+            clause.sets.append(child[4:].strip())
+    router.route_maps.append(clause)
+
+
+def _parse_ip_stanza(router: ParsedRouter, stanza: Stanza) -> bool:
+    command = stanza.command
+    match = _ASPATH_RE.match(command)
+    if match:
+        router.aspath_acls.append(
+            ParsedAsPathAcl(match.group(1), match.group(2).lower(), match.group(3))
+        )
+        return True
+    match = _COMMLIST_RE.match(command)
+    if match:
+        number, std_name, exp_name = match.group(1), match.group(2), match.group(3)
+        identifier = number or std_name or exp_name
+        expanded = exp_name is not None or (number is not None and int(number) >= 100)
+        router.community_lists.append(
+            ParsedCommunityList(identifier, match.group(4).lower(), match.group(5), expanded)
+        )
+        return True
+    match = _PREFIXLIST_RE.match(command)
+    if match and is_ipv4(match.group(4)):
+        router.prefix_lists.append(
+            ParsedPrefixList(
+                name=match.group(1),
+                sequence=int(match.group(2)) if match.group(2) else None,
+                action=match.group(3).lower(),
+                prefix=ip_to_int(match.group(4)),
+                prefix_len=int(match.group(5)),
+                ge=int(match.group(6)) if match.group(6) else None,
+                le=int(match.group(7)) if match.group(7) else None,
+            )
+        )
+        return True
+    match = _STATIC_RE.match(command)
+    if match and is_ipv4(match.group(1)) and is_ipv4(match.group(2)):
+        length = mask_to_len(ip_to_int(match.group(2)))
+        if length is not None:
+            router.static_routes.append(
+                ParsedStaticRoute(ip_to_int(match.group(1)), length, match.group(3))
+            )
+            return True
+    words = command.split()
+    if (
+        len(words) >= 4
+        and words[1].lower() == "access-list"
+        and words[2].lower() in ("extended", "standard")
+    ):
+        name = words[3]
+        for child in stanza.children:
+            child_words = child.split(None, 1)
+            if child_words and child_words[0].lower() in ("permit", "deny"):
+                router.access_lists.append(
+                    ParsedAclEntry(
+                        name,
+                        child_words[0].lower(),
+                        child_words[1] if len(child_words) > 1 else "",
+                    )
+                )
+        return True
+    if len(words) >= 3 and words[1].lower() in ("domain-name",):
+        router.domain_name = words[2]
+        return True
+    if len(words) >= 2 and words[1].lower() == "domain-name":
+        router.domain_name = words[2] if len(words) > 2 else None
+        return True
+    if len(words) >= 4 and words[1].lower() == "dhcp" and words[2].lower() == "pool":
+        pool_name = words[3]
+        for child in stanza.children:
+            child_words = child.split()
+            if (
+                child.lower().startswith("network")
+                and len(child_words) >= 3
+                and is_ipv4(child_words[1])
+                and is_ipv4(child_words[2])
+            ):
+                length = mask_to_len(ip_to_int(child_words[2]))
+                router.dhcp_pools.append(
+                    (pool_name, ip_to_int(child_words[1]), length or 0)
+                )
+        return True
+    return False

@@ -1,0 +1,300 @@
+"""The 12 ASN-locating rules — R10 through R21 (paper Section 4.4).
+
+"The first [challenge] is to correctly identify every appearance of an ASN
+in the configuration file … A list of 12 rules is used to locate all the
+ASNs and ASN regular expressions in the configuration files — this is the
+most fragile part of our method since ASNs are syntactically
+indistinguishable from simple integers."
+
+Each rule establishes enough grammatical context to be confident a number
+is an ASN (or a community containing one) and rewrites exactly that span,
+freezing the replacement so no later pass touches it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Match, Optional, Sequence, Tuple
+
+from repro.core.context import RuleContext
+from repro.core.regexlang import rewrite_aspath_regex, rewrite_community_regex
+from repro.core.rulebase import Rule
+
+Piece = Tuple[str, bool]
+
+_COMMUNITY_TOKEN = re.compile(r"^\d{1,5}:\d{1,5}$")
+_WELL_KNOWN = {"internet", "local-as", "no-advertise", "no-export", "additive", "gshut", "none"}
+
+
+def _map_number_group(ctx: RuleContext, match: Match, group: int) -> Sequence[Piece]:
+    """Replace one numeric group with its mapped ASN, freezing it."""
+    pieces: List[Piece] = []
+    start = match.start()
+    text = match.group(0)
+    g_start, g_end = match.start(group) - start, match.end(group) - start
+    pieces.append((text[:g_start], False))
+    pieces.append((ctx.map_asn_text(match.group(group)), True))
+    pieces.append((text[g_end:], False))
+    return pieces
+
+
+def _map_number_list(ctx: RuleContext, prefix: str, numbers_text: str) -> Sequence[Piece]:
+    """Map every decimal token in *numbers_text* (e.g. a prepend list)."""
+    pieces: List[Piece] = [(prefix, False)]
+    for part in re.split(r"(\s+)", numbers_text):
+        if part.isdigit():
+            pieces.append((ctx.map_asn_text(part), True))
+        else:
+            pieces.append((part, False))
+    return pieces
+
+
+def _map_community_tokens(ctx: RuleContext, prefix: str, rest: str) -> Sequence[Piece]:
+    """Map community-valued tokens, leaving unknown words live (hashable)."""
+    pieces: List[Piece] = [(prefix, False)]
+    for part in re.split(r"(\s+)", rest):
+        if not part or part.isspace():
+            pieces.append((part, False))
+        elif _COMMUNITY_TOKEN.match(part) or part.isdigit():
+            pieces.append((ctx.map_community_text(part), True))
+        elif part.lower() in _WELL_KNOWN:
+            pieces.append((part, True))
+        else:
+            pieces.append((part, False))
+    return pieces
+
+
+def _rewrite_aspath(ctx: RuleContext, rule_id: str, pattern_text: str) -> str:
+    outcome = rewrite_aspath_regex(
+        pattern_text,
+        ctx.asn_map.map_asn,
+        style=ctx.config.regex_style,
+        max_language=ctx.config.max_regex_language,
+    )
+    ctx.report.seen_asns.update(outcome.asns_seen)
+    if outcome.changed:
+        ctx.report.regexps_rewritten += 1
+    for warning in outcome.warnings:
+        ctx.flag(rule_id, warning)
+    return outcome.rewritten
+
+
+def _rewrite_community(ctx: RuleContext, rule_id: str, pattern_text: str) -> str:
+    outcome = rewrite_community_regex(
+        pattern_text,
+        ctx.asn_map.map_asn,
+        ctx.community.map_value,
+        style=ctx.config.regex_style,
+        max_language=ctx.config.max_regex_language,
+    )
+    ctx.report.seen_asns.update(outcome.asns_seen)
+    if outcome.changed:
+        ctx.report.regexps_rewritten += 1
+    for warning in outcome.warnings:
+        ctx.flag(rule_id, warning)
+    return outcome.rewritten
+
+
+def build_asn_rules() -> List[Rule]:
+    """Construct R10–R21 in application order."""
+    rules: List[Rule] = []
+
+    def simple(rule_id, name, description, pattern, group=1):
+        compiled = re.compile(pattern, re.IGNORECASE)
+
+        def apply(line, ctx):
+            return line.apply_rule(compiled, lambda m: _map_number_group(ctx, m, group))
+
+        rules.append(Rule(rule_id, name, "asn", description, apply))
+
+    simple(
+        "R10",
+        "router-bgp-asn",
+        "The local AS in `router bgp <asn>` (Figure 1 line 16).",
+        r"^(\s*router bgp )(\d+)\s*$",
+        group=2,
+    )
+    simple(
+        "R11",
+        "neighbor-remote-as",
+        "The peer AS in `neighbor <peer> remote-as <asn>` (Figure 1 line 18).",
+        r"\bremote-as (\d+)",
+    )
+    simple(
+        "R12",
+        "neighbor-local-as",
+        "The AS in `neighbor <peer> local-as <asn>`.",
+        r"\blocal-as (\d+)",
+    )
+
+    prepend_re = re.compile(r"(\bset as-path prepend )((?:\d+ ?)+)", re.IGNORECASE)
+
+    def apply_prepend(line, ctx):
+        return line.apply_rule(
+            prepend_re, lambda m: _map_number_list(ctx, m.group(1), m.group(2))
+        )
+
+    rules.append(
+        Rule(
+            "R13",
+            "as-path-prepend",
+            "asn",
+            "Every AS in `set as-path prepend <asn>...`.",
+            apply_prepend,
+        )
+    )
+
+    aspath_acl_re = re.compile(
+        r"^(\s*ip as-path access-list \d+ (?:permit|deny) )(\S.*?)\s*$", re.IGNORECASE
+    )
+
+    def apply_aspath_acl(line, ctx):
+        def handler(match):
+            rewritten = _rewrite_aspath(ctx, "R14", match.group(2))
+            return [(match.group(1), False), (rewritten, True)]
+
+        return line.apply_rule(aspath_acl_re, handler)
+
+    rules.append(
+        Rule(
+            "R14",
+            "as-path-access-list-regexp",
+            "asn",
+            "The regexp body of `ip as-path access-list N permit <regexp>` "
+            "(Figure 1 line 32); rewritten via language permutation.",
+            apply_aspath_acl,
+        )
+    )
+
+    # Community lists: numbered 1-99 are standard (value tokens), numbered
+    # 100-500 and `expanded` are regexps; named `standard` lists take values.
+    comm_list_re = re.compile(
+        r"^(\s*ip community-list )"
+        r"(?:(\d+)|standard (\S+)|expanded (\S+))"
+        r"( (?:permit|deny) )(\S.*?)\s*$",
+        re.IGNORECASE,
+    )
+
+    def apply_comm_list(line, ctx):
+        def handler(match):
+            number, std_name, exp_name = match.group(2), match.group(3), match.group(4)
+            body = match.group(6)
+            is_expanded = exp_name is not None or (
+                number is not None and int(number) >= 100
+            )
+            if number is not None:
+                head = [(match.group(1) + number, False)]
+            elif std_name is not None:
+                head = [(match.group(1) + "standard ", False), (std_name, False)]
+            else:
+                head = [(match.group(1) + "expanded ", False), (exp_name, False)]
+            middle = [(match.group(5), False)]
+            if is_expanded:
+                rewritten = _rewrite_community(ctx, "R15", body)
+                return head + middle + [(rewritten, True)]
+            return head + middle + list(_map_community_tokens(ctx, "", body))
+
+        return line.apply_rule(comm_list_re, handler)
+
+    rules.append(
+        Rule(
+            "R15",
+            "community-list",
+            "asn",
+            "`ip community-list` bodies: value tokens for standard lists, "
+            "regexp rewriting for expanded lists (Figure 1 line 31).",
+            apply_comm_list,
+        )
+    )
+
+    set_comm_re = re.compile(r"(\bset community )(\S.*?)\s*$", re.IGNORECASE)
+
+    def apply_set_comm(line, ctx):
+        return line.apply_rule(
+            set_comm_re, lambda m: _map_community_tokens(ctx, m.group(1), m.group(2))
+        )
+
+    rules.append(
+        Rule(
+            "R16",
+            "set-community",
+            "asn",
+            "Community values in `set community <a:b>... [additive]` "
+            "(Figure 1 line 28).",
+            apply_set_comm,
+        )
+    )
+
+    ext_comm_re = re.compile(
+        r"(\bset extcommunity (?:rt|soo) )(\S.*?)\s*$", re.IGNORECASE
+    )
+
+    def apply_ext_comm(line, ctx):
+        return line.apply_rule(
+            ext_comm_re, lambda m: _map_community_tokens(ctx, m.group(1), m.group(2))
+        )
+
+    rules.append(
+        Rule(
+            "R17",
+            "set-extcommunity",
+            "asn",
+            "Extended communities in `set extcommunity rt|soo <a:b>`.",
+            apply_ext_comm,
+        )
+    )
+
+    rt_re = re.compile(
+        r"(\b(?:route-target (?:import|export|both)|rd) )(\d+):(\d+)", re.IGNORECASE
+    )
+
+    def apply_rt(line, ctx):
+        def handler(match):
+            mapped = ctx.map_community_text(match.group(2) + ":" + match.group(3))
+            return [(match.group(1), False), (mapped, True)]
+
+        return line.apply_rule(rt_re, handler)
+
+    rules.append(
+        Rule(
+            "R18",
+            "route-target-rd",
+            "asn",
+            "ASN:value pairs in VRF `route-target` and `rd` statements "
+            "(IP-form RDs are left for the IP rules).",
+            apply_rt,
+        )
+    )
+
+    simple(
+        "R19",
+        "confederation-identifier",
+        "The AS in `bgp confederation identifier <asn>`.",
+        r"\bbgp confederation identifier (\d+)",
+    )
+
+    confed_peers_re = re.compile(r"(\bbgp confederation peers )((?:\d+ ?)+)", re.IGNORECASE)
+
+    def apply_confed_peers(line, ctx):
+        return line.apply_rule(
+            confed_peers_re, lambda m: _map_number_list(ctx, m.group(1), m.group(2))
+        )
+
+    rules.append(
+        Rule(
+            "R20",
+            "confederation-peers",
+            "asn",
+            "Every AS in `bgp confederation peers <asn>...`.",
+            apply_confed_peers,
+        )
+    )
+
+    simple(
+        "R21",
+        "set-origin-egp",
+        "The AS in the archaic `set origin egp <asn>` route-map action.",
+        r"\bset origin egp (\d+)",
+    )
+
+    return rules

@@ -1,0 +1,168 @@
+"""Comment and banner stripping — rules R3, R4, R5 (paper Section 4.2).
+
+"Although all unsafe words in comments would be hashed by our basic method,
+the arrangement of pass-list words in comments can still leak information
+… Since there is no means short of human inspection to reliably find these
+leaks, we use three rules to strip out all comments, including multi-line
+comments like the banner."
+
+* **R3** — ``banner <kind> <delim> … <delim>`` multi-line blocks are removed
+  entirely (motd/login/exec/incoming, arbitrary delimiter, same-line or
+  multi-line body).
+* **R4** — free-text lines: ``description …`` on interfaces and
+  ``remark …`` in access lists are removed.
+* **R5** — ``!`` comment lines keep their bare ``!`` separator (the ``!``
+  structure delimits config sections) but lose any trailing text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List
+
+_BANNER_RE = re.compile(
+    r"^\s*banner\s+(motd|login|exec|incoming|slip-ppp|prompt-timeout)\s+(.*)$",
+    re.IGNORECASE,
+)
+_DESCRIPTION_RE = re.compile(
+    r"^\s*(?:access-list \d+\s+)?(description|remark)\s+(.*)$", re.IGNORECASE
+)
+_BANG_RE = re.compile(r"^(\s*!)\s*(.*)$")
+
+
+@dataclass
+class CommentStats:
+    total_words: int = 0
+    comment_words: int = 0
+    comment_lines: int = 0
+    banners: int = 0
+    flagged: List[str] = field(default_factory=list)
+
+
+_JUNOS_BLOCK_COMMENT_OPEN = re.compile(r"^\s*/\*")
+_JUNOS_HASH_COMMENT = re.compile(r"^\s*#")
+_JUNOS_ANNOTATION = re.compile(r"\s*##.*$")
+
+
+class CommentStripper:
+    """Strips all comment content from a config's line stream.
+
+    ``junos=True`` switches to JunOS comment forms: ``/* ... */`` blocks,
+    ``#`` comment lines, trailing ``## ...`` annotations, and no banner
+    handling (JunOS login messages are quoted statements handled by rule
+    J5a instead).
+    """
+
+    def __init__(self, junos: bool = False):
+        self.junos = junos
+
+    def strip(self, lines: List[str]) -> "tuple[List[str], CommentStats]":
+        if self.junos:
+            return self._strip_junos(lines)
+        return self._strip_ios(lines)
+
+    def _strip_junos(self, lines: List[str]) -> "tuple[List[str], CommentStats]":
+        stats = CommentStats()
+        out: List[str] = []
+        in_block = False
+        for line in lines:
+            stats.total_words += len(line.split())
+            if in_block:
+                stats.comment_words += len(line.split())
+                stats.comment_lines += 1
+                if "*/" in line:
+                    in_block = False
+                continue
+            if _JUNOS_BLOCK_COMMENT_OPEN.match(line):
+                stats.comment_words += len(line.split())
+                stats.comment_lines += 1
+                if "*/" not in line:
+                    in_block = True
+                continue
+            if _JUNOS_HASH_COMMENT.match(line):
+                stats.comment_words += len(line.split())
+                stats.comment_lines += 1
+                continue
+            description = _DESCRIPTION_RE.match(line)
+            if description is not None:
+                stats.comment_words += len(description.group(2).split())
+                stats.comment_lines += 1
+                continue
+            stripped = _JUNOS_ANNOTATION.sub("", line)
+            if stripped != line:
+                stats.comment_words += len(line.split()) - len(stripped.split())
+                stats.comment_lines += 1
+            out.append(stripped)
+        if in_block:
+            stats.flagged.append("unterminated /* comment block")
+        return out, stats
+
+    def _strip_ios(self, lines: List[str]) -> "tuple[List[str], CommentStats]":
+        """Return (surviving lines, stats).
+
+        Counts every whitespace-delimited word of the input toward
+        ``total_words`` so the comment-fraction statistic of Section 4.2
+        (avg 1.5 %, P90 6 %) can be reproduced.
+        """
+        stats = CommentStats()
+        out: List[str] = []
+        index = 0
+        while index < len(lines):
+            line = lines[index]
+            stats.total_words += len(line.split())
+
+            banner = _BANNER_RE.match(line)
+            if banner is not None:
+                index = self._consume_banner(lines, index, banner, stats)
+                continue
+
+            description = _DESCRIPTION_RE.match(line)
+            if description is not None:
+                stats.comment_words += len(description.group(2).split())
+                stats.comment_lines += 1
+                index += 1
+                continue
+
+            bang = _BANG_RE.match(line)
+            if bang is not None:
+                trailing = bang.group(2)
+                if trailing:
+                    stats.comment_words += len(trailing.split())
+                    stats.comment_lines += 1
+                out.append(bang.group(1))
+                index += 1
+                continue
+
+            out.append(line)
+            index += 1
+        return out, stats
+
+    def _consume_banner(self, lines, index, match, stats) -> int:
+        """Remove a banner block; returns the index of the next line."""
+        rest = match.group(2)
+        stats.banners += 1
+        stats.comment_lines += 1
+        if not rest:
+            # Malformed banner with no delimiter: drop just this line.
+            stats.flagged.append(lines[index])
+            return index + 1
+        # The delimiter is the first token after the banner kind.  IOS
+        # treats "^C" as the caret-C escape for ETX; accept either the
+        # two-character sequence or any single character.
+        delimiter = "^C" if rest.startswith("^C") else rest[0]
+        body = rest[len(delimiter):]
+        stats.comment_words += len(body.replace(delimiter, " ").split())
+        if delimiter in body:
+            return index + 1  # single-line banner
+        index += 1
+        while index < len(lines):
+            words = len(lines[index].replace(delimiter, " ").split())
+            stats.total_words += words
+            stats.comment_words += words
+            stats.comment_lines += 1
+            if delimiter in lines[index]:
+                return index + 1
+            index += 1
+        stats.flagged.append("unterminated banner block")
+        return index

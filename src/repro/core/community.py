@@ -1,0 +1,70 @@
+"""BGP community attribute anonymization (paper Section 4.5).
+
+A community attribute ``701:1234`` is two 16-bit integers: the left half is
+an ASN (anonymized with the ASN permutation of Section 4.4) and the right
+half an arbitrary value.  The paper is conservative: "we must assume that
+even the integer part of the attributes … are publicly known and
+sufficiently distinctive to identify the network owner", so the value half
+goes through its own keyed 16-bit permutation — a deliberate loss of
+information in favor of anonymity.
+
+Well-known community keywords (``no-export``, ``no-advertise``,
+``local-AS``, ``internet``) have standardized meanings and pass through.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.asn import AsnPermutation, Feistel16
+from repro.core.secrets import derive_key, normalize_salt
+
+WELL_KNOWN_COMMUNITIES = frozenset(
+    {"internet", "local-as", "no-advertise", "no-export", "gshut"}
+)
+
+
+class CommunityAnonymizer:
+    """Anonymize ``ASN:value`` community attributes consistently."""
+
+    def __init__(self, salt: Union[bytes, str] = b"", asn_map: AsnPermutation = None):
+        salt = normalize_salt(salt)
+        self.asn_map = asn_map if asn_map is not None else AsnPermutation(salt)
+        self._value_feistel = Feistel16(derive_key(salt, "community-value-permutation"))
+
+    def map_value(self, value: int) -> int:
+        """Anonymize the 16-bit value half of a community."""
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError("not a 16-bit community value: {!r}".format(value))
+        return self._value_feistel.encrypt(value)
+
+    def unmap_value(self, value: int) -> int:
+        """Invert :meth:`map_value` (tests/validation only)."""
+        return self._value_feistel.decrypt(value)
+
+    def map_community(self, text: str) -> str:
+        """Anonymize one community token.
+
+        Accepts ``ASN:value`` notation, a well-known keyword, or a bare
+        32-bit decimal community (old-style notation); anything else is
+        returned unchanged (it is not a community).
+        """
+        lowered = text.lower()
+        if lowered in WELL_KNOWN_COMMUNITIES:
+            return text
+        if ":" in text:
+            left_text, _, right_text = text.partition(":")
+            if not (left_text.isdigit() and right_text.isdigit()):
+                return text
+            left, right = int(left_text), int(right_text)
+            if left > 0xFFFF or right > 0xFFFF:
+                return text
+            return "{}:{}".format(self.asn_map.map_asn(left), self.map_value(right))
+        if text.isdigit():
+            raw = int(text)
+            if raw > 0xFFFFFFFF:
+                return text
+            left, right = raw >> 16, raw & 0xFFFF
+            mapped = (self.asn_map.map_asn(left) << 16) | self.map_value(right)
+            return str(mapped)
+        return text

@@ -1,0 +1,79 @@
+"""Anonymizer policy configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.passlist import DEFAULT_PASSLIST, PassList
+
+
+@dataclass
+class AnonymizerConfig:
+    """All policy knobs of the anonymizer, with paper-faithful defaults.
+
+    Attributes
+    ----------
+    salt:
+        The owner secret that salts every hash and keys every permutation
+        (Section 6.1).  Choose a fresh, strong secret per network owner.
+    hash_length:
+        Hex characters of SHA1 digest kept for hashed tokens.
+    passlist:
+        The pass-list of unprivileged tokens (Section 4.1).  Defaults to
+        the library's curated IOS command-reference vocabulary; extend it
+        with :meth:`repro.core.passlist.PassList.from_text` over additional
+        documentation corpora.
+    class_preserving / subnet_shaping / preserve_specials:
+        The three IP-mapping extensions of Section 4.3.
+    regex_style:
+        ``"alternation"`` (the paper's rewrite) or ``"mindfa"`` (the
+        minimum-DFA compression the paper notes as possible future work).
+    max_regex_language:
+        Branch languages larger than this are judged ASN-uninformative or
+        unsafe and handled per the policy in :mod:`repro.core.regexlang`.
+    strip_comments:
+        Remove descriptions, remarks, ! comments, and banners (Section 4.2).
+        Disable only for debugging — comments are a known identity leak.
+    anonymize_private_asns:
+        The paper leaves private ASNs alone (they are not globally unique);
+        set True for an even more conservative policy.
+    """
+
+    salt: Union[bytes, str] = b""
+    hash_length: int = 16
+    passlist: Optional[PassList] = None
+    class_preserving: bool = True
+    subnet_shaping: bool = True
+    preserve_specials: bool = True
+    #: "allow" (default): mapped outputs may equal special *values*, which
+    #: keeps prefix relations exact everywhere; "walk": the paper's
+    #: recursive remap (sacrifices walked addresses' prefix relations).
+    ip_collision_policy: str = "allow"
+    regex_style: str = "alternation"
+    max_regex_language: int = 2048
+    strip_comments: bool = True
+    anonymize_private_asns: bool = False
+    #: Rule ids to disable (used by the iterative-closure experiment of
+    #: Section 6.1 to start from a deliberately incomplete rule set).
+    disabled_rules: frozenset = frozenset()
+    #: Config language: "ios", "junos", or "auto" (sniff per file).  The
+    #: paper implements IOS and notes direct applicability to JunOS; the
+    #: JunOS rule extensions (J1-J9) realize that claim.
+    syntax: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.passlist is None:
+            self.passlist = DEFAULT_PASSLIST
+        if self.syntax not in ("ios", "junos", "auto"):
+            raise ValueError(
+                "syntax must be 'ios', 'junos', or 'auto', not {!r}".format(self.syntax)
+            )
+        if self.regex_style not in ("alternation", "mindfa"):
+            raise ValueError(
+                "regex_style must be 'alternation' or 'mindfa', not {!r}".format(
+                    self.regex_style
+                )
+            )
+        if isinstance(self.salt, str):
+            self.salt = self.salt.encode("utf-8")

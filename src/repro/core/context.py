@@ -1,0 +1,69 @@
+"""Shared mutable state passed to every anonymization rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.asn import AsnPermutation, is_public_asn
+from repro.core.community import CommunityAnonymizer
+from repro.core.config import AnonymizerConfig
+from repro.core.ipanon import PrefixPreservingMap
+from repro.core.report import AnonymizationReport
+from repro.core.strings import StringHasher
+from repro.core.tokens import TokenAnonymizer
+from repro.netutil import ip_to_int, is_private_rfc1918
+
+
+@dataclass
+class RuleContext:
+    """Everything a rule needs: the maps, the policy, and the report."""
+
+    config: AnonymizerConfig
+    ip_map: PrefixPreservingMap
+    asn_map: AsnPermutation
+    community: CommunityAnonymizer
+    hasher: StringHasher
+    token_anon: TokenAnonymizer
+    report: AnonymizationReport
+    source: str = "<config>"
+    line_number: int = 0
+
+    # -- helpers used by several rule modules ---------------------------
+
+    def map_asn_text(self, text: str) -> str:
+        """Map a decimal ASN string, recording it for the leak scanner."""
+        asn = int(text)
+        if asn > 0xFFFF:
+            self.flag("R?", "value {} exceeds the 16-bit ASN space".format(text))
+            return text
+        if is_public_asn(asn):
+            self.report.seen_asns.add(asn)
+        self.report.asns_mapped += 1
+        return str(self.asn_map.map_asn(asn))
+
+    def map_ip_text(self, text: str) -> str:
+        """Map a dotted-quad string, recording public inputs."""
+        value = ip_to_int(text)
+        if value in self.ip_map.specials:
+            self.report.special_ips_preserved += 1
+        else:
+            if not is_private_rfc1918(value):
+                self.report.seen_public_ips.add(value)
+            self.report.ips_mapped += 1
+        return self.ip_map.map_address(text)
+
+    def map_community_text(self, text: str) -> str:
+        mapped = self.community.map_community(text)
+        if mapped != text:
+            self.report.communities_mapped += 1
+            left, _, _ = text.partition(":")
+            if left.isdigit() and is_public_asn(int(left)):
+                self.report.seen_asns.add(int(left))
+        return mapped
+
+    def hash_secret(self, text: str) -> str:
+        self.report.secrets_hashed += 1
+        return self.hasher.hash_token(text)
+
+    def flag(self, rule_id: str, message: str) -> None:
+        self.report.flag(self.source, self.line_number, rule_id, message)

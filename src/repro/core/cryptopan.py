@@ -1,0 +1,86 @@
+"""Cryptography-based prefix-preserving anonymization (Xu et al. style).
+
+The paper (Section 4.3) contrasts two prefix-preserving schemes: Xu's
+cryptographic construction, whose flip bits are a keyed pseudorandom
+function of the address prefix (so "very little state must be shared to
+consistently map addresses, making it amenable to parallelization"), and
+Minshall's data-structure scheme, which the paper adopts because a stored
+trie can be *shaped* to honor class preservation and subnet-address
+preservation.
+
+This module implements the Xu-style scheme as the comparison point: the
+flip bit at depth *i* is ``HMAC(key, first-i-bits) & 1``.  It is stateless
+(two processes with the key produce identical mappings with no
+coordination) and supports class preservation (a static constraint) but
+*not* subnet-address shaping (which requires insertion-order state) — the
+trade-off benchmarked in experiment E13.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional, Union
+
+from repro.core.ipanon import SpecialAddresses
+from repro.core.secrets import derive_key, normalize_salt
+from repro.netutil import IPV4_MAX, int_to_ip, ip_to_int
+
+
+class CryptoPanMap:
+    """Stateless keyed prefix-preserving IPv4 map."""
+
+    _CLASS_NODES = frozenset((depth, (1 << depth) - 1) for depth in range(4))
+
+    def __init__(
+        self,
+        salt: Union[bytes, str] = b"",
+        class_preserving: bool = True,
+        preserve_specials: bool = True,
+        specials: Optional[SpecialAddresses] = None,
+        collision_policy: str = "allow",
+    ) -> None:
+        self.collision_policy = collision_policy
+        self.key = derive_key(normalize_salt(salt), "cryptopan-flip-prf")
+        self.class_preserving = class_preserving
+        self.preserve_specials = preserve_specials
+        self.specials = specials if specials is not None else SpecialAddresses()
+        self.collision_walks = 0
+        self._flip_cache = {}
+
+    def _flip(self, depth: int, prefix: int) -> int:
+        if self.class_preserving and (depth, prefix) in self._CLASS_NODES:
+            return 0
+        key = (depth, prefix)
+        cached = self._flip_cache.get(key)
+        if cached is None:
+            material = depth.to_bytes(1, "big") + prefix.to_bytes(4, "big")
+            digest = hmac.new(self.key, material, hashlib.sha256).digest()
+            cached = digest[0] & 1
+            self._flip_cache[key] = cached
+        return cached
+
+    def raw_map(self, value: int) -> int:
+        if not 0 <= value <= IPV4_MAX:
+            raise ValueError("not a 32-bit address: {!r}".format(value))
+        output = 0
+        for depth in range(32):
+            prefix = value >> (32 - depth)
+            bit = (value >> (31 - depth)) & 1
+            output = (output << 1) | (bit ^ self._flip(depth, prefix))
+        return output
+
+    def map_int(self, value: int) -> int:
+        if self.preserve_specials and value in self.specials:
+            return value
+        mapped = self.raw_map(value)
+        if self.preserve_specials and mapped in self.specials:
+            if self.collision_policy == "allow":
+                return mapped
+            while mapped in self.specials:
+                self.collision_walks += 1
+                mapped = self.raw_map(mapped)
+        return mapped
+
+    def map_address(self, text: str) -> str:
+        return int_to_ip(self.map_int(ip_to_int(text)))

@@ -1,0 +1,212 @@
+"""The anonymization engine: ties the rule pipeline together.
+
+Per config file::
+
+    text -> lines -> [comment stripper R3-R5]
+         -> per line: [secret rules R26-R28] -> [ASN rules R10-R21]
+                      -> [IP rules R22-R25] -> [misc rules R6-R9]
+                      -> [token pass R1-R2]
+         -> text
+
+One :class:`Anonymizer` instance holds the mapping state shared by all the
+files of one network, which is what preserves cross-file relationships
+(the same loopback address, route-map name, or peer ASN anonymizes
+identically everywhere it appears in the network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.asn import AsnPermutation
+from repro.core.comments import CommentStripper
+from repro.core.community import CommunityAnonymizer
+from repro.core.config import AnonymizerConfig
+from repro.core.context import RuleContext
+from repro.core.ipanon import PrefixPreservingMap
+from repro.core.line import SegmentedLine
+from repro.core.report import AnonymizationReport
+from repro.core.junos_rules import build_junos_rules
+from repro.core.rulebase import Rule
+from repro.core.rules import build_line_rules
+from repro.configmodel.junos_parser import looks_like_junos
+from repro.core.strings import StringHasher
+from repro.core.tokens import TokenAnonymizer
+from repro.netutil import ip_to_int
+
+
+@dataclass
+class AnonymizedNetwork:
+    """Result of anonymizing all the configs of one network."""
+
+    configs: Dict[str, str]
+    report: AnonymizationReport
+    name_map: Dict[str, str] = field(default_factory=dict)
+
+
+class Anonymizer:
+    """Structure-preserving config anonymizer (the paper's contribution)."""
+
+    def __init__(self, config: Optional[AnonymizerConfig] = None, **kwargs):
+        if config is None:
+            config = AnonymizerConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a config object or keyword options, not both")
+        self.config = config
+        salt = config.salt
+
+        self.ip_map = PrefixPreservingMap(
+            salt,
+            class_preserving=config.class_preserving,
+            subnet_shaping=config.subnet_shaping,
+            preserve_specials=config.preserve_specials,
+            collision_policy=config.ip_collision_policy,
+        )
+        self.asn_map = AsnPermutation(salt)
+        self.community = CommunityAnonymizer(salt, asn_map=self.asn_map)
+        self.hasher = StringHasher(salt, length=config.hash_length)
+        self.token_anon = TokenAnonymizer(config.passlist, self.hasher)
+        self._ios_stripper = CommentStripper(junos=False)
+        self._junos_stripper = CommentStripper(junos=True)
+        ios_rules = [
+            rule
+            for rule in build_line_rules()
+            if rule.rule_id not in config.disabled_rules
+        ]
+        junos_extra = [
+            rule
+            for rule in build_junos_rules()
+            if rule.rule_id not in config.disabled_rules
+        ]
+        self.rules: List[Rule] = ios_rules
+        self._junos_rules: List[Rule] = junos_extra + ios_rules
+        self.report = AnonymizationReport()
+
+    def _syntax_for(self, text: str) -> str:
+        if self.config.syntax != "auto":
+            return self.config.syntax
+        return "junos" if looks_like_junos(text) else "ios"
+
+    def _make_context(self, source: str) -> RuleContext:
+        """A rule context bound to this anonymizer's shared maps."""
+        return RuleContext(
+            config=self.config,
+            ip_map=self.ip_map,
+            asn_map=self.asn_map,
+            community=self.community,
+            hasher=self.hasher,
+            token_anon=self.token_anon,
+            report=AnonymizationReport(),
+            source=source,
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def anonymize_text(self, text: str, source: str = "<config>") -> str:
+        """Anonymize one config file's text."""
+        lines = text.splitlines()
+        syntax = self._syntax_for(text)
+        rules = self._junos_rules if syntax == "junos" else self.rules
+        stripper = self._junos_stripper if syntax == "junos" else self._ios_stripper
+        file_report = AnonymizationReport()
+        file_report.lines_in = len(lines)
+        ctx = RuleContext(
+            config=self.config,
+            ip_map=self.ip_map,
+            asn_map=self.asn_map,
+            community=self.community,
+            hasher=self.hasher,
+            token_anon=self.token_anon,
+            report=file_report,
+            source=source,
+        )
+
+        if self.config.strip_comments:
+            lines, comment_stats = stripper.strip(lines)
+            file_report.words_in = comment_stats.total_words
+            file_report.comment_words_removed = comment_stats.comment_words
+            file_report.comment_lines_removed = comment_stats.comment_lines
+            file_report.banners_removed = comment_stats.banners
+            file_report.record_rule_hit("R3", comment_stats.banners)
+            file_report.record_rule_hit("R4+R5", comment_stats.comment_lines)
+            for message in comment_stats.flagged:
+                file_report.flag(source, 0, "R3", message)
+        else:
+            file_report.words_in = sum(len(line.split()) for line in lines)
+
+        out_lines: List[str] = []
+        hashed_before = self.token_anon.tokens_hashed
+        seen_before = self.token_anon.tokens_seen
+        for line_number, raw_line in enumerate(lines, start=1):
+            ctx.line_number = line_number
+            line = SegmentedLine(raw_line)
+            for rule in rules:
+                hits = rule.apply(line, ctx)
+                file_report.record_rule_hit(rule.rule_id, hits)
+            line.map_live_tokens(self.token_anon.anonymize_word)
+            out_lines.append(line.render())
+        file_report.tokens_hashed = self.token_anon.tokens_hashed - hashed_before
+        file_report.tokens_seen = self.token_anon.tokens_seen - seen_before
+        file_report.lines_out = len(out_lines)
+
+        self.report.merge(file_report)
+        result = "\n".join(out_lines)
+        if text.endswith("\n"):
+            result += "\n"
+        return result
+
+    def preload_addresses(self, configs: Dict[str, str]) -> int:
+        """First pass of two-pass anonymization: pre-insert every address.
+
+        The paper's subnet-address shaping is best-effort because it
+        depends on insertion order ("whenever they are inserted before
+        colliding hosts").  Scanning the whole corpus first and inserting
+        addresses most-trailing-zeros-first guarantees every subnet
+        address is shaped, and makes the IP mapping independent of file
+        processing order (so files can then be anonymized in any order —
+        the property the paper attributes to Xu's stateless scheme).
+
+        Returns the number of distinct addresses preloaded.
+        """
+        import re as _re
+
+        from repro.netutil import is_ipv4, trailing_zero_bits
+
+        quad = _re.compile(r"\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})\b")
+        seen = set()
+        for text in configs.values():
+            for match in quad.finditer(text):
+                if is_ipv4(match.group(1)):
+                    seen.add(ip_to_int(match.group(1)))
+        ordered = sorted(seen, key=lambda v: (-trailing_zero_bits(v), v))
+        for value in ordered:
+            self.ip_map.map_int(value)
+        return len(seen)
+
+    def anonymize_network(
+        self, configs: Dict[str, str], two_pass: bool = False
+    ) -> AnonymizedNetwork:
+        """Anonymize every config of a network with shared mapping state.
+
+        File names themselves usually embed hostnames, so the returned
+        mapping renames each file by hashing the alphabetic runs of its
+        name through the same token pass.
+
+        ``two_pass=True`` runs :meth:`preload_addresses` first so subnet
+        shaping is guaranteed rather than best-effort.
+        """
+        if two_pass:
+            self.preload_addresses(configs)
+        out: Dict[str, str] = {}
+        name_map: Dict[str, str] = {}
+        for name in sorted(configs):
+            anonymized = self.anonymize_text(configs[name], source=name)
+            # Hash per dot-label, exactly like the hostname/domain rule
+            # (R9), so a renamed file still matches its hashed hostname.
+            new_name = ".".join(
+                self.hasher.hash_token(label) for label in name.split(".")
+            )
+            name_map[name] = new_name
+            out[new_name] = anonymized
+        return AnonymizedNetwork(configs=out, report=self.report, name_map=name_map)

@@ -1,0 +1,240 @@
+"""Prefix-preserving IP address anonymization (paper Section 4.3).
+
+The mapping is the data-structure-based scheme the paper extends from
+Minshall's tcpdpriv ``-a50``: a binary trie in which every node carries a
+*flip bit* chosen when the node is first created.  Mapping an address walks
+its bits MSB-first; output bit *i* is input bit *i* XOR the flip bit of the
+node reached by the first *i* input bits.  Because the flip bit is a pure
+function of the input prefix, two addresses sharing a k-bit prefix map to
+two addresses sharing a k-bit prefix and vice versa — the
+*prefix-preserving* property that keeps the ``subnet contains``
+relationship intact across a whole network's configs.
+
+The paper's three extensions, realized by "controlling how new entries are
+added to the data-structure":
+
+* **Class preservation** — the flip bits of the nodes along the all-ones
+  path at depths 0–3 are pinned to zero, so the classful-prefix bits
+  (0 / 10 / 110 / 1110 / 1111) pass through unchanged and a class-A address
+  always maps to a class-A address (old classful commands such as RIP
+  ``network`` statements stay meaningful).
+* **Special addresses pass through unchanged** — netmasks
+  (``255.255.255.0``), inverse masks (``0.0.0.255``), multicast/reserved
+  (224/3) and loopback addresses are fixed points.  When a *non*-special
+  address happens to map onto a special value, ``collision_policy``
+  decides what happens:
+
+  - ``"walk"`` — the paper's behavior: recursively re-map until the value
+    leaves the special set.  The paper claims this "maintains the
+    structure-preserving property"; in strict pairwise terms it cannot —
+    every walked address loses its prefix relations, and because some /8
+    must map onto 0/8 (where the inverse masks live), a network that uses
+    that unlucky /8 gets a *cluster* of walked addresses and its
+    validation suites genuinely diverge (observed on the synthetic corpus;
+    see bench E6).
+  - ``"allow"`` (default) — outputs are permitted to *equal* special
+    values.  Input specials still pass through unchanged (all that config
+    semantics requires), prefix relations stay exact everywhere, and the
+    only cost is cosmetic: an anonymized host address may happen to look
+    like a wildcard value.  Occurrences are counted in
+    ``collision_allowed`` for review.
+* **Subnet-address shaping** — when a new trie node is created along a
+  suffix of all-zero input bits (the host part of a subnet address such as
+  ``10.1.1.0``), its flip bit is pinned to zero, so subnet addresses map to
+  subnet addresses whenever they are inserted before conflicting hosts
+  (best-effort, exactly as the paper describes: a readability aid, not a
+  security property).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.core.secrets import derive_seed_int, normalize_salt
+from repro.netutil import IPV4_MAX, int_to_ip, ip_to_int, mask_for_len
+
+
+class SpecialAddresses:
+    """The set of addresses with special meaning that must not be remapped.
+
+    Membership is tested by value (the paper: "all special IP addresses
+    (e.g., netmasks, multicast) are passed through unchanged").
+    """
+
+    def __init__(
+        self,
+        include_masks: bool = True,
+        include_inverse_masks: bool = True,
+        include_multicast: bool = True,
+        include_loopback: bool = False,
+        extra=(),
+    ) -> None:
+        # Loopback is OFF by default, deliberately: the paper's special set
+        # is "netmasks, multicast".  With class preservation, ordinary
+        # config addresses essentially never collide with that set (masks
+        # live in class E, multicast in class D, inverse masks are 33 exact
+        # values), so the recursive-remap path almost never fires and
+        # pairwise prefix preservation stays exact.  Declaring all of
+        # 127/8 special would make ~0.8% of class-A mappings cycle-walk,
+        # each walk sacrificing that address's prefix relations.
+        self._exact = set(int(v) for v in extra)
+        # 0.0.0.0 and 255.255.255.255 are members of both mask families.
+        if include_masks:
+            self._exact.update(mask_for_len(n) for n in range(33))
+        if include_inverse_masks:
+            self._exact.update(mask_for_len(n) ^ IPV4_MAX for n in range(33))
+        self.include_multicast = include_multicast
+        self.include_loopback = include_loopback
+
+    def __contains__(self, value: int) -> bool:
+        if value in self._exact:
+            return True
+        if self.include_multicast and value >= 0xE0000000:  # 224.0.0.0 and up
+            return True
+        if self.include_loopback and (value >> 24) == 127:
+            return True
+        return False
+
+    def why_special(self, value: int) -> Optional[str]:
+        """Human-readable reason a value is special (None if it is not)."""
+        if value in self._exact:
+            return "mask-or-configured"
+        if self.include_multicast and value >= 0xE0000000:
+            return "multicast-or-reserved"
+        if self.include_loopback and (value >> 24) == 127:
+            return "loopback"
+        return None
+
+
+class PrefixPreservingMap:
+    """Stateful prefix-preserving IPv4 anonymization map.
+
+    Parameters
+    ----------
+    salt:
+        Owner secret; all flip-bit randomness derives from it, so the map
+        is deterministic for a fixed (salt, insertion order) pair.
+    class_preserving:
+        Pin the classful-prefix bits (default True, per the paper).
+    subnet_shaping:
+        Map subnet addresses to subnet addresses, best-effort
+        (default True, per the paper).
+    preserve_specials:
+        Pass special addresses through unchanged and cycle-walk collisions
+        (default True, per the paper).
+    specials:
+        A :class:`SpecialAddresses` instance (a default one is built when
+        omitted).
+    """
+
+    #: Trie nodes at these (depth, path) positions are pinned to flip=0 so
+    #: classful prefixes survive: paths "", "1", "11", "111".
+    _CLASS_NODES = frozenset((depth, (1 << depth) - 1) for depth in range(4))
+
+    def __init__(
+        self,
+        salt: Union[bytes, str] = b"",
+        class_preserving: bool = True,
+        subnet_shaping: bool = True,
+        preserve_specials: bool = True,
+        specials: Optional[SpecialAddresses] = None,
+        subnet_shaping_min_zeros: int = 2,
+        collision_policy: str = "allow",
+    ) -> None:
+        if collision_policy not in ("allow", "walk"):
+            raise ValueError(
+                "collision_policy must be 'allow' or 'walk', not {!r}".format(
+                    collision_policy
+                )
+            )
+        self.collision_policy = collision_policy
+        salt = normalize_salt(salt)
+        self._rng = random.Random(derive_seed_int(salt, "ip-trie-flip-bits"))
+        self._flips = {}
+        self.class_preserving = class_preserving
+        self.subnet_shaping = subnet_shaping
+        self.preserve_specials = preserve_specials
+        self.subnet_shaping_min_zeros = subnet_shaping_min_zeros
+        self.specials = specials if specials is not None else SpecialAddresses()
+        self.collision_walks = 0
+        self.collision_allowed = 0
+        self.addresses_mapped = 0
+
+    # -- raw trie walk ---------------------------------------------------
+
+    def raw_map(self, value: int) -> int:
+        """The pure trie permutation (no special handling)."""
+        if not 0 <= value <= IPV4_MAX:
+            raise ValueError("not a 32-bit address: {!r}".format(value))
+        output = 0
+        for depth in range(32):
+            prefix = value >> (32 - depth)
+            key = (depth, prefix)
+            flip = self._flips.get(key)
+            if flip is None:
+                flip = self._new_flip(depth, prefix, value)
+                self._flips[key] = flip
+            bit = (value >> (31 - depth)) & 1
+            output = (output << 1) | (bit ^ flip)
+        return output
+
+    def _new_flip(self, depth: int, prefix: int, value: int) -> int:
+        # Draw first so the RNG stream advances identically whether or not
+        # a shaping constraint pins this node (keeps unrelated subtrees
+        # independent of shaping decisions).
+        drawn = self._rng.getrandbits(1)
+        if self.class_preserving and (depth, prefix) in self._CLASS_NODES:
+            return 0
+        if self.subnet_shaping:
+            remaining = value & ((1 << (32 - depth)) - 1)
+            zero_suffix_len = 32 - depth
+            if remaining == 0 and zero_suffix_len <= self._shapeable_zeros(value):
+                return 0
+        return drawn
+
+    def _shapeable_zeros(self, value: int) -> int:
+        """How many trailing zeros of *value* qualify for shaping."""
+        from repro.netutil import trailing_zero_bits
+
+        zeros = trailing_zero_bits(value)
+        if zeros >= self.subnet_shaping_min_zeros:
+            return zeros
+        return 0
+
+    # -- public mapping --------------------------------------------------
+
+    def map_int(self, value: int) -> int:
+        """Map one 32-bit address, honoring special-address passthrough."""
+        self.addresses_mapped += 1
+        if self.preserve_specials and value in self.specials:
+            return value
+        mapped = self.raw_map(value)
+        if self.preserve_specials and mapped in self.specials:
+            if self.collision_policy == "allow":
+                self.collision_allowed += 1
+                return mapped
+            # Cycle-walk (paper behavior): raw_map is a permutation and the
+            # orbit of `value` returns to the non-special `value` itself,
+            # so some element of the orbit after `mapped` is non-special
+            # and the loop terminates — at the cost of this address's
+            # prefix relations.
+            while mapped in self.specials:
+                self.collision_walks += 1
+                mapped = self.raw_map(mapped)
+        return mapped
+
+    def map_address(self, text: str) -> str:
+        """Map a dotted-quad string."""
+        return int_to_ip(self.map_int(ip_to_int(text)))
+
+    def map_prefix(self, text: str) -> str:
+        """Map ``a.b.c.d/len`` notation, keeping the length."""
+        addr_text, slash, len_text = text.partition("/")
+        if not slash:
+            raise ValueError("missing /len in {!r}".format(text))
+        return "{}/{}".format(self.map_address(addr_text), len_text)
+
+    @property
+    def nodes_created(self) -> int:
+        return len(self._flips)

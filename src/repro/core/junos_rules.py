@@ -1,0 +1,300 @@
+"""JunOS-specific context rules — J1 through J8.
+
+The paper implements for Cisco IOS and notes the techniques are "directly
+applicable to JunOS and other router configuration languages".  These
+rules are the JunOS counterparts of the IOS rule families; everything
+value-level (the IP trie, the ASN/community permutations, the hashing, the
+regexp language machinery) is shared, only the *locating patterns* differ.
+
+Enabled via ``AnonymizerConfig(syntax="junos")``; the IOS rules still run
+(their patterns simply never fire on JunOS text, with the useful exception
+of generic ones such as prefix notation and bare dotted quads).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.asn_rules import _map_community_tokens, _map_number_group, _map_number_list
+from repro.core.regexlang import rewrite_aspath_regex, rewrite_community_regex
+from repro.core.rulebase import Rule
+
+
+def build_junos_rules() -> List[Rule]:
+    rules: List[Rule] = []
+
+    secret_re = re.compile(
+        r"(\b(?:encrypted-password|authentication-key|pre-shared-key|md5) )\"([^\"]*)\"",
+        re.IGNORECASE,
+    )
+
+    def apply_secret(line, ctx):
+        def handler(match):
+            return [
+                (match.group(1), True),
+                ('"' + ctx.hash_secret(match.group(2)) + '"', True),
+            ]
+
+        return line.apply_rule(secret_re, handler)
+
+    rules.append(
+        Rule(
+            "J6",
+            "junos-quoted-secrets",
+            "secret",
+            "Quoted credentials (encrypted-password, authentication-key, "
+            "pre-shared-key) are hashed, quotes preserved.",
+            apply_secret,
+        )
+    )
+
+    asn_re = re.compile(r"\b(peer-as|autonomous-system|local-as) (\d+)", re.IGNORECASE)
+
+    def apply_asn(line, ctx):
+        return line.apply_rule(asn_re, lambda m: _map_number_group(ctx, m, 2))
+
+    rules.append(
+        Rule(
+            "J1",
+            "junos-asn-statements",
+            "asn",
+            "`peer-as N`, `autonomous-system N`, and `local-as N`.",
+            apply_asn,
+        )
+    )
+
+    aspath_re = re.compile(r"(\bas-path (\S+) )\"([^\"]*)\"", re.IGNORECASE)
+
+    def apply_aspath(line, ctx):
+        def handler(match):
+            outcome = rewrite_aspath_regex(
+                match.group(3),
+                ctx.asn_map.map_asn,
+                style=ctx.config.regex_style,
+                max_language=ctx.config.max_regex_language,
+                anchored=True,  # JunOS as-path regexps match the whole path
+            )
+            ctx.report.seen_asns.update(outcome.asns_seen)
+            if outcome.changed:
+                ctx.report.regexps_rewritten += 1
+            for warning in outcome.warnings:
+                ctx.flag("J2", warning)
+            return [
+                (match.group(1), False),
+                ('"' + outcome.rewritten + '"', True),
+            ]
+
+        return line.apply_rule(aspath_re, handler)
+
+    rules.append(
+        Rule(
+            "J2",
+            "junos-aspath-regexp",
+            "asn",
+            "`as-path <name> \"<regexp>\"` definitions: language-permuted "
+            "rewrite, same machinery as IOS rule R14.",
+            apply_aspath,
+        )
+    )
+
+    comm_regex_re = re.compile(r"(\bcommunity (\S+) members )\"([^\"]*)\"", re.IGNORECASE)
+    comm_list_re = re.compile(
+        r"(\bcommunity (?:add|set|delete|\S+) members )\[([^\]]*)\]", re.IGNORECASE
+    )
+    comm_inline_re = re.compile(
+        r"(\bcommunity (?:add|set|delete) )\[([^\]]*)\]", re.IGNORECASE
+    )
+
+    def apply_community(line, ctx):
+        def regex_handler(match):
+            outcome = rewrite_community_regex(
+                match.group(3),
+                ctx.asn_map.map_asn,
+                ctx.community.map_value,
+                style=ctx.config.regex_style,
+                max_language=ctx.config.max_regex_language,
+                anchored=True,  # JunOS community regexps are anchored
+            )
+            ctx.report.seen_asns.update(outcome.asns_seen)
+            if outcome.changed:
+                ctx.report.regexps_rewritten += 1
+            for warning in outcome.warnings:
+                ctx.flag("J3", warning)
+            return [
+                (match.group(1), False),
+                ('"' + outcome.rewritten + '"', True),
+            ]
+
+        def members_handler(match):
+            pieces = [(match.group(1), False), ("[", True)]
+            pieces.extend(_map_community_tokens(ctx, "", match.group(2)))
+            pieces.append(("]", True))
+            return pieces
+
+        hits = line.apply_rule(comm_regex_re, regex_handler)
+        hits += line.apply_rule(comm_list_re, members_handler)
+        hits += line.apply_rule(comm_inline_re, members_handler)
+        return hits
+
+    rules.append(
+        Rule(
+            "J3",
+            "junos-community-members",
+            "asn",
+            "`community <name> members [...]` value lists and quoted "
+            "member regexps (IOS rules R15/R16 equivalents).",
+            apply_community,
+        )
+    )
+
+    prepend_re = re.compile(r"(\bas-path-prepend )\"((?:\d+ ?)+)\"", re.IGNORECASE)
+
+    def apply_prepend(line, ctx):
+        def handler(match):
+            pieces = [(match.group(1), False), ('"', True)]
+            pieces.extend(_map_number_list(ctx, "", match.group(2)))
+            pieces.append(('"', True))
+            return pieces
+
+        return line.apply_rule(prepend_re, handler)
+
+    rules.append(
+        Rule(
+            "J7",
+            "junos-aspath-prepend",
+            "asn",
+            "ASNs inside `as-path-prepend \"...\"` (IOS rule R13 equivalent).",
+            apply_prepend,
+        )
+    )
+
+    rd_re = re.compile(
+        r"(\b(?:route-distinguisher|vrf-target target:) ?)(\d+):(\d+)", re.IGNORECASE
+    )
+
+    def apply_rd(line, ctx):
+        def handler(match):
+            mapped = ctx.map_community_text(match.group(2) + ":" + match.group(3))
+            return [(match.group(1), False), (mapped, True)]
+
+        return line.apply_rule(rd_re, handler)
+
+    rules.append(
+        Rule(
+            "J8",
+            "junos-rd-vrf-target",
+            "asn",
+            "ASN:value pairs in `route-distinguisher` / `vrf-target` "
+            "(IOS rule R18 equivalent).",
+            apply_rd,
+        )
+    )
+
+    snmp_comm_re = re.compile(r"^(\s*community )(\S+)( \{?\s*)$")
+
+    def apply_snmp_comm(line, ctx):
+        def handler(match):
+            return [
+                (match.group(1), True),
+                (ctx.hash_secret(match.group(2)), True),
+                (match.group(3), False),
+            ]
+
+        return line.apply_rule(snmp_comm_re, handler)
+
+    rules.append(
+        Rule(
+            "J4",
+            "junos-snmp-community",
+            "secret",
+            "SNMP community block headers `community <string> {` "
+            "(IOS rule R27b equivalent).",
+            apply_snmp_comm,
+        )
+    )
+
+    meta_re = re.compile(r"^(\s*(?:location|contact|message) )\"[^\"]*\"", re.IGNORECASE)
+
+    def apply_meta(line, ctx):
+        return line.apply_rule(meta_re, lambda m: [(m.group(1), True), ('""', True)])
+
+    rules.append(
+        Rule(
+            "J5a",
+            "junos-location-contact-message",
+            "misc",
+            "Quoted free text in snmp location/contact and login message "
+            "is removed (IOS rule R7 / banner equivalent).",
+            apply_meta,
+        )
+    )
+
+    hostname_re = re.compile(
+        r"(\b(?:host-name|domain-name) )([^\s;]+)(;?)", re.IGNORECASE
+    )
+
+    def apply_hostname(line, ctx):
+        def handler(match):
+            labels = match.group(2).split(".")
+            hashed = ".".join(ctx.hasher.hash_token(label) for label in labels)
+            return [(match.group(1), False), (hashed, True), (match.group(3), True)]
+
+        return line.apply_rule(hostname_re, handler)
+
+    rules.append(
+        Rule(
+            "J5",
+            "junos-hostname-domain",
+            "misc",
+            "host-name/domain-name labels hashed unconditionally "
+            "(IOS rule R9 equivalent).",
+            apply_hostname,
+        )
+    )
+
+    area_re = re.compile(r"^(\s*area )(\d+\.\d+\.\d+\.\d+)( \{\s*)$")
+
+    def apply_area(line, ctx):
+        # OSPF area identifiers are written in dotted-quad form but are
+        # *identifiers*, not addresses (the paper leaves simple integers
+        # alone); freeze them before the IP catch-all can remap them.
+        return line.apply_rule(
+            area_re,
+            lambda m: [(m.group(1), True), (m.group(2), True), (m.group(3), False)],
+        )
+
+    rules.append(
+        Rule(
+            "J10",
+            "junos-ospf-area-ids",
+            "ip",
+            "Dotted-quad OSPF area identifiers pass through unchanged "
+            "(identifiers, not addresses).",
+            apply_area,
+        )
+    )
+
+    user_re = re.compile(r"^(\s*user )(\S+)( \{?\s*)$")
+
+    def apply_user(line, ctx):
+        def handler(match):
+            return [
+                (match.group(1), True),
+                (ctx.hash_secret(match.group(2)), True),
+                (match.group(3), False),
+            ]
+
+        return line.apply_rule(user_re, handler)
+
+    rules.append(
+        Rule(
+            "J9",
+            "junos-login-users",
+            "secret",
+            "Login account names `user <name> {` (IOS rule R28 equivalent).",
+            apply_user,
+        )
+    )
+
+    return rules

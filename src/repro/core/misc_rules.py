@@ -1,0 +1,130 @@
+"""Miscellaneous context rules — R6 through R9 (paper Section 4.2).
+
+"An additional four rules are needed to anonymize miscellaneous
+information, including phone numbers in dialer strings, and so on."
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import List
+
+from repro.core.context import RuleContext
+from repro.core.rulebase import Rule
+
+
+def _hash_digits(ctx: RuleContext, digits: str) -> str:
+    """Map a digit string to a same-length pseudorandom digit string."""
+    seed = hashlib.sha1(ctx.hasher.salt + b"digits:" + digits.encode()).digest()
+    value = int.from_bytes(seed, "big")
+    out = []
+    for _ in digits:
+        out.append(str(value % 10))
+        value //= 10
+    return "".join(out)
+
+
+def build_misc_rules() -> List[Rule]:
+    rules: List[Rule] = []
+
+    dialer_re = re.compile(r"(\bdialer (?:string|map)\b)(.*)$", re.IGNORECASE)
+    phone_re = re.compile(r"\d[\d-]{5,}\d")
+
+    def apply_dialer(line, ctx):
+        def handler(match):
+            rest = match.group(2)
+            pieces = [(match.group(1), False)]
+            cursor = 0
+            for phone in phone_re.finditer(rest):
+                pieces.append((rest[cursor : phone.start()], False))
+                digits = phone.group(0).replace("-", "")
+                ctx.report.phone_numbers_mapped += 1
+                pieces.append((_hash_digits(ctx, digits), True))
+                cursor = phone.end()
+            pieces.append((rest[cursor:], False))
+            return pieces
+
+        return line.apply_rule(dialer_re, handler)
+
+    rules.append(
+        Rule(
+            "R6",
+            "dialer-phone-numbers",
+            "misc",
+            "Phone numbers in `dialer string` / `dialer map` commands are "
+            "replaced by same-length pseudorandom digit strings.",
+            apply_dialer,
+        )
+    )
+
+    snmp_meta_re = re.compile(
+        r"^(\s*snmp-server (?:location|contact|chassis-id))\s+\S.*$", re.IGNORECASE
+    )
+
+    def apply_snmp_meta(line, ctx):
+        return line.apply_rule(snmp_meta_re, lambda m: [(m.group(1), True)])
+
+    rules.append(
+        Rule(
+            "R7",
+            "snmp-location-contact",
+            "misc",
+            "Free text in `snmp-server location|contact|chassis-id` is "
+            "removed entirely (it names buildings, cities, and people).",
+            apply_snmp_meta,
+        )
+    )
+
+    mac_re = re.compile(r"\b([0-9a-f]{4})\.([0-9a-f]{4})\.([0-9a-f]{4})\b", re.IGNORECASE)
+
+    def apply_mac(line, ctx):
+        def handler(match):
+            raw = (match.group(1) + match.group(2) + match.group(3)).lower()
+            digest = hashlib.sha1(ctx.hasher.salt + b"mac:" + raw.encode()).hexdigest()
+            ctx.report.macs_mapped += 1
+            mapped = digest[:12]
+            return [
+                ("{}.{}.{}".format(mapped[0:4], mapped[4:8], mapped[8:12]), True)
+            ]
+
+        return line.apply_rule(mac_re, handler)
+
+    rules.append(
+        Rule(
+            "R8",
+            "mac-addresses",
+            "misc",
+            "MAC addresses (hhhh.hhhh.hhhh) map to salted same-format "
+            "values (vendor OUIs identify hardware purchases).",
+            apply_mac,
+        )
+    )
+
+    domain_re = re.compile(
+        r"(\bip (?:domain-name|domain-list|domain name|domain list) |^hostname )(\S+)",
+        re.IGNORECASE,
+    )
+
+    def apply_domain(line, ctx):
+        def handler(match):
+            labels = match.group(2).split(".")
+            hashed = ".".join(ctx.hasher.hash_token(label) for label in labels)
+            return [(match.group(1), False), (hashed, True)]
+
+        return line.apply_rule(domain_re, handler)
+
+    rules.append(
+        Rule(
+            "R9",
+            "domain-names",
+            "misc",
+            "DNS domain and hostname labels are hashed unconditionally — "
+            "even pass-list words leak when arranged into a real domain "
+            "name (the 'global crossing' problem applied to domains), and "
+            "hostname suffixes must hash consistently with `ip domain-name`.",
+            apply_domain,
+        )
+    )
+
+    return rules

@@ -1,0 +1,205 @@
+"""The pass-list of unprivileged tokens (paper Section 4.1).
+
+The paper built its pass-list with "a web-walker that string scraped the
+Cisco IOS command reference guides": any token appearing in public
+documentation is either an IOS keyword or a word too common to leak
+identity.  Tokens *not* on the list are hashed.
+
+This module provides:
+
+* :class:`PassList` — the lookup structure (case-insensitive).
+* :data:`BASE_KEYWORDS` — a curated embedded keyword corpus covering the
+  command vocabulary our synthetic configs (and common real configs) use.
+* :data:`DEFAULT_PASSLIST` — the ready-to-use default.
+
+:mod:`repro.iosgen.corpus` reproduces the *construction method*: it renders
+synthetic "command reference" documents and scrapes them into a PassList.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+
+class PassList:
+    """A case-insensitive set of tokens that never need anonymization."""
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._tokens: Set[str] = set()
+        self.update(tokens)
+
+    def update(self, tokens: Iterable[str]) -> None:
+        for token in tokens:
+            token = token.strip().lower()
+            if token:
+                self._tokens.add(token)
+
+    def add(self, token: str) -> None:
+        self.update([token])
+
+    def __contains__(self, token: str) -> bool:
+        return token.lower() in self._tokens
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._tokens))
+
+    def union(self, other: "PassList") -> "PassList":
+        merged = PassList()
+        merged._tokens = self._tokens | other._tokens
+        return merged
+
+    @classmethod
+    def from_text(cls, text: str) -> "PassList":
+        """Scrape every alphabetic token out of *text* (the web-walker rule).
+
+        Mixed tokens such as ``Ethernet0/0`` contribute their alphabetic
+        runs (``ethernet``); pure numbers and punctuation are ignored.
+        """
+        passlist = cls()
+        run = []
+        for char in text + "\n":
+            if char.isalpha():
+                run.append(char)
+            else:
+                if len(run) > 1:  # single letters are not useful keywords
+                    passlist.add("".join(run))
+                run = []
+        return passlist
+
+
+#: Curated IOS command-reference vocabulary.  Grouped roughly by subsystem;
+#: includes the common English words that pervade Cisco documentation (and
+#: which, per the paper, "are so common they cannot leak information").
+BASE_KEYWORDS = """
+aaa absolute accept access access-class access-group access-list accounting
+acknowledge action activate activation active add additive address
+address-family adjacency admin administrative administratively advertise
+advertisement aes aggregate aggregate-address aging alarm alias all allow
+allowas-in allowed alternate always any area arp as-path as-set async atm
+attach attempts attribute authentication authentication-key authorization
+auto auto-cost auto-summary autonomous autonomous-system auxiliary backbone
+backup bandwidth banner bgp bgp-policy bidirectional binding bits boot
+bootp bootflash border both bridge broadcast buffer buffers cable cache
+call callback called caller calling cam card carrier cdp cef cell channel
+channel-group channelized chap chat-script checksum circuit clns class
+class-map classless clear client clock cluster cluster-id cns command
+community community-list compress compression confederation config
+configuration configure congestion connect connected connection console
+contact control controller cos cost count counter counters crc crypto
+customer databits database datagram dampening dce dead dead-interval
+debug default default-information default-metric default-originate delay
+delete demand dense description designated dest destination detail
+deterministic dhcp dial dialer dialer-group dialer-list digest directed
+disable disconnect discovery distance distribute distribute-list domain
+domain-name dot1q down downstream drop dscp dsl dte duplex duplicate
+dynamic ebgp ebgp-multihop echo edge egress eigrp enable encapsulation
+encryption end enforce-first-as engine entry error errors established
+ethernet event events exact exceed exclude exec exit expanded expire
+export extcommunity extended external fabric fail failure fair-queue
+fallback fast fast-switching fastethernet fddi feasible fifo filter
+filter-list firewall flap flash flood flow flowcontrol forced format
+forward forwarding fragment fragments frame frame-relay framing frequency
+ftp full fullduplex gateway gigabitethernet global graceful grace group
+group-async half half-duplex hardware hash hello hello-interval help
+high history hold hold-time holdtime hop hops host hostname hssi http
+hub hunt icmp identifier idle ifindex igmp igp igrp import in inactivity
+inbound include incoming index information ingress input inside inspect
+install integrated interface interfaces interval invalid inverse ios ip
+ipc ipv4 ipv6 irb isdn isis isl keepalive kerberos key key-string keyed
+lan lapb last lease level level-1 level-2 limit line link linkcode list
+listen lmi load load-balancing load-interval local local-as local-preference
+location log log-adjacency-changes log-input log-neighbor-changes logging
+login logout loop loopback low lsa mac mac-address mainframe management
+map map-class map-group mask match max max-metric maximum maximum-paths
+maximum-prefix mdix med media medium member memory mesh message metric
+metric-type mib minimal minimum mirror mismatch missing mls mode modem
+monitor mop motd mpls mroute mtu multicast multihop multilink multipoint
+multiprotocol name nameif named nat native nbma neighbor neighbors net
+netbios netflow netmask network next next-hop next-hop-self nexthop nhrp
+no node non-broadcast nonegotiate none normal not-advertise notification
+ntp null number odr on-demand one open optional options origin
+originate ospf out outbound outgoing output outside overload pack packet
+packets pad paging parity parser part partial passive passive-interface
+passphrase password path paths pause peer peer-group peers penalty
+periodic permanent permit persistent phone physical pim ping pixel point
+point-to-multipoint point-to-point police policy policy-map pool port
+portfast pos post ppp pps pre-shared precedence preempt prefer preference
+prefix prefix-list prepend pri primary priority priority-group private
+privilege probe process process-id prompt propagate protocol proxy pulse
+pvc qos quality query queue queue-limit queueing quit radius random
+random-detect range rate rate-limit reachability read read-only
+read-write receive received recursive redirect redirects redistribute
+redistributed redundancy reference reference-bandwidth reflector reflect
+refresh register registration reject relay release reliability reload
+remark remote remote-as remove remove-private-as rep replace reply
+request required reserved reset response restart retain retransmit
+retries retry reverse revision ring rip ripv2 rj45 roaming rotary route
+route-cache route-map route-reflector-client route-target routed router
+router-id routes routing rsa rsvp rtp rx said sampler scheduler scheme
+scope secondary seconds secret security selection send sequence serial
+server servers service service-policy session sessions set setup severity
+shape shaping shared show shutdown signal signaling silent simplex single
+site slip slot smtp snapshot snmp snmp-server soft soft-reconfiguration
+soo source source-interface spanning spanning-tree spd speed split
+split-horizon spoofing ssh stack standard standby startup state static
+station statistics status stop stopbits storm stp stub sub-interface
+subinterface subnet subnets summary summary-address summary-only
+supernet suppress suppressed switch switching switchport sync
+synchronization syslog system table tacacs tacacs-server tag tagged
+tcp tdm telnet template terminal test tftp threshold throttle time
+time-range timeout timer timers timestamp timestamps token tos totally
+traceroute track traffic traffic-shape transceiver transit translate
+translation transmit transparent transport trap traps trigger trunk
+trust trusted ttl tunnel tx type udp unequal unicast unique unit unnumbered
+unreachable unreachables unsuppress until untrusted up update updates
+uplink upstream usage use user username users valid validation value
+variance verify version violation virtual virtual-link vlan voice vpn
+vrf vty wait warning warnings watch wccp weight weighted wildcard window
+wired wireless wred write xauth xconnect zone
+deny area nssa default-cost ge le eq neq lt gt www bootps bootpc
+snmptrap isakmp echo-reply time-exceeded packet-too-big
+port-unreachable host-unreachable net-unreachable new-format new
+format zero subnet-zero definition ibgp always wide notifications
+regexp seq sequence-number distances ranges internet exterior
+cef finger keepalives tcp-keepalives-in udp-small-servers
+tcp-small-servers small servers debugging buffered helper
+helper-address uptime datetime msec new-model if-authenticated
+start-stop linkdown linkup coldstart default-router dns-server
+excluded-address lease dot1q rt soo ro rw chain keys
+host-name root-authentication encrypted-password super-user
+vlan-tagging vlan-id autonomous-system router-id peer-as
+policy-statement as-path-prepend next-hop discard
+route-distinguisher vrf-target pre-shared-key juniper
+fe ge so lo dl em ae xe inet notice targeted protocols services
+members term internal is-type level-2-only level-1-2 metric-style
+and are awaiting because been before being between but can cannot
+case command commands common configured contains could current data
+default defaults define defined describes device devices displays does
+each either enables enabled enter entered example examples field fields
+file files first following for from function functions guide has have
+how however indicates instance keyword keywords manual many may might
+more most must need not note number numbers occurs off once one only
+optionally other otherwise parameter parameters per possible present
+prompt reference references releases removes required result see
+selects shows some specific specified specifies specify such supported
+syntax than that the then these this through troubleshooting under
+unless usage used useful uses using value values want what when where
+whether which will with within without word words you your
+january february march april may june july august september october
+november december monday tuesday wednesday thursday friday saturday
+sunday
+"""
+
+_BASE_TOKENS = tuple(BASE_KEYWORDS.split())
+
+#: The default pass-list built from the curated corpus.  Hyphenated keywords
+#: also contribute their hyphen-separated parts (the token segmenter splits
+#: on non-alphabetic characters, so ``route-map`` is looked up as ``route``
+#: and ``map``).
+DEFAULT_PASSLIST = PassList(_BASE_TOKENS)
+for _kw in _BASE_TOKENS:
+    if "-" in _kw:
+        DEFAULT_PASSLIST.update(part for part in _kw.split("-"))

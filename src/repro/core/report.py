@@ -1,0 +1,152 @@
+"""Anonymization reporting: counters, warnings, and leak-scan inputs.
+
+The report serves two purposes from the paper:
+
+* **Accounting** — how many comments/words/tokens/addresses/ASNs were
+  transformed (the statistics of Sections 2 and 4).
+* **Iterative leak closure** (Section 6.1) — every privileged value the
+  anonymizer saw (ASNs before permutation, strings before hashing, public
+  addresses before mapping) is recorded so the textual-attack scanner can
+  grep the *output* for anything that survived, and lines the anonymizer
+  was unsure about are flagged for human review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+
+@dataclass
+class LineFlag:
+    """A line highlighted for human review."""
+
+    source: str
+    line_number: int
+    rule_id: str
+    message: str
+
+
+@dataclass
+class AnonymizationReport:
+    """Mutable accumulator filled in while anonymizing one network."""
+
+    lines_in: int = 0
+    lines_out: int = 0
+    words_in: int = 0
+    comment_words_removed: int = 0
+    comment_lines_removed: int = 0
+    banners_removed: int = 0
+    tokens_seen: int = 0
+    tokens_hashed: int = 0
+    ips_mapped: int = 0
+    special_ips_preserved: int = 0
+    asns_mapped: int = 0
+    communities_mapped: int = 0
+    regexps_rewritten: int = 0
+    phone_numbers_mapped: int = 0
+    macs_mapped: int = 0
+    secrets_hashed: int = 0
+    rule_hits: Dict[str, int] = field(default_factory=dict)
+    flags: List[LineFlag] = field(default_factory=list)
+    seen_asns: Set[int] = field(default_factory=set)
+    seen_public_ips: Set[int] = field(default_factory=set)
+
+    def record_rule_hit(self, rule_id: str, count: int = 1) -> None:
+        if count:
+            self.rule_hits[rule_id] = self.rule_hits.get(rule_id, 0) + count
+
+    def flag(self, source: str, line_number: int, rule_id: str, message: str) -> None:
+        self.flags.append(LineFlag(source, line_number, rule_id, message))
+
+    @property
+    def comment_word_fraction(self) -> float:
+        """Fraction of input words that were comments (paper: avg 1.5%)."""
+        if self.words_in == 0:
+            return 0.0
+        return self.comment_words_removed / self.words_in
+
+    def merge(self, other: "AnonymizationReport") -> None:
+        """Fold another report (e.g. one file's) into this one."""
+        for name in (
+            "lines_in",
+            "lines_out",
+            "words_in",
+            "comment_words_removed",
+            "comment_lines_removed",
+            "banners_removed",
+            "tokens_seen",
+            "tokens_hashed",
+            "ips_mapped",
+            "special_ips_preserved",
+            "asns_mapped",
+            "communities_mapped",
+            "regexps_rewritten",
+            "phone_numbers_mapped",
+            "macs_mapped",
+            "secrets_hashed",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for rule_id, count in other.rule_hits.items():
+            self.record_rule_hit(rule_id, count)
+        self.flags.extend(other.flags)
+        self.seen_asns.update(other.seen_asns)
+        self.seen_public_ips.update(other.seen_public_ips)
+
+    def to_dict(self) -> Dict:
+        """Machine-readable form (counters + flags; never the raw values
+        of seen ASNs/IPs — those stay in memory for the leak scan only)."""
+        return {
+            "lines_in": self.lines_in,
+            "lines_out": self.lines_out,
+            "words_in": self.words_in,
+            "comment_words_removed": self.comment_words_removed,
+            "comment_lines_removed": self.comment_lines_removed,
+            "comment_word_fraction": self.comment_word_fraction,
+            "banners_removed": self.banners_removed,
+            "tokens_seen": self.tokens_seen,
+            "tokens_hashed": self.tokens_hashed,
+            "ips_mapped": self.ips_mapped,
+            "special_ips_preserved": self.special_ips_preserved,
+            "asns_mapped": self.asns_mapped,
+            "distinct_asns_seen": len(self.seen_asns),
+            "communities_mapped": self.communities_mapped,
+            "regexps_rewritten": self.regexps_rewritten,
+            "phone_numbers_mapped": self.phone_numbers_mapped,
+            "macs_mapped": self.macs_mapped,
+            "secrets_hashed": self.secrets_hashed,
+            "rule_hits": dict(self.rule_hits),
+            "flags": [
+                {
+                    "source": flag.source,
+                    "line_number": flag.line_number,
+                    "rule_id": flag.rule_id,
+                    "message": flag.message,
+                }
+                for flag in self.flags
+            ],
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-screen summary."""
+        lines = [
+            "lines: {} in, {} out".format(self.lines_in, self.lines_out),
+            "comments: {} lines / {} words removed ({:.2%} of words), {} banners".format(
+                self.comment_lines_removed,
+                self.comment_words_removed,
+                self.comment_word_fraction,
+                self.banners_removed,
+            ),
+            "tokens: {} checked, {} hashed".format(self.tokens_seen, self.tokens_hashed),
+            "addresses: {} mapped, {} special values preserved".format(
+                self.ips_mapped, self.special_ips_preserved
+            ),
+            "asns: {} mapped ({} distinct seen)".format(
+                self.asns_mapped, len(self.seen_asns)
+            ),
+            "communities: {} mapped".format(self.communities_mapped),
+            "regexps rewritten: {}".format(self.regexps_rewritten),
+            "secrets hashed: {}".format(self.secrets_hashed),
+            "flags for human review: {}".format(len(self.flags)),
+        ]
+        return "\n".join(lines)

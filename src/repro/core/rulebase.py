@@ -1,0 +1,31 @@
+"""The Rule record shared by all rule modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.context import RuleContext
+from repro.core.line import SegmentedLine
+
+#: A line rule: rewrites matches in-place, returns the number of rewrites.
+RuleApply = Callable[[SegmentedLine, RuleContext], int]
+
+
+@dataclass
+class Rule:
+    """One of the anonymizer's 28 context rules.
+
+    ``apply`` is ``None`` for *structural* rules realized outside the
+    per-line pipeline (token segmentation runs inside the final token pass;
+    comment rules run in the multi-line comment stripper) — they still
+    appear in the registry so the complete rule inventory of the paper
+    (Section 4.2: 28 rules across 200+ IOS versions) is visible and
+    documentable in one place.
+    """
+
+    rule_id: str
+    name: str
+    category: str
+    description: str
+    apply: Optional[RuleApply] = None

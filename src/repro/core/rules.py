@@ -1,0 +1,113 @@
+"""The complete 28-rule registry (paper Section 4.2).
+
+"In practice, we have discovered a set of 28 rules that is sufficient for
+anonymizing the 200-plus IOS versions we have tested them on."
+
+Taxonomy (matching the paper's accounting):
+
+========  =====  ==================================================
+Rules     Count  Purpose
+========  =====  ==================================================
+R1–R2       2    token segmentation before the pass-list lookup
+R3–R5       3    strip comments, descriptions/remarks, banners
+R6–R9       4    miscellaneous (phones, SNMP metadata, MACs, domains)
+R10–R21    12    locate ASNs and ASN/community regular expressions
+R22–R25     4    locate IP addresses in their contexts
+R26–R28     3    hash credentials regardless of the pass-list
+========  =====  ==================================================
+
+R1–R5 are *structural* rules realized inside the token pass and the
+comment stripper; R6–R28 are per-line context rules applied in the order
+returned by :func:`build_line_rules` (credentials first, then ASNs, then
+IPs, then miscellaneous).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.asn_rules import build_asn_rules
+from repro.core.ip_rules import build_ip_rules
+from repro.core.misc_rules import build_misc_rules
+from repro.core.rulebase import Rule
+from repro.core.secret_rules import build_secret_rules
+
+STRUCTURAL_RULES: List[Rule] = [
+    Rule(
+        "R1",
+        "token-segmentation",
+        "segmentation",
+        "Words are segmented into alphabetic runs and non-alphabetic "
+        "remainders, so `Ethernet0/0` is checked as `ethernet` + `0/0` "
+        "instead of being hashed whole.",
+    ),
+    Rule(
+        "R2",
+        "passlist-or-hash",
+        "segmentation",
+        "Each alphabetic run is checked against the pass-list; runs not "
+        "found are replaced by salted SHA1 digests.  Simple integers are "
+        "not anonymized.",
+    ),
+    Rule(
+        "R3",
+        "banner-blocks",
+        "comment",
+        "Multi-line banner blocks (motd/login/exec/...) are removed whole, "
+        "tracking the arbitrary delimiter character.",
+    ),
+    Rule(
+        "R4",
+        "description-remark-lines",
+        "comment",
+        "`description` and `remark` free-text lines are removed.",
+    ),
+    Rule(
+        "R5",
+        "bang-comments",
+        "comment",
+        "Text after `!` is removed; the bare `!` section separator stays.",
+    ),
+]
+
+
+def build_line_rules() -> List[Rule]:
+    """All per-line context rules in mandatory application order.
+
+    Credentials hash first (their arguments could look like anything),
+    ASN/community rules next (before the generic IP catch-all can touch
+    router-IDs or RDs), then IP rules, then miscellaneous clean-up.
+    """
+    return (
+        build_secret_rules()
+        + build_asn_rules()
+        + build_ip_rules()
+        + build_misc_rules()
+    )
+
+
+def all_rules(include_junos: bool = False) -> List[Rule]:
+    """The full registry, structural rules included (for documentation).
+
+    ``include_junos`` appends the J1–J10 extension rules that realize the
+    paper's "directly applicable to JunOS" claim.
+    """
+    rules = STRUCTURAL_RULES + build_line_rules()
+    if include_junos:
+        from repro.core.junos_rules import build_junos_rules
+
+        rules = rules + build_junos_rules()
+    return rules
+
+
+def rule_inventory(include_junos: bool = True) -> str:
+    """A formatted inventory of every rule (used by the CLI and docs)."""
+    lines = []
+    for rule in all_rules(include_junos=include_junos):
+        kind = "structural" if rule.apply is None else "line"
+        lines.append(
+            "{:<5} {:<28} {:<13} [{}] {}".format(
+                rule.rule_id, rule.name, rule.category, kind, rule.description
+            )
+        )
+    return "\n".join(lines)

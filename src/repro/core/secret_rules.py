@@ -1,0 +1,125 @@
+"""Credential-hashing rules — R26 through R28.
+
+Secrets (passwords, SNMP community strings, usernames) must be hashed even
+when they happen to be pass-list words: ``snmp-server community public``
+would otherwise survive and hand an attacker a working credential.  These
+rules run *first* so no other rule can misinterpret credential material.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.rulebase import Rule
+
+#: Words that follow `key` as a sub-keyword rather than key material.
+_KEY_KEYWORDS = frozenset({"chain", "config-key", "generate", "zeroize"})
+
+
+def build_secret_rules() -> List[Rule]:
+    rules: List[Rule] = []
+
+    password_re = re.compile(
+        r"(\b(?:password|secret|key-string|md5)\b)( [0-7])?( )(\S+)", re.IGNORECASE
+    )
+
+    def apply_password(line, ctx):
+        def handler(match):
+            return [
+                (match.group(1), True),
+                (match.group(2) or "", True),
+                (match.group(3), True),
+                (ctx.hash_secret(match.group(4)), True),
+            ]
+
+        return line.apply_rule(password_re, handler)
+
+    rules.append(
+        Rule(
+            "R26",
+            "passwords-and-keys",
+            "secret",
+            "The argument of password/secret/key-string/md5 commands "
+            "(enable secret, neighbor password, ntp/ospf md5 keys, ...) is "
+            "always hashed, pass-list or not; the optional encryption-type "
+            "digit is kept.",
+            apply_password,
+        )
+    )
+
+    key_re = re.compile(r"(\b(?:tacacs-server|radius-server) key )(\S+)", re.IGNORECASE)
+
+    def apply_key(line, ctx):
+        def handler(match):
+            word = match.group(2)
+            if word.lower() in _KEY_KEYWORDS:
+                return None
+            return [(match.group(1), True), (ctx.hash_secret(word), True)]
+
+        return line.apply_rule(key_re, handler)
+
+    rules.append(
+        Rule(
+            "R27",
+            "aaa-server-keys",
+            "secret",
+            "TACACS+/RADIUS shared secrets, plus `snmp-server community` "
+            "strings (handled together: both are working credentials).",
+            apply_key,
+        )
+    )
+
+    snmp_comm_re = re.compile(r"(\bsnmp-server community )(\S+)", re.IGNORECASE)
+    snmp_host_re = re.compile(r"(\bsnmp-server host )(\S+)( )(\S+)", re.IGNORECASE)
+
+    def apply_snmp_comm(line, ctx):
+        def handler(match):
+            return [(match.group(1), True), (ctx.hash_secret(match.group(2)), True)]
+
+        def host_handler(match):
+            # The host address stays live for the IP rules; the trailing
+            # community string is a credential and is hashed.
+            return [
+                (match.group(1), True),
+                (match.group(2), False),
+                (match.group(3), True),
+                (ctx.hash_secret(match.group(4)), True),
+            ]
+
+        return line.apply_rule(snmp_comm_re, handler) + line.apply_rule(
+            snmp_host_re, host_handler
+        )
+
+    # R27 covers AAA keys; SNMP community strings share its intent but need
+    # their own pattern, and usernames are R28.
+    rules.append(
+        Rule(
+            "R27b",
+            "snmp-community-string",
+            "secret",
+            "(companion pattern to R27) `snmp-server community <string>`.",
+            apply_snmp_comm,
+        )
+    )
+
+    username_re = re.compile(r"^(\s*username )(\S+)", re.IGNORECASE)
+
+    def apply_username(line, ctx):
+        def handler(match):
+            return [(match.group(1), True), (ctx.hash_secret(match.group(2)), True)]
+
+        return line.apply_rule(username_re, handler)
+
+    rules.append(
+        Rule(
+            "R28",
+            "usernames",
+            "secret",
+            "Local account names in `username <name> ...` are hashed even "
+            "when they are dictionary words.",
+            apply_username,
+        )
+    )
+
+    return rules

@@ -1,0 +1,108 @@
+"""Persisting and restoring anonymizer mapping state.
+
+The paper's single-blind workflow is ongoing: an owner uploads anonymized
+configs today and again after the next maintenance window, and the two
+snapshots must anonymize *consistently* (the same loopback, route-map
+name, or peer ASN must map identically across uploads) or longitudinal
+research is impossible.
+
+Everything derived purely from the salt (ASN/community Feistel, string
+hashes, Crypto-PAn) is automatically consistent.  The IP trie is not: its
+flip bits also depend on *insertion order* (that is what enables subnet
+shaping), so the trie must be carried forward.  This module serializes the
+full mapping state to a JSON document:
+
+    state = export_state(anonymizer)         # dict (JSON-serializable)
+    save_state(anonymizer, path)
+    anonymizer2 = Anonymizer(config)
+    load_state(anonymizer2, path)            # same mappings as anonymizer
+
+The state file contains the trie flip bits and the token-hash cache —
+i.e., material that together with the salt reproduces the mapping.  Treat
+it with the same secrecy as the salt: it reveals original->anonymized
+pairs for everything mapped so far.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.core.engine import Anonymizer
+
+STATE_FORMAT_VERSION = 1
+
+
+def export_state(anonymizer: Anonymizer) -> Dict:
+    """Capture the mapping state of *anonymizer* as a JSON-able dict."""
+    ip_map = anonymizer.ip_map
+    return {
+        "format_version": STATE_FORMAT_VERSION,
+        "ip_trie": {
+            # JSON keys must be strings; "depth:prefix" -> flip bit.
+            "{}:{}".format(depth, prefix): flip
+            for (depth, prefix), flip in ip_map._flips.items()
+        },
+        "ip_rng_state": _encode_rng_state(ip_map._rng.getstate()),
+        "ip_counters": {
+            "collision_walks": ip_map.collision_walks,
+            "addresses_mapped": ip_map.addresses_mapped,
+        },
+        "hash_cache": dict(anonymizer.hasher._cache),
+        "seen_asns": sorted(anonymizer.report.seen_asns),
+        "hash_length": anonymizer.hasher.length,
+    }
+
+
+def import_state(anonymizer: Anonymizer, state: Dict) -> None:
+    """Restore mapping state captured by :func:`export_state`.
+
+    The anonymizer must have been constructed with the same salt and
+    compatible configuration; the salt itself is never stored.
+    """
+    version = state.get("format_version")
+    if version != STATE_FORMAT_VERSION:
+        raise ValueError(
+            "unsupported state format version {!r} (expected {})".format(
+                version, STATE_FORMAT_VERSION
+            )
+        )
+    if state.get("hash_length") != anonymizer.hasher.length:
+        raise ValueError(
+            "state was written with hash_length={} but this anonymizer "
+            "uses {}".format(state.get("hash_length"), anonymizer.hasher.length)
+        )
+    ip_map = anonymizer.ip_map
+    ip_map._flips = {
+        (int(key.split(":")[0]), int(key.split(":")[1])): int(flip)
+        for key, flip in state["ip_trie"].items()
+    }
+    ip_map._rng.setstate(_decode_rng_state(state["ip_rng_state"]))
+    ip_map.collision_walks = state["ip_counters"]["collision_walks"]
+    ip_map.addresses_mapped = state["ip_counters"]["addresses_mapped"]
+    anonymizer.hasher._cache = dict(state["hash_cache"])
+    anonymizer.hasher._hashed_inputs = dict(state["hash_cache"])
+    anonymizer.report.seen_asns.update(int(a) for a in state.get("seen_asns", []))
+
+
+def save_state(anonymizer: Anonymizer, path: str) -> None:
+    """Write the anonymizer's mapping state to *path* as JSON."""
+    with open(path, "w") as handle:
+        json.dump(export_state(anonymizer), handle)
+
+
+def load_state(anonymizer: Anonymizer, path: str) -> None:
+    """Load mapping state previously written by :func:`save_state`."""
+    with open(path) as handle:
+        import_state(anonymizer, json.load(handle))
+
+
+def _encode_rng_state(state):
+    """random.Random state -> JSON-able (nested tuples become lists)."""
+    kind, internal, gauss = state
+    return [kind, list(internal), gauss]
+
+
+def _decode_rng_state(encoded):
+    kind, internal, gauss = encoded
+    return (kind, tuple(int(v) for v in internal), gauss)

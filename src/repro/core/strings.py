@@ -1,0 +1,63 @@
+"""Salted SHA1 hashing of privileged strings (paper Section 4.1).
+
+Every non-numeric token not found on the pass-list is replaced by a salted
+SHA1 digest.  Equal inputs produce equal outputs under one salt, which is
+what maintains referential integrity (the ``uses`` relationship between a
+``route-map UUNET-import`` reference and its definition survives because
+both occurrences hash to the same digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+
+class StringHasher:
+    """Deterministic salted-SHA1 token hashing.
+
+    Parameters
+    ----------
+    salt:
+        Owner secret (bytes).  Different salts give unrelated digests.
+    length:
+        Number of hex digest characters to keep.  The paper uses full SHA1
+        digests; shorter prefixes keep anonymized configs readable.  With
+        the default of 16 hex chars (64 bits) collisions are negligible at
+        config-corpus scale.
+    """
+
+    def __init__(self, salt: bytes, length: int = 16):
+        if length < 4 or length > 40:
+            raise ValueError("hash length must be between 4 and 40 hex chars")
+        self.salt = salt
+        self.length = length
+        self._cache: Dict[str, str] = {}
+        self._hashed_inputs: Dict[str, str] = {}
+
+    def hash_token(self, token: str) -> str:
+        """Return the anonymized form of *token*.
+
+        The output never looks like a plain integer (a leading ``h`` is
+        prepended when the digest prefix happens to be all digits) so that
+        downstream passes cannot mistake a hash for an ASN or other number.
+        """
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha1(self.salt + token.encode("utf-8")).hexdigest()
+        out = digest[: self.length]
+        if out.isdigit():
+            out = "h" + out[:-1]
+        self._cache[token] = out
+        self._hashed_inputs[token] = out
+        return out
+
+    @property
+    def hashed_inputs(self) -> Dict[str, str]:
+        """Mapping of every original token hashed so far to its digest.
+
+        Used by the leak scanner (Section 6.1): after anonymization, no
+        original token recorded here may appear verbatim in the output.
+        """
+        return dict(self._hashed_inputs)

@@ -1,0 +1,66 @@
+"""Token segmentation and the basic hash-everything-unknown pass.
+
+This implements the paper's "basic method" (Section 4.1) plus the two
+segmentation rules of Section 4.2:
+
+* **R1** — words are segmented into maximal alphabetic runs and
+  non-alphabetic remainders, so ``Ethernet0/0`` is looked up as
+  ``ethernet`` (pass-list hit) plus ``0/0`` (kept), instead of being
+  hashed whole and destroying the interface-type information.
+* **R2** — each alphabetic run is checked against the pass-list
+  (case-insensitively); runs not found are hashed with salted SHA1.
+  Non-alphabetic runs (numbers, punctuation, IP addresses already mapped
+  by earlier rules) are never touched here.
+
+Per-run hashing preserves referential integrity *and* structure: the
+route-map name ``UUNET-import`` becomes ``<digest>-import`` everywhere it
+appears, keeping the privileged part hidden while the innocuous part stays
+readable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Tuple
+
+from repro.core.passlist import PassList
+from repro.core.strings import StringHasher
+
+_ALPHA_RUN = re.compile(r"[A-Za-z]+|[^A-Za-z]+")
+
+
+def segment_word(word: str) -> List[Tuple[str, bool]]:
+    """Split *word* into runs; each item is ``(run, is_alphabetic)``."""
+    return [(run, run[0].isalpha()) for run in _ALPHA_RUN.findall(word)]
+
+
+class TokenAnonymizer:
+    """The final per-word pass: pass-list lookup + salted hashing."""
+
+    def __init__(self, passlist: PassList, hasher: StringHasher):
+        self.passlist = passlist
+        self.hasher = hasher
+        self.tokens_seen = 0
+        self.tokens_hashed = 0
+
+    def anonymize_word(self, word: str) -> str:
+        """Anonymize one whitespace-delimited word."""
+        out = []
+        for run, is_alpha in segment_word(word):
+            if not is_alpha:
+                out.append(run)
+                continue
+            self.tokens_seen += 1
+            if run in self.passlist:
+                out.append(run)
+            else:
+                self.tokens_hashed += 1
+                out.append(self.hasher.hash_token(run))
+        return "".join(out)
+
+    def iter_unknown_runs(self, text: str) -> Iterator[str]:
+        """Yield the alphabetic runs in *text* that are not on the pass-list."""
+        for word in text.split():
+            for run, is_alpha in segment_word(word):
+                if is_alpha and run not in self.passlist:
+                    yield run

@@ -1,0 +1,38 @@
+"""Synthetic router-configuration dataset generator.
+
+This package substitutes for the paper's proprietary input: 7655 real
+router configs from 31 backbone and enterprise networks, 4.3 million lines,
+200+ IOS versions.  It generates *networks* (topology, addressing, routing
+design, policies) and renders them to Cisco-IOS-style config text across a
+family of syntax dialects, so that every anonymizer code path — comments,
+banners, secrets, ASN regexps, community lists, dialer strings — is
+exercised with the same structure the paper describes.
+
+Entry points::
+
+    from repro.iosgen import NetworkSpec, generate_network, paper_dataset
+
+    net = generate_network(NetworkSpec(name="foonet", kind="enterprise", seed=7))
+    net.configs            # {router_name: config_text}
+    dataset = paper_dataset(seed=42, scale=0.05)   # the 31-network corpus
+"""
+
+from repro.iosgen.spec import NetworkSpec
+from repro.iosgen.generate import GeneratedNetwork, generate_network
+from repro.iosgen.dataset import paper_dataset, dataset_statistics
+from repro.iosgen.corpus import (
+    build_reference_corpus,
+    build_passlist_from_corpus,
+    scraped_passlist,
+)
+
+__all__ = [
+    "NetworkSpec",
+    "GeneratedNetwork",
+    "generate_network",
+    "paper_dataset",
+    "dataset_statistics",
+    "build_reference_corpus",
+    "build_passlist_from_corpus",
+    "scraped_passlist",
+]

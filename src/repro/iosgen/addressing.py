@@ -1,0 +1,133 @@
+"""Hierarchical address allocation for generated networks.
+
+Carves the network's public block (plus RFC1918 space for enterprises)
+into regions — loopbacks, point-to-point infrastructure, LANs — and hands
+out subnets deterministically.  Every allocation is recorded as a
+:class:`~repro.iosgen.plan.SubnetRecord` so the dataset's subnet-size
+histogram (validation suite 1, fingerprint attack E11) is known ground
+truth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.iosgen.plan import SubnetRecord
+from repro.iosgen.spec import NetworkSpec
+from repro.netutil import mask_for_len
+
+
+class BlockCarver:
+    """Sequentially carve variable-length subnets out of one block."""
+
+    def __init__(self, base: int, prefix_len: int):
+        self.base = base
+        self.prefix_len = prefix_len
+        self.limit = base + (1 << (32 - prefix_len))
+        self.cursor = base
+
+    def carve(self, subnet_len: int) -> Tuple[int, int]:
+        """Allocate the next aligned subnet of the given length."""
+        size = 1 << (32 - subnet_len)
+        aligned = (self.cursor + size - 1) & ~(size - 1) & 0xFFFFFFFF
+        if aligned + size > self.limit:
+            raise RuntimeError(
+                "address block {}/{} exhausted".format(self.base, self.prefix_len)
+            )
+        self.cursor = aligned + size
+        return aligned, subnet_len
+
+    @property
+    def remaining(self) -> int:
+        return self.limit - self.cursor
+
+
+class AddressPlanner:
+    """Allocates loopbacks, p2p links, LANs and peering demarcs."""
+
+    #: LAN subnet sizes with weights (gives the histogram its shape).
+    LAN_SIZES = [(24, 5), (25, 3), (26, 3), (27, 2), (28, 2), (23, 1)]
+
+    def __init__(self, spec: NetworkSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        base, length = spec.public_block
+        self.public = BlockCarver(base, length)
+        # Regions inside the public block: loopbacks then infrastructure.
+        # Sized generously relative to the block so even the largest
+        # generated networks cannot exhaust them.
+        self.loopbacks = BlockCarver(*self.public.carve(min(length + 6, 24)))
+        self.p2p = BlockCarver(*self.public.carve(min(length + 4, 20)))
+        if spec.use_rfc1918:
+            # All of 10/8: RFC1918 space legitimately overlaps between
+            # networks, so every enterprise gets the full block.
+            self.lan = BlockCarver(0x0A000000, 8)
+        else:
+            self.lan = self.public
+        # Peering demarcs live in "neighbor" space: a distinct block that
+        # stands in for the peer's addresses.
+        peer_base = 0x90000000 + ((spec.seed * 2654435761) & 0x3FFF) * 0x10000
+        self.peer = BlockCarver(peer_base, 16)
+        self.records: List[SubnetRecord] = []
+        self._customer_records: List[SubnetRecord] = []
+
+    def loopback(self) -> SubnetRecord:
+        addr, _ = self.loopbacks.carve(32)
+        record = SubnetRecord(addr, 32, "loopback")
+        self.records.append(record)
+        return record
+
+    def p2p_link(self) -> SubnetRecord:
+        addr, _ = self.p2p.carve(30)
+        record = SubnetRecord(addr, 30, "p2p")
+        self.records.append(record)
+        return record
+
+    def lan_subnet(self) -> SubnetRecord:
+        sizes = [s for s, w in self.LAN_SIZES for _ in range(w)]
+        length = self.rng.choice(sizes)
+        addr, _ = self.lan.carve(length)
+        record = SubnetRecord(addr, length, "lan")
+        self.records.append(record)
+        return record
+
+    def peer_link(self) -> SubnetRecord:
+        addr, _ = self.peer.carve(30)
+        record = SubnetRecord(addr, 30, "peer")
+        self.records.append(record)
+        return record
+
+    def customer_route(self) -> SubnetRecord:
+        """A customer aggregate (for static-route bursts on borders).
+
+        When the block runs dry (possible at extreme scales) an existing
+        customer record is reused — different routers legitimately carry
+        statics for the same customer prefix.
+        """
+        length = self.rng.choice([24, 24, 24, 24, 23, 23, 22, 21, 20])
+        base = self.lan if self.lan is not self.public else self.public
+        try:
+            addr, _ = base.carve(length)
+        except RuntimeError:
+            if not self._customer_records:
+                raise
+            return self.rng.choice(self._customer_records)
+        record = SubnetRecord(addr, length, "customer")
+        self.records.append(record)
+        self._customer_records.append(record)
+        return record
+
+    @staticmethod
+    def hosts(record: SubnetRecord) -> Iterator[int]:
+        """Usable host addresses of a subnet (network/broadcast skipped)."""
+        if record.prefix_len >= 31:
+            yield record.address
+            return
+        size = 1 << (32 - record.prefix_len)
+        for offset in range(1, size - 1):
+            yield record.address + offset
+
+    @staticmethod
+    def mask(record: SubnetRecord) -> int:
+        return mask_for_len(record.prefix_len)

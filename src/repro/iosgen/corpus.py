@@ -1,0 +1,98 @@
+"""Synthetic command-reference corpus and the pass-list web-walker.
+
+The paper built its pass-list by string-scraping the public Cisco IOS
+command reference guides: "In theory, most Cisco keywords will appear
+somewhere in the guides, and non-keywords used in the guides are so common
+they cannot leak information."  We reproduce the *method*: render a corpus
+of reference-guide-shaped documents from the keyword inventory, then scrape
+the documents (not the inventory) into a :class:`PassList`.
+
+The scraper is exactly the production code path — tests feed it adversarial
+documents to check that numbers, punctuation, and single letters never make
+it onto the list.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core.passlist import BASE_KEYWORDS, PassList
+
+_PAGE_TEMPLATE = """\
+{title}
+
+Usage Guidelines
+
+To configure this feature, use the {command} command in {mode} mode.
+To disable the feature, use the no form of this command.
+
+Syntax Description
+
+{syntax_rows}
+
+Command Default
+
+The command is disabled by default. This command was introduced in a
+release before the earliest supported release of this guide.
+
+Examples
+
+The following example shows how the {command} command is entered:
+
+Router(config)# {command} {example_args}
+
+Related Commands
+
+{related}
+"""
+
+
+def build_reference_corpus(seed: int = 0, pages: int = 120) -> Dict[str, str]:
+    """Render a corpus of command-reference pages keyed by page name."""
+    rng = random.Random(seed)
+    keywords = BASE_KEYWORDS.split()
+    corpus: Dict[str, str] = {}
+    for index in range(pages):
+        command_words = rng.sample(keywords, rng.randrange(2, 4))
+        command = " ".join(command_words)
+        syntax_rows = "\n".join(
+            "{:<20} {}".format(word, "Specifies the {} parameter.".format(word))
+            for word in rng.sample(keywords, rng.randrange(3, 7))
+        )
+        related = "\n".join(
+            "{:<24} Configures {} behavior.".format(
+                " ".join(rng.sample(keywords, 2)), rng.choice(keywords)
+            )
+            for _ in range(rng.randrange(2, 5))
+        )
+        page = _PAGE_TEMPLATE.format(
+            title=command,
+            command=command,
+            mode=rng.choice(
+                ["global configuration", "interface configuration", "router configuration"]
+            ),
+            syntax_rows=syntax_rows,
+            example_args=" ".join(rng.sample(keywords, rng.randrange(1, 3))),
+            related=related,
+        )
+        corpus["{}-{:03d}".format(command_words[0], index)] = page
+    return corpus
+
+
+def build_passlist_from_corpus(corpus: Dict[str, str]) -> PassList:
+    """The web-walker: scrape every document into one pass-list."""
+    passlist = PassList()
+    for text in corpus.values():
+        passlist.update(PassList.from_text(text))
+    return passlist
+
+
+def scraped_passlist(seed: int = 0, pages: int = 400) -> PassList:
+    """Convenience: corpus + scrape in one call.
+
+    With enough pages the scraped list converges on the full keyword
+    inventory (every keyword appears in some page); tests measure the
+    coverage curve.
+    """
+    return build_passlist_from_corpus(build_reference_corpus(seed, pages))

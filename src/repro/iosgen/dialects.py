@@ -1,0 +1,85 @@
+"""IOS version dialects: the syntax drift the anonymizer must tolerate.
+
+The paper's dataset spans "over 200 different IOS versions" with "small,
+but syntactically significant changes … between versions".  We reproduce
+that pressure: a family of version strings is generated combinatorially
+(majors x trains x builds easily exceeds 200), and each version string
+deterministically selects a :class:`Dialect` — a bundle of syntax knobs the
+renderer honors (interface naming, service-line spellings, BGP boilerplate,
+banner delimiters, and so on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def all_version_strings() -> List[str]:
+    """The full family of synthetic IOS version strings (> 200)."""
+    versions = []
+    for major, minor in [(11, 1), (11, 2), (11, 3), (12, 0), (12, 1), (12, 2), (12, 3), (12, 4)]:
+        for build in (3, 5, 7, 9, 11, 13, 16, 18, 21, 24, 26):
+            for train in ("", "T", "S", "E"):
+                versions.append("{}.{}({}){}".format(major, minor, build, train))
+    return versions
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Syntax knobs keyed off one IOS version string."""
+
+    version: str
+    #: interface naming era: 0 = Ethernet0/Serial0, 1 = FastEthernet0/0,
+    #: 2 = GigabitEthernet0/1 available
+    interface_era: int
+    uses_ip_classless: bool
+    uses_directed_broadcast: bool        # `no ip directed-broadcast` lines
+    timestamps_msec: bool                # `service timestamps ... msec`
+    bgp_log_neighbor_changes: bool
+    bgp_no_synchronization: bool         # newer IOS drops synchronization
+    banner_delimiter: str
+    password_encryption: bool            # `service password-encryption`
+    subnet_zero: bool                    # `ip subnet-zero`
+    vty_count: Tuple[int, int]           # `line vty 0 4` vs `0 15`
+    community_new_format: bool           # `ip bgp-community new-format`
+
+    @property
+    def major_minor(self) -> Tuple[int, int]:
+        major, _, rest = self.version.partition(".")
+        minor = rest.split("(")[0]
+        return int(major), int(minor)
+
+
+def dialect_for_version(version: str) -> Dialect:
+    """Deterministically derive the syntax bundle for a version string."""
+    digest = hashlib.sha256(version.encode()).digest()
+    major, _, rest = version.partition(".")
+    major = int(major)
+    minor = int(rest.split("(")[0])
+    modern = (major, minor) >= (12, 0)
+    very_modern = (major, minor) >= (12, 2)
+    return Dialect(
+        version=version,
+        interface_era=0 if not modern else (2 if very_modern and digest[0] & 1 else 1),
+        uses_ip_classless=modern or bool(digest[1] & 1),
+        uses_directed_broadcast=not very_modern,
+        timestamps_msec=bool(digest[2] & 1),
+        bgp_log_neighbor_changes=modern and bool(digest[3] & 1),
+        bgp_no_synchronization=very_modern,
+        banner_delimiter="^C" if digest[4] & 1 else "#",
+        password_encryption=bool(digest[5] & 1),
+        subnet_zero=modern,
+        vty_count=(0, 4) if digest[6] & 1 else (0, 15),
+        community_new_format=very_modern and bool(digest[7] & 1),
+    )
+
+
+def interface_names(dialect: Dialect) -> Tuple[str, str, str]:
+    """(lan_interface_base, wan_interface_base, fast_lan_base) per era."""
+    if dialect.interface_era == 0:
+        return "Ethernet", "Serial", "Ethernet"
+    if dialect.interface_era == 1:
+        return "FastEthernet", "Serial", "FastEthernet"
+    return "GigabitEthernet", "POS", "GigabitEthernet"

@@ -1,0 +1,510 @@
+"""Network generation orchestrator: topology -> addresses -> routing ->
+policies -> rendered configs."""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.iosgen.addressing import AddressPlanner
+from repro.iosgen.dialects import all_version_strings, dialect_for_version, interface_names
+from repro.iosgen.naming import NameFactory, PEER_NAMES
+from repro.iosgen.plan import (
+    BgpNeighborPlan,
+    NamedAclPlan,
+    RouteMapClause,
+    BgpPlan,
+    IgpPlan,
+    InterfacePlan,
+    NetworkPlan,
+    PrefixListEntry,
+    RouterPlan,
+    StaticRoute,
+    SubnetRecord,
+)
+from repro.iosgen.policies import FAMOUS_ASNS, PolicyFactory
+from repro.iosgen.render import render_config
+from repro.iosgen.spec import NetworkSpec
+from repro.iosgen.topology import build_topology
+from repro.netutil import classful_prefix_len, int_to_ip as _ip, network_address
+
+
+def _skewed(rng: random.Random, low: int, high: int, power: float = 2.5) -> int:
+    """A heavy-tailed draw in [low, high]: most values near *low*, a long
+    tail toward *high* (real config-size distributions are skewed)."""
+    if high <= low:
+        return low
+    return low + int((high - low + 1) * (rng.random() ** power))
+
+
+@dataclass
+class GeneratedNetwork:
+    """A fully generated network: ground-truth plan plus rendered text."""
+
+    spec: NetworkSpec
+    plan: NetworkPlan
+    graph: "nx.Graph"
+    configs: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class _InterfaceNamer:
+    """Per-router interface name allocation honoring the dialect era."""
+
+    def __init__(self, dialect):
+        self.lan_base, self.wan_base, _ = interface_names(dialect)
+        self.era = dialect.interface_era
+        self.counts = {"lan": 0, "wan": 0, "loop": 0}
+
+    def next_name(self, media: str) -> str:
+        if media == "loopback":
+            index = self.counts["loop"]
+            self.counts["loop"] += 1
+            return "Loopback{}".format(index)
+        if media == "serial":
+            index = self.counts["wan"]
+            self.counts["wan"] += 1
+            if self.era == 0:
+                return "{}{}".format(self.wan_base, index)
+            return "{}{}/{}".format(self.wan_base, index // 4, index % 4)
+        index = self.counts["lan"]
+        self.counts["lan"] += 1
+        if self.era == 0:
+            return "{}{}".format(self.lan_base, index)
+        return "{}{}/{}".format(self.lan_base, index // 4, index % 4)
+
+
+def generate_network(spec: NetworkSpec) -> GeneratedNetwork:
+    """Generate one network deterministically from its spec."""
+    rng = random.Random(("net", spec.name, spec.seed).__repr__())
+    names = NameFactory(spec.seed * 1000003 + 17)
+    graph = build_topology(spec, names, rng)
+    planner = AddressPlanner(spec, rng)
+    plan = NetworkPlan(spec=spec)
+
+    versions = spec.versions or rng.sample(
+        all_version_strings(), min(12, len(all_version_strings()))
+    )
+
+    routers: Dict[str, RouterPlan] = {}
+    namers: Dict[str, _InterfaceNamer] = {}
+    for node in sorted(graph.nodes):
+        data = graph.nodes[node]
+        version = rng.choice(versions)
+        router = RouterPlan(
+            hostname=node,
+            role=data["role"],
+            pop_index=data["pop"],
+            version=version,
+        )
+        routers[node] = router
+        namers[node] = _InterfaceNamer(dialect_for_version(version))
+        loop = planner.loopback()
+        router.interfaces.append(
+            InterfacePlan(
+                name=namers[node].next_name("loopback"),
+                kind="loopback",
+                address=loop.address,
+                prefix_len=32,
+            )
+        )
+
+    _assign_links(spec, rng, names, graph, planner, routers, namers, plan)
+    _assign_lans(spec, rng, names, graph, planner, routers, namers, plan)
+    _assign_igp(spec, rng, routers)
+    peer_assignments = _assign_bgp(spec, rng, names, graph, planner, routers, namers, plan)
+    _assign_policies(spec, rng, routers, peer_assignments, planner)
+    _assign_misc(spec, rng, names, routers, planner)
+
+    plan.routers = routers
+    plan.subnets = planner.records
+
+    network = GeneratedNetwork(spec=spec, plan=plan, graph=graph)
+    use_junos = spec.junos_fraction > 0 and spec.igp in ("ospf", "rip")
+    for node, router in routers.items():
+        if use_junos and rng.random() < spec.junos_fraction:
+            from repro.iosgen.junos_render import render_junos_config
+
+            network.configs[node] = render_junos_config(router, names, spec, rng)
+        else:
+            network.configs[node] = render_config(
+                router, dialect_for_version(router.version), names, spec, rng
+            )
+    return network
+
+
+def _assign_links(spec, rng, names, graph, planner, routers, namers, plan) -> None:
+    for a, b in sorted(graph.edges):
+        media = graph.edges[a, b].get("media", "ethernet")
+        subnet = planner.p2p_link()
+        hosts = list(AddressPlanner.hosts(subnet))
+        for endpoint, address, remote in ((a, hosts[0], b), (b, hosts[1], a)):
+            router = routers[endpoint]
+            interface = InterfacePlan(
+                name=namers[endpoint].next_name(media),
+                kind="p2p",
+                address=address,
+                prefix_len=subnet.prefix_len,
+            )
+            if media == "serial":
+                interface.bandwidth = rng.choice([1544, 44210, 155000])
+                interface.encapsulation = rng.choice(["ppp", "hdlc", "frame-relay"])
+                interface.point_to_point = interface.encapsulation == "frame-relay"
+            if rng.random() < spec.comment_density:
+                interface.description = names.description(
+                    "link", routers[endpoint].pop_index, remote=remote
+                )
+            router.interfaces.append(interface)
+        plan.links.append((a, b, subnet, media))
+
+
+def _assign_lans(spec, rng, names, graph, planner, routers, namers, plan) -> None:
+    """User LANs as 802.1Q VLAN subinterfaces on access/branch routers."""
+    for node in sorted(graph.nodes):
+        router = routers[node]
+        if router.role not in ("access", "branch"):
+            continue
+        trunk = namers[node].next_name("ethernet")
+        router.interfaces.append(InterfacePlan(name=trunk, kind="lan", address=None))
+        low, high = spec.lans_per_access
+        vlan = 10
+        for _ in range(_skewed(rng, low, high)):
+            subnet = planner.lan_subnet()
+            interface = InterfacePlan(
+                name="{}.{}".format(trunk, vlan),
+                kind="lan",
+                address=subnet.address + 1,
+                prefix_len=subnet.prefix_len,
+                extra=["encapsulation dot1Q {}".format(vlan)],
+            )
+            if rng.random() < 0.5:
+                helper = subnet.address + 2
+                interface.extra.append("ip helper-address {}".format(_ip(helper)))
+            if rng.random() < 0.03:
+                # Pinned MAC (burned-in address override) — rule R8's prey.
+                interface.extra.append(
+                    "mac-address 00{:02x}.{:04x}.{:04x}".format(
+                        rng.randrange(256), rng.randrange(65536), rng.randrange(65536)
+                    )
+                )
+            if rng.random() < spec.comment_density:
+                interface.description = names.description("lan", router.pop_index)
+            if vlan == 10 and rng.random() < 0.4:
+                # Guard the first user VLAN with a named extended ACL —
+                # the name is privileged and must hash consistently with
+                # its `ip access-group` reference.
+                acl_name = "protect-{}-v{}".format(names.company, vlan)
+                wildcard = (0xFFFFFFFF >> subnet.prefix_len) if subnet.prefix_len else 0
+                router.named_acls.append(
+                    NamedAclPlan(
+                        name=acl_name,
+                        entries=[
+                            ("permit", "tcp any {} {} eq www".format(
+                                _ip(subnet.address), _ip(wildcard))),
+                            ("permit", "udp any any eq domain"),
+                            ("deny", "ip any any log"),
+                        ],
+                    )
+                )
+                interface.extra.append("ip access-group {} in".format(acl_name))
+            router.interfaces.append(interface)
+            if rng.random() < 0.5:
+                router.dhcp_pools.append(
+                    ("vlan{}".format(vlan), subnet.address, subnet.prefix_len)
+                )
+            vlan += rng.randrange(1, 11)
+
+
+def _assign_igp(spec, rng, routers) -> None:
+    for router in routers.values():
+        igp = IgpPlan(protocol=spec.igp)
+        if spec.igp == "ospf":
+            igp.process_id = 100
+            for interface in router.interfaces:
+                if interface.address is None:
+                    continue
+                area = 0 if router.role in ("core", "hub") else router.pop_index
+                base = network_address(interface.address, interface.prefix_len)
+                wildcard = (0xFFFFFFFF >> interface.prefix_len) if interface.prefix_len else 0
+                igp.networks.append((base, wildcard, area))
+        elif spec.igp == "isis":
+            # Interface-activated; coverage tuples mirror the interfaces.
+            for interface in router.interfaces:
+                if interface.address is None:
+                    continue
+                base = network_address(interface.address, interface.prefix_len)
+                wildcard = (0xFFFFFFFF >> interface.prefix_len) if interface.prefix_len else 0
+                igp.networks.append((base, wildcard, None))
+        else:
+            if spec.igp == "eigrp":
+                igp.process_id = 64000 + (zlib.crc32(spec.name.encode()) % 100)
+            nets = set()
+            for interface in router.interfaces:
+                if interface.address is None:
+                    continue
+                length = classful_prefix_len(interface.address)
+                nets.add(network_address(interface.address, length))
+            igp.networks = [(net, None, None) for net in sorted(nets)]
+        for interface in router.interfaces:
+            if interface.kind == "lan" and rng.random() < 0.6:
+                igp.passive_interfaces.append(interface.name)
+        router.igp = igp
+
+
+def _assign_bgp(spec, rng, names, graph, planner, routers, namers, plan):
+    """Create EBGP peerings and the iBGP mesh; returns peer assignments."""
+    borders = sorted(n for n, d in graph.nodes(data=True) if d.get("is_border"))
+    if not borders:
+        return {}
+    peer_pool = rng.sample(PEER_NAMES, min(spec.num_ebgp_peers, len(PEER_NAMES)))
+    asn_pool = rng.sample(FAMOUS_ASNS, len(peer_pool))
+    assignments: Dict[str, List[Tuple[str, int]]] = {b: [] for b in borders}
+
+    advertised = [spec.public_block]
+    confed_peers = (
+        sorted(rng.sample(range(65001, 65090), 3)) if spec.use_confederation else []
+    )
+    for border in borders:
+        router = routers[border]
+        router.bgp = BgpPlan(
+            asn=spec.local_asn,
+            router_id=router.loopback_address(),
+            networks=list(advertised),
+        )
+        if spec.use_confederation:
+            # The confederation identifier is the network's public AS;
+            # members run private sub-AS numbers (rules R19/R20).
+            router.bgp.confederation_id = spec.local_asn
+            router.bgp.confederation_peers = list(confed_peers)
+
+    for peer_name, peer_asn in zip(peer_pool, asn_pool):
+        low, high = spec.sessions_per_peer
+        sessions = rng.randrange(low, high + 1)
+        for session in range(sessions):
+            border = borders[(zlib.crc32(peer_name.encode()) + session) % len(borders)]
+            router = routers[border]
+            subnet = planner.peer_link()
+            hosts = list(AddressPlanner.hosts(subnet))
+            our_addr, their_addr = hosts[0], hosts[1]
+            interface = InterfacePlan(
+                name=namers[border].next_name("serial"),
+                kind="peer",
+                address=our_addr,
+                prefix_len=subnet.prefix_len,
+                bandwidth=rng.choice([44210, 155000, 622000]),
+                encapsulation="ppp",
+            )
+            if rng.random() < spec.comment_density:
+                interface.description = names.description(
+                    "peer", router.pop_index, peer=peer_name
+                )
+            router.interfaces.append(interface)
+            neighbor = BgpNeighborPlan(
+                address=their_addr,
+                remote_as=peer_asn,
+                ebgp=True,
+                route_map_in="{}-import".format(peer_name.upper()),
+                route_map_out="{}-export".format(peer_name.upper()),
+                send_community=True,
+            )
+            if rng.random() < 0.4:
+                neighbor.password = names.secret()
+            if rng.random() < 0.2:
+                # Present a legacy AS to this peer (rule R12's context).
+                neighbor.local_as = rng.choice(FAMOUS_ASNS)
+            router.bgp.neighbors.append(neighbor)
+            assignments[border].append((peer_name, peer_asn))
+            plan.peerings.append((border, peer_name, peer_asn, subnet))
+
+    # iBGP: route-reflector pair or full mesh over loopbacks.
+    if spec.use_route_reflectors and len(borders) > 2:
+        reflectors = borders[:2]
+        clients = borders[2:]
+        for reflector in reflectors:
+            router = routers[reflector]
+            for other in borders:
+                if other == reflector:
+                    continue
+                router.bgp.neighbors.append(
+                    BgpNeighborPlan(
+                        address=routers[other].loopback_address(),
+                        remote_as=spec.local_asn,
+                        ebgp=False,
+                        update_source="Loopback0",
+                        next_hop_self=True,
+                        route_reflector_client=other in clients,
+                    )
+                )
+        for client in clients:
+            router = routers[client]
+            for reflector in reflectors:
+                router.bgp.neighbors.append(
+                    BgpNeighborPlan(
+                        address=routers[reflector].loopback_address(),
+                        remote_as=spec.local_asn,
+                        ebgp=False,
+                        update_source="Loopback0",
+                        next_hop_self=True,
+                    )
+                )
+    elif spec.ibgp_full_mesh and len(borders) > 1:
+        for border in borders:
+            router = routers[border]
+            for other in borders:
+                if other == border:
+                    continue
+                loop = routers[other].loopback_address()
+                router.bgp.neighbors.append(
+                    BgpNeighborPlan(
+                        address=loop,
+                        remote_as=spec.local_asn,
+                        ebgp=False,
+                        update_source="Loopback0",
+                        next_hop_self=True,
+                    )
+                )
+    for border in borders:
+        router = routers[border]
+        if rng.random() < 0.6:
+            router.bgp.redistribute.append(spec.igp)
+    return assignments
+
+
+def _assign_policies(spec, rng, routers, peer_assignments, planner) -> None:
+    lan_subnets = [
+        (record.address, record.prefix_len)
+        for record in planner.records
+        if record.kind == "lan"
+    ]
+    for border, peers in peer_assignments.items():
+        router = routers[border]
+        factory = PolicyFactory(spec, rng)
+        seen = set()
+        for peer_name, peer_asn in peers:
+            if peer_name in seen:
+                continue
+            seen.add(peer_name)
+            bundle = factory.peer_policies(
+                peer_name, peer_asn, spec.local_asn, [spec.public_block]
+            )
+            router.route_maps.extend(bundle.route_maps)
+            router.aspath_acls.extend(bundle.aspath_acls)
+            router.community_lists.extend(bundle.community_lists)
+            router.access_lists.extend(bundle.access_lists)
+            # An inbound prefix-list per peer (referenced or standalone —
+            # both occur in real configs).
+            low, high = spec.prefix_list_entries
+            name = "{}-in".format(peer_name.upper())
+            sequence = 5
+            for _ in range(_skewed(rng, low, high, power=1.8)):
+                record = planner.customer_route()
+                router.prefix_lists.append(
+                    PrefixListEntry(
+                        name,
+                        sequence,
+                        "permit",
+                        record.address,
+                        record.prefix_len,
+                        le=24 if rng.random() < 0.4 else None,
+                    )
+                )
+                sequence += 5
+        router.access_lists.extend(factory.security_acl(lan_subnets))
+        if spec.use_vrfs:
+            # An MPLS-VPN customer VRF on the border (rules R17/R18).
+            vrf_value = rng.randrange(1, 4000)
+            router.extra_global.extend([
+                "ip vrf cust-{}".format(rng.choice(("alpha", "beta", "gamma"))),
+                " rd {}:{}".format(spec.local_asn, vrf_value),
+                " route-target export {}:{}".format(spec.local_asn, vrf_value),
+                " route-target import {}:{}".format(spec.local_asn, vrf_value),
+            ])
+            router.route_maps.append(
+                RouteMapClause(
+                    "VPN-export", "permit", 10,
+                    sets=["extcommunity rt {}:{}".format(spec.local_asn, vrf_value)],
+                )
+            )
+        if spec.archaic_policies:
+            # Ancient IOS route-maps sometimes set EGP origins (rule R21).
+            router.route_maps.append(
+                RouteMapClause(
+                    "LEGACY-origin", "permit", 10,
+                    sets=["origin egp {}".format(rng.choice(FAMOUS_ASNS))],
+                )
+            )
+        # Customer aggregate statics (borders of provider-style networks
+        # carry these by the hundred).
+        low, high = spec.static_burst
+        p2p_addresses = [
+            interface.address
+            for interface in router.interfaces
+            if interface.kind == "p2p" and interface.address is not None
+        ]
+        for _ in range(_skewed(rng, low, high, power=1.6)):
+            record = planner.customer_route()
+            next_hop = rng.choice(p2p_addresses) if p2p_addresses and rng.random() < 0.7 else 0
+            router.static_routes.append(
+                StaticRoute(record.address, record.prefix_len, next_hop)
+            )
+    if spec.compartmentalized:
+        interior = [r for r in routers.values() if r.role in ("agg", "branch")]
+        factory = PolicyFactory(spec, rng)
+        for router in interior[: max(1, len(interior) // 2)]:
+            router.access_lists.extend(factory.compartment_acl(lan_subnets[:3]))
+            router.extra_global.append("no ip source-route")
+
+
+def _assign_misc(spec, rng, names, routers, planner) -> None:
+    hub_loopbacks = [
+        router.loopback_address()
+        for router in routers.values()
+        if router.role in ("core", "hub")
+    ]
+    hub_loopbacks = [addr for addr in hub_loopbacks if addr is not None][:2]
+    for router in routers.values():
+        if rng.random() < spec.banner_probability:
+            router.banner = names.banner(router.pop_index)
+        router.enable_secret = names.secret()
+        router.usernames = [(user, names.secret()) for user in names.usernames()]
+        router.snmp_community = names.snmp_community()
+        router.snmp_location = "{} {} st".format(
+            names.city(router.pop_index)[1], rng.choice(["main", "oak", "market"])
+        )
+        router.snmp_contact = names.person_email()
+        router.vty_password = names.secret()
+        router.domain_name = names.domain
+        router.ntp_servers = list(hub_loopbacks)
+        router.logging_hosts = list(hub_loopbacks[:1])
+        if router.role in ("branch",) and spec.dialer_backup:
+            router.dialer_number = names.phone()
+        if router.role in ("hub", "border", "core") and rng.random() < 0.5:
+            # A couple of static routes (aggregates to Null0, defaults).
+            base, length = spec.public_block
+            router.static_routes.append(StaticRoute(base, length, 0))
+        if spec.kind == "backbone" and router.role == "agg":
+            # Aggregation routers in provider networks carry customer
+            # aggregates by the dozen.
+            low, high = spec.static_burst
+            p2p_addresses = [
+                interface.address
+                for interface in router.interfaces
+                if interface.kind == "p2p" and interface.address is not None
+            ]
+            for _ in range(_skewed(rng, low // 3, high // 3, power=2.2)):
+                record = planner.customer_route()
+                next_hop = (
+                    rng.choice(p2p_addresses)
+                    if p2p_addresses and rng.random() < 0.7
+                    else 0
+                )
+                router.static_routes.append(
+                    StaticRoute(record.address, record.prefix_len, next_hop)
+                )

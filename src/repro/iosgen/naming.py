@@ -1,0 +1,137 @@
+"""Deterministic fake identity material for generated networks.
+
+Company names, cities, airport codes, people, e-mail addresses, phone
+numbers, banner text — the *privileged* strings a real config leaks and the
+anonymizer must remove.  Everything is drawn from a seeded RNG so a network
+generates byte-identically for a given spec.
+
+None of these fabricated names should appear on the pass-list; tests assert
+that every one of them is hashed or stripped by the anonymizer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+COMPANY_STEMS = [
+    "acme", "globex", "initech", "umbra", "vandelay", "wayne", "stark",
+    "tyrell", "cyberdyne", "wonka", "oscorp", "dunder", "hooli", "pied",
+    "aperture", "weyland", "zorg", "gringott", "monarch", "nakatomi",
+    "octan", "prestige", "sirius", "virtucon", "yoyodyne", "zenith",
+    "bluth", "chotchkie", "duff", "ewing", "frobozz", "gekko",
+]
+
+COMPANY_SUFFIXES = ["net", "com", "corp", "tel", "link", "wave", "grid", "core"]
+
+CITIES = [
+    ("lax", "losangeles"), ("sfo", "sanfrancisco"), ("jfk", "newyork"),
+    ("ord", "chicago"), ("dfw", "dallas"), ("atl", "atlanta"),
+    ("sea", "seattle"), ("den", "denver"), ("iad", "washington"),
+    ("bos", "boston"), ("mia", "miami"), ("phx", "phoenix"),
+    ("msp", "minneapolis"), ("slc", "saltlake"), ("iah", "houston"),
+    ("lhr", "london"), ("fra", "frankfurt"), ("ams", "amsterdam"),
+    ("cdg", "paris"), ("nrt", "tokyo"), ("syd", "sydney"),
+    ("hkg", "hongkong"), ("sin", "singapore"), ("yyz", "toronto"),
+]
+
+PEOPLE = [
+    "jsmith", "mjones", "bwilson", "kchen", "rpatel", "lgarcia",
+    "tnguyen", "dmiller", "sbrown", "ajohnson", "fkafka", "hmelville",
+]
+
+PEER_NAMES = [
+    "uunet", "sprintlink", "genuity", "ebone", "telia", "qwest",
+    "cablewireless", "level3", "abovenet", "exodus", "psinet", "verio",
+    "concert", "teleglobe", "savvis", "cogent",
+]
+
+STREETS = ["main", "oak", "market", "broadway", "fifth", "elm", "harbor", "lake"]
+
+BANNER_TEMPLATES = [
+    "{company} network operations center\nUnauthorized access prohibited!\nContact {email} or call {phone}",
+    "WARNING: {company} property.\nAll activity is monitored and logged.\nReport problems to {email}",
+    "{company} - {city} POP\nAuthorized users only.\nNOC: {phone}",
+]
+
+DESCRIPTION_TEMPLATES = [
+    "{company} {city} {street} St offices",
+    "link to {remote} via {circuit}",
+    "{peer} peering - circuit {circuit}",
+    "backbone {city} to {remote_city}",
+    "customer {customer} - {circuit}",
+    "mgmt lan {city}",
+]
+
+
+class NameFactory:
+    """Seeded generator of fake identity strings for one network."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        stem = self.rng.choice(COMPANY_STEMS)
+        suffix = self.rng.choice(COMPANY_SUFFIXES)
+        self.company = stem
+        self.domain = "{}.{}".format(stem, "com" if suffix == "corp" else suffix)
+        self.company_display = stem.capitalize() + suffix.capitalize()
+        self._city_pool = self.rng.sample(CITIES, len(CITIES))
+        self._circuit_serial = self.rng.randrange(1000, 9000)
+
+    def city(self, index: int):
+        """(airport_code, long_name) for PoP *index* (stable per network)."""
+        return self._city_pool[index % len(self._city_pool)]
+
+    def hostname(self, role: str, index: int, pop_index: int) -> str:
+        code, _ = self.city(pop_index)
+        return "{}{}.{}.{}".format(role, index, code, self.domain)
+
+    def person_email(self) -> str:
+        return "{}@{}".format(self.rng.choice(PEOPLE), self.domain)
+
+    def phone(self) -> str:
+        return "{}{:03d}{:04d}".format(
+            self.rng.choice(["1408", "1212", "1703", "1650", "1312"]),
+            self.rng.randrange(200, 999),
+            self.rng.randrange(0, 9999),
+        )
+
+    def circuit_id(self) -> str:
+        self._circuit_serial += self.rng.randrange(1, 17)
+        return "DS{}-{}".format(self.rng.choice("013"), self._circuit_serial)
+
+    def banner(self, pop_index: int) -> str:
+        template = self.rng.choice(BANNER_TEMPLATES)
+        _, city = self.city(pop_index)
+        return template.format(
+            company=self.company_display,
+            email=self.person_email(),
+            phone=self.phone(),
+            city=city,
+        )
+
+    def description(self, kind: str, pop_index: int, remote: str = "", peer: str = "") -> str:
+        _, city = self.city(pop_index)
+        _, remote_city = self.city(pop_index + 1)
+        template = self.rng.choice(DESCRIPTION_TEMPLATES)
+        return template.format(
+            company=self.company_display,
+            city=city,
+            street=self.rng.choice(STREETS),
+            remote=remote or "core1." + remote_city,
+            remote_city=remote_city,
+            peer=peer or self.rng.choice(PEER_NAMES),
+            circuit=self.circuit_id(),
+            customer=self.rng.choice(COMPANY_STEMS),
+        )
+
+    def secret(self) -> str:
+        alphabet = "abcdefghjkmnpqrstuvwxyz23456789"
+        return "".join(self.rng.choice(alphabet) for _ in range(self.rng.randrange(8, 13)))
+
+    def snmp_community(self) -> str:
+        return self.rng.choice(
+            ["public", "private", self.company + "ro", self.company + "rw", "n0cw4tch"]
+        )
+
+    def usernames(self) -> List[str]:
+        return self.rng.sample(PEOPLE, self.rng.randrange(1, 4))

@@ -1,0 +1,178 @@
+"""Intermediate network plan model: what the generator decides and the
+renderer consumes.
+
+A *plan* is the generator's ground truth about a network: routers, their
+interfaces and addresses, routing-protocol assignments, BGP sessions, and
+policy objects.  The renderer turns plans into IOS text; the validation
+benches compare properties extracted from rendered (and anonymized) text
+back against these plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class InterfacePlan:
+    name: str
+    kind: str  # "loopback" | "lan" | "p2p" | "peer" | "dialer"
+    address: Optional[int] = None
+    prefix_len: int = 24
+    description: Optional[str] = None
+    bandwidth: Optional[int] = None
+    encapsulation: Optional[str] = None
+    point_to_point: bool = False
+    extra: List[str] = field(default_factory=list)
+    shutdown: bool = False
+
+
+@dataclass
+class BgpNeighborPlan:
+    address: int
+    remote_as: int
+    ebgp: bool
+    route_map_in: Optional[str] = None
+    route_map_out: Optional[str] = None
+    update_source: Optional[str] = None
+    next_hop_self: bool = False
+    password: Optional[str] = None
+    send_community: bool = False
+    local_as: Optional[int] = None
+    route_reflector_client: bool = False
+
+
+@dataclass
+class BgpPlan:
+    asn: int
+    router_id: Optional[int] = None
+    networks: List[Tuple[int, int]] = field(default_factory=list)  # (addr, len)
+    neighbors: List[BgpNeighborPlan] = field(default_factory=list)
+    redistribute: List[str] = field(default_factory=list)
+    confederation_id: Optional[int] = None
+    confederation_peers: List[int] = field(default_factory=list)
+
+
+@dataclass
+class IgpPlan:
+    protocol: str  # "ospf" | "rip" | "eigrp"
+    process_id: Optional[int] = None  # ospf pid / eigrp AS
+    #: (addr, wildcard_or_None, area_or_None): OSPF uses wildcard+area,
+    #: RIP/EIGRP use the classful address form.
+    networks: List[Tuple[int, Optional[int], Optional[int]]] = field(default_factory=list)
+    passive_interfaces: List[str] = field(default_factory=list)
+    redistribute: List[str] = field(default_factory=list)
+    rip_version: int = 2
+
+
+@dataclass
+class RouteMapClause:
+    name: str
+    action: str  # "permit" | "deny"
+    sequence: int
+    matches: List[str] = field(default_factory=list)
+    sets: List[str] = field(default_factory=list)
+
+
+@dataclass
+class AccessListEntry:
+    number: int
+    action: str
+    body: str  # everything after permit/deny
+    remark: Optional[str] = None
+
+
+@dataclass
+class NamedAclPlan:
+    name: str
+    entries: List[Tuple[str, str]] = field(default_factory=list)  # (action, body)
+
+
+@dataclass
+class AsPathAclEntry:
+    number: int
+    action: str
+    regex: str
+
+
+@dataclass
+class CommunityListEntry:
+    number: int
+    action: str
+    body: str
+    expanded: bool = False
+
+
+@dataclass
+class PrefixListEntry:
+    name: str
+    sequence: int
+    action: str
+    prefix: int
+    prefix_len: int
+    le: Optional[int] = None
+
+
+@dataclass
+class StaticRoute:
+    prefix: int
+    prefix_len: int
+    next_hop: int
+
+
+@dataclass
+class RouterPlan:
+    hostname: str
+    role: str  # "core" | "agg" | "access" | "border" | "hub" | "branch"
+    pop_index: int
+    version: str
+    interfaces: List[InterfacePlan] = field(default_factory=list)
+    igp: Optional[IgpPlan] = None
+    bgp: Optional[BgpPlan] = None
+    route_maps: List[RouteMapClause] = field(default_factory=list)
+    access_lists: List[AccessListEntry] = field(default_factory=list)
+    aspath_acls: List[AsPathAclEntry] = field(default_factory=list)
+    community_lists: List[CommunityListEntry] = field(default_factory=list)
+    named_acls: List[NamedAclPlan] = field(default_factory=list)
+    prefix_lists: List[PrefixListEntry] = field(default_factory=list)
+    static_routes: List[StaticRoute] = field(default_factory=list)
+    #: (pool_name, network_address, prefix_len) DHCP scopes
+    dhcp_pools: List[Tuple[str, int, int]] = field(default_factory=list)
+    banner: Optional[str] = None
+    enable_secret: Optional[str] = None
+    usernames: List[Tuple[str, str]] = field(default_factory=list)  # (user, pw)
+    snmp_community: Optional[str] = None
+    snmp_location: Optional[str] = None
+    snmp_contact: Optional[str] = None
+    ntp_servers: List[int] = field(default_factory=list)
+    logging_hosts: List[int] = field(default_factory=list)
+    name_servers: List[int] = field(default_factory=list)
+    domain_name: Optional[str] = None
+    dialer_number: Optional[str] = None
+    vty_password: Optional[str] = None
+    extra_global: List[str] = field(default_factory=list)
+
+    def loopback_address(self) -> Optional[int]:
+        for interface in self.interfaces:
+            if interface.kind == "loopback" and interface.address is not None:
+                return interface.address
+        return None
+
+
+@dataclass
+class SubnetRecord:
+    address: int
+    prefix_len: int
+    kind: str  # "loopback" | "p2p" | "lan" | "peer"
+
+
+@dataclass
+class NetworkPlan:
+    spec: "object"
+    routers: Dict[str, RouterPlan] = field(default_factory=dict)
+    subnets: List[SubnetRecord] = field(default_factory=list)
+    #: (router_a, router_b, subnet, kind) for every internal link
+    links: List[Tuple[str, str, SubnetRecord, str]] = field(default_factory=list)
+    #: (router, peer_name, peer_asn, subnet) for every EBGP attachment
+    peerings: List[Tuple[str, str, int, SubnetRecord]] = field(default_factory=list)

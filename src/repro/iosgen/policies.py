@@ -1,0 +1,218 @@
+"""Routing-policy object generation: route-maps, ACLs, regexp lists.
+
+Generates the policy shapes the paper's Section 4.4/4.5 statistics talk
+about: alternation AS-path regexps (10 of 31 networks), digit-range
+regexps over public ASNs (2/31) and private ASNs (3/31), community-list
+regexps (5/31) with ranges (2/31).  Which shapes appear is controlled by
+:class:`~repro.iosgen.spec.NetworkSpec` flags so the dataset reproduces the
+paper's prevalence counts exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.iosgen.plan import (
+    AccessListEntry,
+    AsPathAclEntry,
+    CommunityListEntry,
+    RouteMapClause,
+)
+from repro.iosgen.spec import NetworkSpec
+from repro.netutil import int_to_ip
+
+#: Well-known public ASNs of the paper's era, used as "other networks".
+FAMOUS_ASNS = [701, 1239, 3356, 7018, 209, 3561, 2914, 6453, 1299, 6461, 3549, 2828]
+
+
+@dataclass
+class PolicyBundle:
+    """All the policy objects one border router needs for one peer."""
+
+    route_maps: List[RouteMapClause] = field(default_factory=list)
+    aspath_acls: List[AsPathAclEntry] = field(default_factory=list)
+    community_lists: List[CommunityListEntry] = field(default_factory=list)
+    access_lists: List[AccessListEntry] = field(default_factory=list)
+
+
+class PolicyFactory:
+    """Stateful per-network policy generator (keeps list numbers unique)."""
+
+    def __init__(self, spec: NetworkSpec, rng: random.Random):
+        self.spec = spec
+        self.rng = rng
+        self.next_aspath_acl = 50
+        self.next_std_comm_list = 1
+        self.next_exp_comm_list = 100
+        self.next_ext_acl = 140
+        self.next_std_acl = 10
+        self._alternation_emitted = False
+        self._public_range_emitted = False
+        self._private_range_emitted = False
+        self._community_regex_emitted = False
+        self._community_range_emitted = False
+
+    # -- regexp builders --------------------------------------------------
+
+    def _aspath_regex(self, peer_asn: int) -> str:
+        """One AS-path regexp honoring the spec's shape flags."""
+        if self.spec.use_aspath_range_regexps and not self._public_range_emitted:
+            self._public_range_emitted = True
+            base = peer_asn - (peer_asn % 10)
+            low, high = 1, min(9, 5 + self.rng.randrange(0, 5))
+            return "_{}[{}-{}]_".format(base // 10, low, high)
+        if self.spec.use_private_range_regexps and not self._private_range_emitted:
+            self._private_range_emitted = True
+            return "_6451[2-9]_"
+        if self.spec.use_alternation_regexps:
+            self._alternation_emitted = True
+            others = self.rng.sample(FAMOUS_ASNS, 2)
+            asns = [peer_asn] + [a for a in others if a != peer_asn][:2]
+            return "(" + "|".join("_{}_".format(a) for a in asns) + ")"
+        return "_{}_".format(peer_asn)
+
+    def _community_regex(self, peer_asn: int) -> str:
+        if self.spec.use_community_range_regexps and not self._community_range_emitted:
+            self._community_range_emitted = True
+            return "_{}:7[1-5].._".format(peer_asn)
+        self._community_regex_emitted = True
+        values = sorted(self.rng.sample(range(100, 9999), 2))
+        return "(_{}:{}_|_{}:{}_)".format(peer_asn, values[0], peer_asn, values[1])
+
+    # -- public API --------------------------------------------------------
+
+    def peer_policies(
+        self,
+        peer_name: str,
+        peer_asn: int,
+        local_asn: int,
+        advertised: List[tuple],
+    ) -> PolicyBundle:
+        """Build the import/export pair for one EBGP peer.
+
+        *advertised* is a list of (address, prefix_len) this network
+        announces; the export route-map matches them with an ACL.
+        """
+        bundle = PolicyBundle()
+        import_map = "{}-import".format(peer_name.upper())
+        export_map = "{}-export".format(peer_name.upper())
+
+        aspath_num = self.next_aspath_acl
+        self.next_aspath_acl += 1
+        bundle.aspath_acls.append(
+            AsPathAclEntry(aspath_num, "permit", self._aspath_regex(peer_asn))
+        )
+
+        matches = ["as-path {}".format(aspath_num)]
+        if self.spec.use_community_regexps or self.spec.use_community_range_regexps:
+            comm_num = self.next_exp_comm_list
+            self.next_exp_comm_list += 1
+            bundle.community_lists.append(
+                CommunityListEntry(
+                    comm_num, "permit", self._community_regex(peer_asn), expanded=True
+                )
+            )
+            matches.append("community {}".format(comm_num))
+        else:
+            comm_num = self.next_std_comm_list
+            self.next_std_comm_list += 1
+            values = "{}:{}".format(peer_asn, self.rng.randrange(100, 9999))
+            bundle.community_lists.append(
+                CommunityListEntry(comm_num, "permit", values, expanded=False)
+            )
+            matches.append("community {}".format(comm_num))
+
+        bundle.route_maps.append(
+            RouteMapClause(import_map, "deny", 10, matches=matches)
+        )
+        import_sets = [
+            "local-preference {}".format(self.rng.choice([80, 90, 100, 120, 200]))
+        ]
+        if self.rng.random() < 0.5:
+            import_sets.append(
+                "community {}:{} additive".format(local_asn, self.rng.randrange(1, 999))
+            )
+        bundle.route_maps.append(
+            RouteMapClause(import_map, "permit", 20, sets=import_sets)
+        )
+
+        acl_num = self.next_ext_acl
+        self.next_ext_acl += 1
+        for address, prefix_len in advertised[:4]:
+            wildcard = (0xFFFFFFFF >> prefix_len) if prefix_len else 0xFFFFFFFF
+            bundle.access_lists.append(
+                AccessListEntry(
+                    acl_num,
+                    "permit",
+                    "ip {} {} any".format(int_to_ip(address), int_to_ip(wildcard)),
+                )
+            )
+        export_sets = ["community {}:{}".format(peer_asn, self.rng.randrange(100, 9999))]
+        if self.rng.random() < 0.3:
+            export_sets.append("as-path prepend {} {}".format(local_asn, local_asn))
+        bundle.route_maps.append(
+            RouteMapClause(
+                export_map,
+                "permit",
+                10,
+                matches=["ip address {}".format(acl_num)],
+                sets=export_sets,
+            )
+        )
+        return bundle
+
+    def security_acl(self, lan_subnets: List[tuple]) -> List[AccessListEntry]:
+        """An extended ACL burst protecting local LANs (border routers)."""
+        number = self.next_ext_acl
+        self.next_ext_acl += 1
+        entries: List[AccessListEntry] = []
+        low, high = self.spec.acl_burst
+        count = self.rng.randrange(low, high + 1)
+        services = [
+            ("tcp", "eq telnet"),
+            ("tcp", "eq 22"),
+            ("tcp", "eq smtp"),
+            ("tcp", "eq www"),
+            ("udp", "eq snmp"),
+            ("udp", "eq ntp"),
+            ("tcp", "eq domain"),
+            ("icmp", "echo"),
+        ]
+        for index in range(count):
+            proto, port = self.rng.choice(services)
+            action = "permit" if self.rng.random() < 0.6 else "deny"
+            if lan_subnets and self.rng.random() < 0.7:
+                address, prefix_len = self.rng.choice(lan_subnets)
+                wildcard = (0xFFFFFFFF >> prefix_len) if prefix_len else 0xFFFFFFFF
+                body = "{} any {} {} {}".format(
+                    proto, int_to_ip(address), int_to_ip(wildcard), port
+                )
+            else:
+                body = "{} any any {}".format(proto, port)
+            entries.append(AccessListEntry(number, action, body))
+        entries.append(AccessListEntry(number, "deny", "ip any any log"))
+        return entries
+
+    def compartment_acl(self, lan_subnets: List[tuple]) -> List[AccessListEntry]:
+        """Interior filtering for compartmentalized networks (Section 6.3):
+        blocks probe traffic (traceroute/ping) between compartments."""
+        number = self.next_ext_acl
+        self.next_ext_acl += 1
+        entries = [
+            AccessListEntry(number, "deny", "icmp any any echo"),
+            AccessListEntry(number, "deny", "icmp any any traceroute"),
+            AccessListEntry(number, "deny", "udp any any range 33434 33523"),
+        ]
+        for address, prefix_len in lan_subnets[:2]:
+            wildcard = (0xFFFFFFFF >> prefix_len) if prefix_len else 0xFFFFFFFF
+            entries.append(
+                AccessListEntry(
+                    number,
+                    "permit",
+                    "ip {} {} any".format(int_to_ip(address), int_to_ip(wildcard)),
+                )
+            )
+        entries.append(AccessListEntry(number, "deny", "ip any any"))
+        return entries

@@ -1,0 +1,353 @@
+"""Render a RouterPlan into Cisco-IOS-style configuration text.
+
+The output format follows classic IOS `show running-config` conventions:
+one-space indentation inside stanzas, ``!`` separators, banner blocks with
+dialect-specific delimiters.  Syntax details vary with the
+:class:`~repro.iosgen.dialects.Dialect` so a single network mixes the
+"200+ IOS versions" pressure the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.iosgen.dialects import Dialect
+from repro.iosgen.plan import RouterPlan
+from repro.iosgen.spec import NetworkSpec
+from repro.netutil import int_to_ip, mask_for_len
+
+
+def render_config(
+    router: RouterPlan,
+    dialect: Dialect,
+    names,
+    spec: NetworkSpec,
+    rng: random.Random,
+) -> str:
+    lines: List[str] = []
+    add = lines.append
+
+    add("!")
+    add("version {}".format(dialect.version.split("(")[0]))
+    if dialect.timestamps_msec:
+        add("service timestamps debug datetime msec")
+        add("service timestamps log datetime msec")
+    else:
+        add("service timestamps log uptime")
+    if dialect.password_encryption:
+        add("service password-encryption")
+    add("service tcp-keepalives-in")
+    add("no service pad")
+    add("no service udp-small-servers")
+    add("no service tcp-small-servers")
+    add("!")
+    add("hostname {}".format(router.hostname))
+    add("!")
+    if router.enable_secret:
+        add("enable secret 5 {}".format(router.enable_secret))
+    for user, password in router.usernames:
+        add("username {} password 7 {}".format(user, password))
+    add("!")
+    if dialect.subnet_zero:
+        add("ip subnet-zero")
+    if dialect.uses_ip_classless:
+        add("ip classless")
+    if dialect.community_new_format:
+        add("ip bgp-community new-format")
+    if router.domain_name:
+        add("ip domain-name {}".format(router.domain_name))
+    for server in router.name_servers:
+        add("ip name-server {}".format(int_to_ip(server)))
+    add("ip cef")
+    add("no ip http server")
+    add("no ip finger")
+    add("logging buffered 16384 debugging")
+    add("no logging console")
+    for extra in router.extra_global:
+        add(extra)
+    add("!")
+
+    if router.usernames and rng.random() < 0.6:
+        add("aaa new-model")
+        add("aaa authentication login default group tacacs+ local")
+        add("aaa authorization exec default group tacacs+ if-authenticated")
+        add("aaa accounting exec default start-stop group tacacs+")
+        if router.logging_hosts:
+            add("tacacs-server host {}".format(int_to_ip(router.logging_hosts[0])))
+        add("tacacs-server key {}".format(names.secret()))
+        add("!")
+
+    for pool_name, base, length in router.dhcp_pools:
+        add("ip dhcp pool {}".format(pool_name))
+        add(" network {} {}".format(int_to_ip(base), int_to_ip(mask_for_len(length))))
+        add(" default-router {}".format(int_to_ip(base + 1)))
+        if router.ntp_servers:
+            add(" dns-server {}".format(int_to_ip(router.ntp_servers[0])))
+        add(" lease 7")
+    if router.dhcp_pools:
+        add("!")
+
+    if router.banner:
+        delim = dialect.banner_delimiter
+        add("banner motd {}".format(delim))
+        lines.extend(router.banner.splitlines())
+        add(delim)
+        add("!")
+
+    _render_interfaces(router, dialect, add)
+    _render_igp(router, add)
+    _render_bgp(router, dialect, add)
+    _render_statics(router, add)
+    _render_acls(router, add)
+    _render_named_acls(router, add)
+    _render_policy_lists(router, add)
+    _render_route_maps(router, add)
+    _render_services(router, add)
+    _render_lines_section(router, dialect, add)
+    add("end")
+    return "\n".join(lines) + "\n"
+
+
+def _render_interfaces(router: RouterPlan, dialect: Dialect, add) -> None:
+    for interface in router.interfaces:
+        name = interface.name
+        if interface.point_to_point and "." not in name:
+            add("interface {} point-to-point".format(name))
+        else:
+            add("interface {}".format(name))
+        if interface.description:
+            add(" description {}".format(interface.description))
+        if interface.bandwidth:
+            add(" bandwidth {}".format(interface.bandwidth))
+        if interface.encapsulation:
+            add(" encapsulation {}".format(interface.encapsulation))
+        if interface.address is not None:
+            add(
+                " ip address {} {}".format(
+                    int_to_ip(interface.address), int_to_ip(mask_for_len(interface.prefix_len))
+                )
+            )
+        else:
+            add(" no ip address")
+        if dialect.uses_directed_broadcast and interface.kind == "lan":
+            add(" no ip directed-broadcast")
+        if (
+            router.igp is not None
+            and router.igp.protocol == "isis"
+            and interface.address is not None
+        ):
+            add(" ip router isis")
+        for extra in interface.extra:
+            add(" " + extra)
+        if interface.shutdown:
+            add(" shutdown")
+        add("!")
+
+
+def _system_id_from_loopback(address: int) -> str:
+    """Conventional IS-IS system id: zero-padded loopback octets regrouped,
+    e.g. 6.0.0.3 -> 006.000.000.003 -> 0060.0000.0003."""
+    padded = "{:03d}{:03d}{:03d}{:03d}".format(
+        (address >> 24) & 0xFF, (address >> 16) & 0xFF,
+        (address >> 8) & 0xFF, address & 0xFF,
+    )
+    return "{}.{}.{}".format(padded[0:4], padded[4:8], padded[8:12])
+
+
+def _render_igp(router: RouterPlan, add) -> None:
+    igp = router.igp
+    if igp is None or not igp.networks:
+        return
+    if igp.protocol == "isis":
+        add("router isis")
+        loopback = router.loopback_address() or 0
+        add(" net 49.0001.{}.00".format(_system_id_from_loopback(loopback)))
+        add(" is-type level-2-only")
+        add(" metric-style wide")
+        for name in igp.passive_interfaces:
+            add(" passive-interface {}".format(name))
+        for target in igp.redistribute:
+            add(" redistribute {}".format(target))
+        add("!")
+        return
+    if igp.protocol == "ospf":
+        add("router ospf {}".format(igp.process_id))
+        for base, wildcard, area in igp.networks:
+            add(
+                " network {} {} area {}".format(
+                    int_to_ip(base), int_to_ip(wildcard or 0), area
+                )
+            )
+    elif igp.protocol == "rip":
+        add("router rip")
+        if igp.rip_version == 2:
+            add(" version 2")
+        for base, _, _ in igp.networks:
+            add(" network {}".format(int_to_ip(base)))
+    else:
+        add("router eigrp {}".format(igp.process_id))
+        for base, _, _ in igp.networks:
+            add(" network {}".format(int_to_ip(base)))
+        add(" no auto-summary")
+    for name in igp.passive_interfaces:
+        add(" passive-interface {}".format(name))
+    for target in igp.redistribute:
+        add(" redistribute {}".format(target))
+    add("!")
+
+
+def _render_bgp(router: RouterPlan, dialect: Dialect, add) -> None:
+    bgp = router.bgp
+    if bgp is None:
+        return
+    add("router bgp {}".format(bgp.asn))
+    if dialect.bgp_no_synchronization:
+        add(" no synchronization")
+    if dialect.bgp_log_neighbor_changes:
+        add(" bgp log-neighbor-changes")
+    if bgp.router_id is not None:
+        add(" bgp router-id {}".format(int_to_ip(bgp.router_id)))
+    if bgp.confederation_id:
+        add(" bgp confederation identifier {}".format(bgp.confederation_id))
+        if bgp.confederation_peers:
+            add(
+                " bgp confederation peers {}".format(
+                    " ".join(str(p) for p in bgp.confederation_peers)
+                )
+            )
+    for base, length in bgp.networks:
+        add(" network {} mask {}".format(int_to_ip(base), int_to_ip(mask_for_len(length))))
+    for target in bgp.redistribute:
+        add(" redistribute {}".format(target))
+    for neighbor in bgp.neighbors:
+        peer = int_to_ip(neighbor.address)
+        add(" neighbor {} remote-as {}".format(peer, neighbor.remote_as))
+        if neighbor.local_as:
+            add(" neighbor {} local-as {}".format(peer, neighbor.local_as))
+        if neighbor.update_source:
+            add(" neighbor {} update-source {}".format(peer, neighbor.update_source))
+        if neighbor.next_hop_self:
+            add(" neighbor {} next-hop-self".format(peer))
+        if neighbor.route_reflector_client:
+            add(" neighbor {} route-reflector-client".format(peer))
+        if neighbor.password:
+            add(" neighbor {} password {}".format(peer, neighbor.password))
+        if neighbor.send_community:
+            add(" neighbor {} send-community".format(peer))
+        if neighbor.route_map_in:
+            add(" neighbor {} route-map {} in".format(peer, neighbor.route_map_in))
+        if neighbor.route_map_out:
+            add(" neighbor {} route-map {} out".format(peer, neighbor.route_map_out))
+    add("!")
+
+
+def _render_statics(router: RouterPlan, add) -> None:
+    if not router.static_routes:
+        return
+    for route in router.static_routes:
+        target = "Null0" if route.next_hop == 0 else int_to_ip(route.next_hop)
+        add(
+            "ip route {} {} {}".format(
+                int_to_ip(route.prefix), int_to_ip(mask_for_len(route.prefix_len)), target
+            )
+        )
+    add("!")
+
+
+def _render_acls(router: RouterPlan, add) -> None:
+    if not router.access_lists:
+        return
+    for entry in router.access_lists:
+        if entry.remark:
+            add("access-list {} remark {}".format(entry.number, entry.remark))
+        add("access-list {} {} {}".format(entry.number, entry.action, entry.body))
+    add("!")
+
+
+def _render_named_acls(router: RouterPlan, add) -> None:
+    for acl in router.named_acls:
+        add("ip access-list extended {}".format(acl.name))
+        for action, body in acl.entries:
+            add(" {} {}".format(action, body))
+    if router.named_acls:
+        add("!")
+
+
+def _render_policy_lists(router: RouterPlan, add) -> None:
+    for entry in router.prefix_lists:
+        suffix = " le {}".format(entry.le) if entry.le else ""
+        add(
+            "ip prefix-list {} seq {} {} {}/{}{}".format(
+                entry.name,
+                entry.sequence,
+                entry.action,
+                int_to_ip(entry.prefix),
+                entry.prefix_len,
+                suffix,
+            )
+        )
+    if router.prefix_lists:
+        add("!")
+    for entry in router.aspath_acls:
+        add(
+            "ip as-path access-list {} {} {}".format(
+                entry.number, entry.action, entry.regex
+            )
+        )
+    for entry in router.community_lists:
+        add(
+            "ip community-list {} {} {}".format(entry.number, entry.action, entry.body)
+        )
+    if router.aspath_acls or router.community_lists:
+        add("!")
+
+
+def _render_route_maps(router: RouterPlan, add) -> None:
+    if not router.route_maps:
+        return
+    for clause in router.route_maps:
+        add("route-map {} {} {}".format(clause.name, clause.action, clause.sequence))
+        for match in clause.matches:
+            add(" match {}".format(match))
+        for action in clause.sets:
+            add(" set {}".format(action))
+    add("!")
+
+
+def _render_services(router: RouterPlan, add) -> None:
+    if router.snmp_community:
+        add("snmp-server community {} RO".format(router.snmp_community))
+    if router.snmp_location:
+        add("snmp-server location {}".format(router.snmp_location))
+    if router.snmp_contact:
+        add("snmp-server contact {}".format(router.snmp_contact))
+    if router.snmp_community:
+        add("snmp-server enable traps snmp authentication linkdown linkup coldstart")
+        add("snmp-server enable traps config")
+        add("snmp-server enable traps bgp")
+        for host in router.logging_hosts:
+            add("snmp-server host {} {}".format(int_to_ip(host), router.snmp_community))
+    for server in router.ntp_servers:
+        add("ntp server {}".format(int_to_ip(server)))
+    for host in router.logging_hosts:
+        add("logging {}".format(int_to_ip(host)))
+    if router.dialer_number:
+        add("interface Dialer0")
+        add(" dialer string {}".format(router.dialer_number))
+        add(" dialer-group 1")
+        add("!")
+    add("!")
+
+
+def _render_lines_section(router: RouterPlan, dialect: Dialect, add) -> None:
+    add("line con 0")
+    if router.vty_password:
+        add(" password {}".format(router.vty_password))
+    add(" login")
+    low, high = dialect.vty_count
+    add("line vty {} {}".format(low, high))
+    if router.vty_password:
+        add(" password {}".format(router.vty_password))
+    add(" login")
+    add("!")

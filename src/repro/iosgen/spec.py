@@ -1,0 +1,67 @@
+"""Network specification: all the parameters of one generated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class NetworkSpec:
+    """Parameters controlling one synthetic network.
+
+    The defaults describe a mid-sized enterprise; :func:`repro.iosgen.dataset.paper_dataset`
+    builds 31 of these calibrated to the paper's corpus statistics.
+    """
+
+    name: str = "net0"
+    kind: str = "enterprise"  # "backbone" | "enterprise"
+    seed: int = 0
+
+    # -- size knobs ------------------------------------------------------
+    num_pops: int = 3               # backbone PoPs or enterprise sites
+    aggs_per_pop: int = 2
+    access_per_pop: int = 3
+    lans_per_access: Tuple[int, int] = (4, 14)   # dot1q subinterface VLANs
+    static_burst: Tuple[int, int] = (0, 8)       # customer statics on borders
+    prefix_list_entries: Tuple[int, int] = (3, 12)
+
+    # -- routing design --------------------------------------------------
+    igp: str = "ospf"               # "ospf" | "rip" | "eigrp"
+    local_asn: int = 64512          # public for backbones, often private else
+    num_ebgp_peers: int = 2         # distinct neighbor networks
+    sessions_per_peer: Tuple[int, int] = (1, 3)
+    ibgp_full_mesh: bool = True
+    use_route_reflectors: bool = False  # RR pair instead of full mesh
+
+    # -- addressing ------------------------------------------------------
+    public_block: Tuple[int, int] = (0x06000000, 8)   # (base, len), e.g. 6/8
+    use_rfc1918: bool = True
+
+    # -- content knobs (calibrated against the paper) ---------------------
+    comment_density: float = 0.3    # P(interface gets a description)
+    banner_probability: float = 0.8
+    use_aspath_range_regexps: bool = False     # public-ASN ranges (2/31)
+    use_private_range_regexps: bool = False    # private-ASN ranges (3/31)
+    use_alternation_regexps: bool = True       # alternations (10/31)
+    use_community_regexps: bool = False        # community regexps (5/31)
+    use_community_range_regexps: bool = False  # ranges in them (2/31)
+    compartmentalized: bool = False            # NAT/filtering interior (10/31)
+    use_confederation: bool = False            # BGP confederation (R19/R20)
+    use_vrfs: bool = False                     # MPLS VPN vrfs (R17/R18)
+    archaic_policies: bool = False             # `set origin egp` era (R21)
+    acl_burst: Tuple[int, int] = (2, 12)       # extended ACL entries per border
+    dialer_backup: bool = False                # ISDN dial backup on branches
+
+    #: IOS versions available to this network's routers (assigned per
+    #: router round-robin with jitter).  ``None`` means sample from the
+    #: full synthetic version family.
+    versions: Optional[List[str]] = None
+
+    #: Fraction of routers rendered in JunOS syntax (multi-vendor
+    #: networks).  Ignored for EIGRP networks (no JunOS equivalent).
+    junos_fraction: float = 0.0
+
+    def total_router_estimate(self) -> int:
+        per_pop = 2 + self.aggs_per_pop + self.access_per_pop
+        return self.num_pops * per_pop

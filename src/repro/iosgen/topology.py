@@ -1,0 +1,115 @@
+"""Topology generation: PoP-structured backbones and tree-shaped enterprises.
+
+Uses networkx graphs.  Nodes are router names with ``role`` and ``pop``
+attributes; edges carry a ``media`` attribute ("ethernet" for intra-PoP,
+"serial" for long-haul / WAN).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import networkx as nx
+
+from repro.iosgen.naming import NameFactory
+from repro.iosgen.spec import NetworkSpec
+
+
+def build_topology(spec: NetworkSpec, names: NameFactory, rng: random.Random) -> nx.Graph:
+    if spec.kind == "backbone":
+        return _backbone_topology(spec, names, rng)
+    return _enterprise_topology(spec, names, rng)
+
+
+def _backbone_topology(spec: NetworkSpec, names: NameFactory, rng: random.Random) -> nx.Graph:
+    """Classic ISP shape: per-PoP core pair + aggregation + access, PoP
+    cores connected in a ring with random chords."""
+    graph = nx.Graph()
+    pop_cores: List[List[str]] = []
+    for pop in range(spec.num_pops):
+        cores = []
+        for core_index in (1, 2):
+            name = names.hostname("cr", core_index, pop)
+            graph.add_node(name, role="core", pop=pop)
+            cores.append(name)
+        graph.add_edge(cores[0], cores[1], media="ethernet")
+        pop_cores.append(cores)
+
+        for agg_index in range(1, spec.aggs_per_pop + 1):
+            agg = names.hostname("ar", agg_index, pop)
+            graph.add_node(agg, role="agg", pop=pop)
+            # dual-homed to both cores
+            graph.add_edge(agg, cores[0], media="ethernet")
+            graph.add_edge(agg, cores[1], media="ethernet")
+
+        aggs = [n for n, d in graph.nodes(data=True) if d["pop"] == pop and d["role"] == "agg"]
+        for acc_index in range(1, spec.access_per_pop + 1):
+            access = names.hostname("sw", acc_index, pop)
+            graph.add_node(access, role="access", pop=pop)
+            graph.add_edge(access, rng.choice(aggs or cores), media="ethernet")
+
+    # Ring over PoPs plus chords for larger backbones.
+    for pop in range(spec.num_pops):
+        nxt = (pop + 1) % spec.num_pops
+        if spec.num_pops > 1 and (pop != nxt):
+            graph.add_edge(pop_cores[pop][0], pop_cores[nxt][0], media="serial")
+            graph.add_edge(pop_cores[pop][1], pop_cores[nxt][1], media="serial")
+    chords = max(0, spec.num_pops - 3)
+    for _ in range(chords):
+        a, b = rng.sample(range(spec.num_pops), 2)
+        core_a = rng.choice(pop_cores[a])
+        core_b = rng.choice(pop_cores[b])
+        if not graph.has_edge(core_a, core_b):
+            graph.add_edge(core_a, core_b, media="serial")
+
+    _mark_borders(graph, spec, rng)
+    return graph
+
+
+def _enterprise_topology(spec: NetworkSpec, names: NameFactory, rng: random.Random) -> nx.Graph:
+    """Hub-and-spoke: an HQ core pair, distribution at HQ, branch sites
+    over WAN serial links."""
+    graph = nx.Graph()
+    hub1 = names.hostname("gw", 1, 0)
+    hub2 = names.hostname("gw", 2, 0)
+    graph.add_node(hub1, role="hub", pop=0)
+    graph.add_node(hub2, role="hub", pop=0)
+    graph.add_edge(hub1, hub2, media="ethernet")
+
+    for agg_index in range(1, spec.aggs_per_pop + 1):
+        dist = names.hostname("ds", agg_index, 0)
+        graph.add_node(dist, role="agg", pop=0)
+        graph.add_edge(dist, hub1, media="ethernet")
+        graph.add_edge(dist, hub2, media="ethernet")
+
+    hubs = [hub1, hub2]
+    for site in range(1, spec.num_pops):
+        branch = names.hostname("br", 1, site)
+        graph.add_node(branch, role="branch", pop=site)
+        graph.add_edge(branch, hubs[site % 2], media="serial")
+        for acc_index in range(1, spec.access_per_pop + 1):
+            access = names.hostname("sw", acc_index, site)
+            graph.add_node(access, role="access", pop=site)
+            graph.add_edge(access, branch, media="ethernet")
+    # HQ access layer
+    dists = [n for n, d in graph.nodes(data=True) if d["role"] == "agg"]
+    for acc_index in range(1, spec.access_per_pop + 1):
+        access = names.hostname("sw", acc_index + 10, 0)
+        graph.add_node(access, role="access", pop=0)
+        graph.add_edge(access, rng.choice(dists or hubs), media="ethernet")
+
+    _mark_borders(graph, spec, rng)
+    return graph
+
+
+def _mark_borders(graph: nx.Graph, spec: NetworkSpec, rng: random.Random) -> None:
+    """Pick the routers that terminate EBGP peerings (``is_border``)."""
+    candidates = [
+        n for n, d in graph.nodes(data=True) if d["role"] in ("core", "hub")
+    ]
+    if not candidates:
+        candidates = list(graph.nodes)
+    count = min(len(candidates), max(1, spec.num_ebgp_peers))
+    for name in rng.sample(sorted(candidates), count):
+        graph.nodes[name]["is_border"] = True

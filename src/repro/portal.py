@@ -1,0 +1,195 @@
+"""The single-blind configuration clearinghouse (paper Section 7).
+
+"Using the ability to anonymize router configuration files, we plan to
+establish a single-blind methodology for working with private network data
+through a website portal.  Network owners could download the configuration
+anonymization tools … and upload their anonymized configurations after
+taking whatever additional steps they felt necessary to verify the
+anonymization.  Researchers with accounts on the portal could then be
+given access to the data, communicating comments to the anonymous network
+owners through a blinding function of the portal."
+
+This module implements that workflow as a library:
+
+* **Owners** register pseudonymously (the portal never learns who they
+  are; their handle is a keyed digest of a registration token they keep).
+* **Uploads** are gated: the portal re-runs the Section 6.1 leak scanner
+  and the validation-oriented sanity checks before accepting a dataset;
+  datasets failing the gate are rejected with the highlighted lines.
+* **Researchers** browse accepted datasets and file *comments* addressed
+  to a dataset; the portal relays them to the owner's message queue under
+  the blind handle, so neither side learns the other's identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.textual import Leak, scan_for_leaks
+from repro.configmodel import ParsedNetwork
+from repro.core.engine import Anonymizer
+
+
+class PortalError(Exception):
+    """Raised for workflow violations (unknown handles, rejected uploads)."""
+
+
+@dataclass
+class Dataset:
+    """One accepted anonymized config set."""
+
+    dataset_id: str
+    owner_handle: str
+    configs: Dict[str, str]
+    num_routers: int
+    num_lines: int
+    description: str = ""
+
+
+@dataclass
+class Comment:
+    """A researcher's comment relayed through the blinding function."""
+
+    dataset_id: str
+    researcher_handle: str
+    text: str
+
+
+@dataclass
+class UploadReceipt:
+    accepted: bool
+    dataset_id: Optional[str]
+    highlighted: List[Leak] = field(default_factory=list)
+    reason: str = ""
+
+
+class Clearinghouse:
+    """An in-memory portal implementing the Section 7 workflow."""
+
+    def __init__(self, portal_secret: bytes = b"portal-secret"):
+        self._secret = portal_secret
+        self._owners: Dict[str, List[Comment]] = {}
+        self._researchers: set = set()
+        self._datasets: Dict[str, Dataset] = {}
+        self._serial = 0
+
+    # -- identity blinding -------------------------------------------------
+
+    def _blind(self, role: str, token: str) -> str:
+        digest = hmac.new(
+            self._secret, (role + ":" + token).encode("utf-8"), hashlib.sha256
+        )
+        return role + "-" + digest.hexdigest()[:12]
+
+    def register_owner(self, registration_token: str) -> str:
+        """Register an owner; returns the blind handle they will act under.
+
+        The token never leaves the owner's side again — the portal stores
+        only the blind handle.
+        """
+        handle = self._blind("owner", registration_token)
+        self._owners.setdefault(handle, [])
+        return handle
+
+    def register_researcher(self, registration_token: str) -> str:
+        handle = self._blind("researcher", registration_token)
+        self._researchers.add(handle)
+        return handle
+
+    # -- the upload gate -----------------------------------------------------
+
+    def upload(
+        self,
+        owner_handle: str,
+        anonymizer: Anonymizer,
+        anonymized_configs: Dict[str, str],
+        description: str = "",
+    ) -> UploadReceipt:
+        """Submit an anonymized dataset through the acceptance gate.
+
+        The owner supplies the *anonymizer they used* (its report carries
+        the recorded privileged values) so the portal can independently
+        re-run the leak scan — without ever seeing the original configs or
+        the salt.
+        """
+        if owner_handle not in self._owners:
+            raise PortalError("unknown owner handle {!r}".format(owner_handle))
+
+        highlighted = scan_for_leaks(
+            anonymized_configs,
+            seen_asns=anonymizer.report.seen_asns,
+            hashed_tokens=anonymizer.hasher.hashed_inputs.keys(),
+            public_ips=anonymizer.report.seen_public_ips,
+        )
+        if highlighted:
+            return UploadReceipt(
+                accepted=False,
+                dataset_id=None,
+                highlighted=highlighted,
+                reason="leak scanner highlighted {} lines".format(len(highlighted)),
+            )
+        if anonymizer.report.flags:
+            return UploadReceipt(
+                accepted=False,
+                dataset_id=None,
+                reason="anonymizer flagged {} lines for human review".format(
+                    len(anonymizer.report.flags)
+                ),
+            )
+        parsed = ParsedNetwork.from_configs(anonymized_configs)
+        if not parsed.routers or not any(
+            r.addressed_interfaces() for r in parsed.routers.values()
+        ):
+            return UploadReceipt(
+                accepted=False,
+                dataset_id=None,
+                reason="dataset does not parse as router configurations",
+            )
+
+        self._serial += 1
+        dataset_id = "ds-{:04d}".format(self._serial)
+        self._datasets[dataset_id] = Dataset(
+            dataset_id=dataset_id,
+            owner_handle=owner_handle,
+            configs=dict(anonymized_configs),
+            num_routers=len(anonymized_configs),
+            num_lines=sum(len(t.splitlines()) for t in anonymized_configs.values()),
+            description=description,
+        )
+        return UploadReceipt(accepted=True, dataset_id=dataset_id)
+
+    # -- researcher side ------------------------------------------------------
+
+    def catalog(self) -> List[Tuple[str, int, int, str]]:
+        """(dataset_id, routers, lines, description) for every dataset —
+        owner handles are not exposed to browsers."""
+        return [
+            (d.dataset_id, d.num_routers, d.num_lines, d.description)
+            for d in sorted(self._datasets.values(), key=lambda d: d.dataset_id)
+        ]
+
+    def fetch(self, researcher_handle: str, dataset_id: str) -> Dict[str, str]:
+        if researcher_handle not in self._researchers:
+            raise PortalError("unknown researcher handle {!r}".format(researcher_handle))
+        if dataset_id not in self._datasets:
+            raise PortalError("no dataset {!r}".format(dataset_id))
+        return dict(self._datasets[dataset_id].configs)
+
+    def comment(self, researcher_handle: str, dataset_id: str, text: str) -> None:
+        """Relay a comment to the dataset's owner through the blind."""
+        if researcher_handle not in self._researchers:
+            raise PortalError("unknown researcher handle {!r}".format(researcher_handle))
+        dataset = self._datasets.get(dataset_id)
+        if dataset is None:
+            raise PortalError("no dataset {!r}".format(dataset_id))
+        self._owners[dataset.owner_handle].append(
+            Comment(dataset_id, researcher_handle, text)
+        )
+
+    def inbox(self, owner_handle: str) -> List[Comment]:
+        if owner_handle not in self._owners:
+            raise PortalError("unknown owner handle {!r}".format(owner_handle))
+        return list(self._owners[owner_handle])

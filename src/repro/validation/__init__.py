@@ -1,0 +1,28 @@
+"""End-to-end validation of anonymization accuracy (paper Section 5).
+
+Two suites compare pre- and post-anonymization configurations:
+
+* :mod:`repro.validation.suite1` — independent characteristics
+  (# BGP speakers, # interfaces, the subnet-size histogram, ...).
+* :mod:`repro.validation.suite2` — full routing-design extraction
+  (per Maltz et al., SIGCOMM 2004 [1]) compared structurally.
+* :mod:`repro.validation.suite3` — research-analysis invariance
+  (robustness, failure impact, reachability), the suite growth the paper
+  anticipates.
+"""
+
+from repro.validation.suite1 import characteristics, compare_characteristics
+from repro.validation.designextract import extract_design, design_signature
+from repro.validation.suite2 import compare_designs
+from repro.validation.suite3 import compare_research_analyses
+from repro.validation.compare import ValidationResult
+
+__all__ = [
+    "characteristics",
+    "compare_characteristics",
+    "extract_design",
+    "design_signature",
+    "compare_designs",
+    "compare_research_analyses",
+    "ValidationResult",
+]

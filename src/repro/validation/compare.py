@@ -1,0 +1,31 @@
+"""Shared result type for validation comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of one validation suite run."""
+
+    suite: str
+    passed: bool
+    differences: List[str] = field(default_factory=list)
+
+    def add_difference(self, message: str) -> None:
+        self.differences.append(message)
+        self.passed = False
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = ["[{}] {}".format(status, self.suite)]
+        lines.extend("  - " + d for d in self.differences)
+        return "\n".join(lines)
+
+
+def compare_values(result: ValidationResult, label: str, pre, post) -> None:
+    """Record a difference when pre != post."""
+    if pre != post:
+        result.add_difference("{}: pre={!r} post={!r}".format(label, pre, post))

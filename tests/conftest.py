@@ -1,0 +1,113 @@
+"""Shared fixtures: the Figure-1 config, small generated networks, and
+anonymizers with fixed salts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Anonymizer, AnonymizerConfig
+from repro.iosgen import NetworkSpec, generate_network
+
+#: A faithful rendition of the paper's Figure 1 (excerpts of a router
+#: configuration file), used by the E1 checks.
+FIGURE1 = """\
+hostname cr1.lax.foo.com
+!
+banner motd ^C
+FooNet contact xxx@foo.com
+Access strictly prohibited!
+^C
+!
+interface Ethernet0
+ description Foo Corp's LAX Main St offices
+ ip address 1.1.1.1 255.255.255.0
+!
+interface Serial1/0.5 point-to-point
+ description cr1.sfo-serial3/0.8
+ ip address 1.2.3.4 255.255.255.252
+!
+router bgp 1111
+ redistribute rip
+ neighbor 2.3.4.5 remote-as 701
+ neighbor 2.3.4.5 route-map UUNET-import in
+ neighbor 2.3.4.5 route-map UUNET-export out
+!
+route-map UUNET-import deny 10
+ match as-path 50
+ match community 100
+route-map UUNET-import permit 20
+route-map UUNET-export permit 10
+ match ip address 143
+ set community 701:7100
+!
+access-list 143 permit ip 1.1.1.0 0.0.0.255 2.0.0.0 0.255.255.255
+ip community-list 100 permit 701:7[1-5]..
+ip as-path access-list 50 permit (_1239_|_70[2-5]_)
+!
+router rip
+ network 1.0.0.0
+"""
+
+
+@pytest.fixture
+def figure1_text() -> str:
+    return FIGURE1
+
+
+@pytest.fixture
+def anonymizer() -> Anonymizer:
+    return Anonymizer(salt=b"test-owner-secret")
+
+
+@pytest.fixture(scope="session")
+def small_enterprise():
+    spec = NetworkSpec(
+        name="t-ent",
+        kind="enterprise",
+        seed=101,
+        num_pops=3,
+        igp="ospf",
+        lans_per_access=(2, 5),
+        static_burst=(0, 4),
+        use_community_regexps=True,
+        dialer_backup=True,
+        comment_density=0.3,
+    )
+    return generate_network(spec)
+
+
+@pytest.fixture(scope="session")
+def small_backbone():
+    spec = NetworkSpec(
+        name="t-bb",
+        kind="backbone",
+        seed=202,
+        num_pops=4,
+        aggs_per_pop=2,
+        access_per_pop=2,
+        igp="ospf",
+        local_asn=7132,
+        num_ebgp_peers=3,
+        lans_per_access=(2, 5),
+        static_burst=(2, 8),
+        use_aspath_range_regexps=True,
+        use_alternation_regexps=True,
+        use_rfc1918=False,
+        public_block=(0x06000000, 8),
+    )
+    return generate_network(spec)
+
+
+@pytest.fixture(scope="session")
+def session_enterprise():
+    """A module-expensive network shared across test files (read-only)."""
+    spec = NetworkSpec(
+        name="s-ent",
+        kind="enterprise",
+        seed=77,
+        num_pops=4,
+        igp="rip",
+        lans_per_access=(2, 6),
+        static_burst=(0, 6),
+    )
+    return generate_network(spec)

@@ -1,0 +1,292 @@
+"""Tests for the leak scanner, iterative closure, and fingerprint attacks."""
+
+import pytest
+
+from repro.attacks import (
+    fingerprint_uniqueness,
+    iterative_closure,
+    peering_fingerprint,
+    reidentification_experiment,
+    scan_for_leaks,
+    subnet_fingerprint,
+)
+from repro.attacks.fingerprint import fingerprint_distance
+from repro.attacks.textual import structured_asn_audit
+from repro.configmodel import ParsedNetwork
+from repro.core import Anonymizer, AnonymizerConfig
+
+
+class TestLeakScanner:
+    def test_clean_output_has_no_leaks(self, small_enterprise):
+        anon = Anonymizer(salt=b"scan-salt")
+        result = anon.anonymize_network(dict(small_enterprise.configs))
+        leaks = scan_for_leaks(
+            result.configs,
+            seen_asns=anon.report.seen_asns,
+            hashed_tokens=anon.hasher.hashed_inputs.keys(),
+            public_ips=anon.report.seen_public_ips,
+        )
+        assert leaks == []
+
+    def test_detects_planted_asn(self):
+        leaks = scan_for_leaks(
+            {"r1": "router bgp 7018\n"}, seen_asns={7018}
+        )
+        assert len(leaks) == 1
+        assert leaks[0].kind == "asn"
+        assert leaks[0].value == "7018"
+
+    def test_no_false_positive_inside_dotted_quad(self):
+        leaks = scan_for_leaks({"r1": "logging 10.701.2.3\n"}, seen_asns={701})
+        assert leaks == []
+
+    def test_no_false_positive_inside_subinterface(self):
+        leaks = scan_for_leaks({"r1": "interface Serial0/0.701\n"}, seen_asns={701})
+        assert leaks == []
+
+    def test_detects_leaked_string(self):
+        leaks = scan_for_leaks(
+            {"r1": "route-map UUNET-import permit 10\n"},
+            hashed_tokens=["UUNET"],
+        )
+        assert [l.kind for l in leaks] == ["string"]
+
+    def test_detects_leaked_public_ip(self):
+        from repro.netutil import ip_to_int
+
+        leaks = scan_for_leaks(
+            {"r1": "ntp server 12.1.2.3\n"}, public_ips={ip_to_int("12.1.2.3")}
+        )
+        assert [l.kind for l in leaks] == ["ip"]
+
+    def test_short_tokens_skipped(self):
+        # 1-2 char tokens would flood the scan with false hits.
+        leaks = scan_for_leaks({"r1": "ip x\n"}, hashed_tokens=["x"])
+        assert leaks == []
+
+
+class TestStructuredAudit:
+    def test_finds_unmapped_remote_as(self):
+        leaks = structured_asn_audit(
+            {"r1": "router bgp 65001\n neighbor 1.1.1.1 remote-as 701\n"},
+            original_public_asns={701},
+        )
+        assert any(l.value == "701" for l in leaks)
+
+    def test_finds_asn_accepted_by_regexp(self):
+        leaks = structured_asn_audit(
+            {"r1": "ip as-path access-list 5 permit _70[0-5]_\n"},
+            original_public_asns={703},
+        )
+        assert any(l.line_text == "as-path regexp accepts it" for l in leaks)
+
+    def test_clean_after_full_anonymization(self, small_backbone):
+        anon = Anonymizer(salt=b"audit-salt")
+        result = anon.anonymize_network(dict(small_backbone.configs))
+        leaks = structured_asn_audit(result.configs, anon.report.seen_asns)
+        assert leaks == []
+
+
+class TestIterativeClosure:
+    def test_converges_under_five_iterations(self, small_backbone):
+        history = iterative_closure(
+            dict(small_backbone.configs), b"closure-salt", initial_rules=("R10",)
+        )
+        assert history[-1].leaks_found == 0
+        assert len(history) < 5  # the paper's bound
+
+    def test_first_iteration_finds_leaks(self, small_backbone):
+        history = iterative_closure(
+            dict(small_backbone.configs), b"closure-salt-2", initial_rules=("R10",)
+        )
+        assert history[0].leaks_found > 0
+        assert history[0].rules_added
+
+    def test_full_rules_need_no_iteration(self, small_enterprise):
+        history = iterative_closure(
+            dict(small_enterprise.configs),
+            b"closure-salt-3",
+            initial_rules=tuple("R{}".format(n) for n in range(10, 22)),
+        )
+        assert len(history) == 1
+        assert history[0].leaks_found == 0
+
+
+class TestFingerprints:
+    @pytest.fixture(scope="class")
+    def pre_post(self, small_backbone):
+        anon = Anonymizer(salt=b"fp-salt")
+        result = anon.anonymize_network(dict(small_backbone.configs))
+        return (
+            ParsedNetwork.from_configs(small_backbone.configs),
+            ParsedNetwork.from_configs(result.configs),
+        )
+
+    def test_subnet_fingerprint_survives_anonymization(self, pre_post):
+        """The paper's §6.2 observation: structure preservation keeps the
+        subnet-size histogram identical — that is the attack surface."""
+        pre, post = pre_post
+        assert subnet_fingerprint(pre) == subnet_fingerprint(post)
+
+    def test_peering_fingerprint_survives_anonymization(self, pre_post):
+        pre, post = pre_post
+        assert peering_fingerprint(pre) == peering_fingerprint(post)
+
+    def test_distance_zero_iff_equal(self, pre_post):
+        pre, post = pre_post
+        assert fingerprint_distance(subnet_fingerprint(pre), subnet_fingerprint(post)) == 0
+        other = ((24, 99),)
+        assert fingerprint_distance(subnet_fingerprint(pre), other) > 0
+
+    def test_uniqueness_math(self):
+        fps = [((24, 1),), ((24, 1),), ((30, 2),)]
+        report = fingerprint_uniqueness(fps)
+        assert report.total == 3
+        assert report.unique == 1
+        assert report.largest_collision_group == 2
+        assert 0 < report.entropy_bits < 1.6
+
+    def test_reidentification_on_distinct_networks(self):
+        from repro.iosgen import NetworkSpec, generate_network
+
+        nets = {
+            "n{}".format(i): generate_network(
+                NetworkSpec(name="n{}".format(i), seed=400 + i, num_pops=2 + i)
+            )
+            for i in range(3)
+        }
+        pre = {k: ParsedNetwork.from_configs(v.configs) for k, v in nets.items()}
+        post = {}
+        for key, net in nets.items():
+            anon = Anonymizer(salt=key.encode())
+            post[key] = ParsedNetwork.from_configs(
+                anon.anonymize_network(dict(net.configs)).configs
+            )
+        result = reidentification_experiment(pre, post)
+        # Distinct sizes -> distinct fingerprints -> full re-identification:
+        # exactly the risk the paper warns about.
+        assert result.attempted == 3
+        assert result.correct == 3
+
+
+class TestProbingSimulation:
+    from repro.iosgen import NetworkSpec
+
+    def _network(self, seed=600):
+        from repro.iosgen import NetworkSpec, generate_network
+
+        return generate_network(
+            NetworkSpec(name="probe", seed=seed, num_pops=2, lans_per_access=(2, 4))
+        )
+
+    def test_responses_within_plan_subnets(self):
+        from repro.attacks.probing import simulate_responses
+
+        network = self._network()
+        responders = simulate_responses(network, loss_rate=0.0)
+        assert responders
+        spans = []
+        for record in network.plan.subnets:
+            size = 1 << (32 - record.prefix_len)
+            spans.append((record.address, record.address + size))
+        for address in list(responders)[:200]:
+            assert any(low <= address < high for low, high in spans)
+
+    def test_loss_rate_monotone(self):
+        from repro.attacks.probing import simulate_responses
+
+        network = self._network()
+        none_lost = simulate_responses(network, loss_rate=0.0)
+        half_lost = simulate_responses(network, loss_rate=0.5)
+        assert len(half_lost) < len(none_lost)
+
+    def test_estimate_subnets_isolated_lan(self):
+        from repro.attacks.probing import estimate_subnets
+
+        # A /24 with hosts .1-.80 clustered low, far from anything else.
+        responders = [0x0A010100 + i for i in range(1, 81)]
+        estimates = estimate_subnets(responders)
+        assert len(estimates) == 1
+        base, prefix_len = estimates[0]
+        assert base == 0x0A010100
+        assert prefix_len in (25, 26)  # span-derived (80 hosts -> /25)
+
+    def test_estimate_handles_empty(self):
+        from repro.attacks.probing import estimate_subnets
+
+        assert estimate_subnets([]) == []
+
+    def test_probed_fingerprint_differs_from_exact(self):
+        from repro.attacks.probing import probed_fingerprint
+        from repro.configmodel import ParsedNetwork
+
+        network = self._network()
+        exact = subnet_fingerprint(ParsedNetwork.from_configs(network.configs))
+        probed = probed_fingerprint(network, loss_rate=0.1)
+        assert probed  # some estimate produced
+        assert probed != exact  # estimation error is the point
+
+    def test_noisy_reidentification_perfect_with_exact_inputs(self):
+        from repro.attacks.probing import noisy_reidentification
+
+        candidates = {"a": ((24, 3),), "b": ((24, 5), (30, 2))}
+        correct, attempted = noisy_reidentification(candidates, dict(candidates))
+        assert (correct, attempted) == (2, 2)
+
+
+class TestEntropyFeatures:
+    def test_feature_entropy_bounds(self):
+        from repro.attacks.fingerprint import feature_entropy
+
+        assert feature_entropy(["a", "a", "a", "a"]) == 0.0
+        assert abs(feature_entropy(["a", "b", "c", "d"]) - 2.0) < 1e-9
+
+    def test_combined_at_least_each_part(self, small_backbone, small_enterprise):
+        from repro.attacks.fingerprint import (
+            combined_fingerprint,
+            feature_entropy,
+            peering_fingerprint,
+            subnet_fingerprint,
+        )
+
+        networks = [
+            ParsedNetwork.from_configs(small_backbone.configs),
+            ParsedNetwork.from_configs(small_enterprise.configs),
+        ]
+        combined = feature_entropy([combined_fingerprint(n) for n in networks])
+        for fn in (subnet_fingerprint, peering_fingerprint):
+            assert combined >= feature_entropy([fn(n) for n in networks]) - 1e-9
+
+    def test_interface_mix_stable_pre_post(self, small_enterprise):
+        from repro.attacks.fingerprint import interface_mix_fingerprint
+
+        anon = Anonymizer(salt=b"mix")
+        result = anon.anonymize_network(dict(small_enterprise.configs))
+        pre = interface_mix_fingerprint(ParsedNetwork.from_configs(small_enterprise.configs))
+        post = interface_mix_fingerprint(ParsedNetwork.from_configs(result.configs))
+        assert pre == post
+
+
+class TestScannerInternals:
+    def test_longest_value_wins(self):
+        # Alternation must prefer the longest literal at a position, so a
+        # leak of "701" is reported as 701, not its prefix "70".
+        leaks = scan_for_leaks({"r": "router bgp 7018\n"}, seen_asns={70, 701, 7018})
+        assert [l.value for l in leaks] == ["7018"]
+
+    def test_multiple_occurrences_one_line(self):
+        leaks = scan_for_leaks(
+            {"r": "bgp confederation peers 701 701 1239\n"},
+            seen_asns={701, 1239},
+        )
+        values = sorted(l.value for l in leaks)
+        assert values == ["1239", "701", "701"]
+
+    def test_empty_families_no_crash(self):
+        assert scan_for_leaks({"r": "anything\n"}) == []
+
+    def test_line_numbers_reported(self):
+        leaks = scan_for_leaks(
+            {"r": "!\n!\nrouter bgp 701\n"}, seen_asns={701}
+        )
+        assert leaks[0].line_number == 3

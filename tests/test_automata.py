@@ -1,0 +1,265 @@
+"""Tests for the regexp/automata substrate, including a differential check
+of our NFA/DFA matcher against the Python ``re`` translation."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import (
+    RegexMatcher,
+    RegexParseError,
+    dfa_from_nfa,
+    dfa_to_regex,
+    minimize_dfa,
+    parse_regex,
+)
+from repro.automata.ast import Alt, Boundary, CharClass, Concat, Literal, Star
+from repro.automata.dfa import dfa_from_strings
+from repro.automata.matcher import compile_python_regex, to_python_regex
+from repro.automata.nfa import compile_search_nfa
+
+
+class TestParser:
+    def test_literal_concat(self):
+        node = parse_regex("701")
+        assert isinstance(node, Concat)
+        assert all(isinstance(p, Literal) for p in node.parts)
+
+    def test_alternation(self):
+        node = parse_regex("a|b|c")
+        assert isinstance(node, Alt)
+        assert len(node.parts) == 3
+
+    def test_class_range(self):
+        node = parse_regex("[1-5]")
+        assert isinstance(node, CharClass)
+        assert node.chars == frozenset("12345")
+        assert not node.negated
+
+    def test_negated_class(self):
+        node = parse_regex("[^ab]")
+        assert node.negated
+        assert node.chars == frozenset("ab")
+
+    def test_class_literal_dash_and_bracket(self):
+        assert parse_regex("[a-]").chars == frozenset("a-")
+        assert parse_regex("[]a]").chars == frozenset("]a")
+
+    def test_boundary_and_anchors(self):
+        node = parse_regex("^_70_$")
+        parts = node.parts
+        assert parts[0].to_pattern() == "^"
+        assert isinstance(parts[1], Boundary)
+        assert parts[-1].to_pattern() == "$"
+
+    def test_star_plus_opt(self):
+        assert parse_regex("a*").to_pattern() == "a*"
+        assert parse_regex("a+").to_pattern() == "a+"
+        assert parse_regex("a?").to_pattern() == "a?"
+
+    def test_group_star(self):
+        node = parse_regex("(ab)*")
+        assert isinstance(node, Star)
+
+    @pytest.mark.parametrize("bad", ["(", "a)", "[abc", "*a", "a{2,3}", "a\\"])
+    def test_parse_errors(self, bad):
+        with pytest.raises(RegexParseError):
+            parse_regex(bad)
+
+    def test_round_trip_patterns(self):
+        for pattern in ["(_1239_|_70[2-5]_)", "^65[0-9]+$", "701:7[1-5]..", "_.*_"]:
+            reparsed = parse_regex(parse_regex(pattern).to_pattern())
+            assert reparsed.to_pattern() == parse_regex(pattern).to_pattern()
+
+
+class TestMatcher:
+    def test_paper_range(self):
+        matcher = RegexMatcher("_70[1-5]_")
+        assert all(matcher.matches(str(n)) for n in (701, 702, 705))
+        assert not matcher.matches("700")
+        assert not matcher.matches("706")
+        assert not matcher.matches("7011")
+
+    def test_paper_alternation(self):
+        matcher = RegexMatcher("(_1239_|_70[2-5]_)")
+        assert matcher.matches("1239")
+        assert matcher.matches("703")
+        assert not matcher.matches("701")
+        assert not matcher.matches("12390")
+
+    def test_search_semantics(self):
+        # No anchors: matches anywhere inside the subject.
+        matcher = RegexMatcher("70")
+        assert matcher.matches("1701")
+        assert matcher.matches("708")
+
+    def test_anchors(self):
+        matcher = RegexMatcher("^70$")
+        assert matcher.matches("70")
+        assert not matcher.matches("701")
+        assert not matcher.matches("170")
+
+    def test_boundary_matches_delimiters(self):
+        matcher = RegexMatcher("_701_")
+        assert matcher.matches("701")
+        assert matcher.matches("100 701 200")
+        assert not matcher.matches("1701")
+        assert not matcher.matches("7012")
+
+    def test_dot_does_not_match_ends(self):
+        matcher = RegexMatcher("7.1")
+        assert matcher.matches("701")
+        assert matcher.matches("711")
+        assert not matcher.matches("71")
+
+    def test_community_pattern(self):
+        matcher = RegexMatcher("701:7[1-5]..")
+        assert matcher.matches("701:7100")
+        assert matcher.matches("701:7599")
+        assert not matcher.matches("701:7600")
+        assert not matcher.matches("702:7100")
+
+    def test_rejects_subject_outside_alphabet(self):
+        matcher = RegexMatcher("a", alphabet=frozenset("a"))
+        with pytest.raises(ValueError):
+            matcher.matches("b")
+
+
+# A pattern strategy that stays inside the Cisco dialect.
+_atoms = st.sampled_from(
+    ["7", "0", "1", "9", "[1-5]", "[0-9]", ".", "_70_", "(_1_|_2_)", "1?", "[2-4]?"]
+)
+_patterns = st.lists(_atoms, min_size=1, max_size=5).map("".join)
+_subjects = st.one_of(
+    st.integers(min_value=0, max_value=99999).map(str),
+    st.sampled_from(["100 701 200", "1 2 3", "70 1239", ""]),
+)
+
+
+class TestDifferential:
+    @settings(max_examples=150, deadline=None)
+    @given(pattern=_patterns, subject=_subjects)
+    def test_nfa_matcher_agrees_with_python_re(self, pattern, subject):
+        """Our NFA/DFA oracle and the Python-re translation must agree."""
+        matcher = RegexMatcher(pattern)
+        compiled = compile_python_regex(pattern)
+        assert matcher.matches(subject) == bool(compiled.search(subject))
+
+    def test_translation_escapes_metacharacters(self):
+        node = parse_regex("1\\.2")
+        translated = to_python_regex(node)
+        assert re.search(translated, "1.2")
+        assert not re.search(translated, "1x2")
+
+
+class TestDfaPipeline:
+    def test_dfa_from_strings_exact(self):
+        dfa = dfa_from_strings(["701", "702", "90"])
+        assert dfa.accepts_string("701")
+        assert dfa.accepts_string("90")
+        assert not dfa.accepts_string("70")
+        assert not dfa.accepts_string("7012")
+
+    def test_enumerate_language(self):
+        dfa = dfa_from_strings(["1", "22", "333"])
+        assert dfa.enumerate_language(3) == ["1", "22", "333"]
+        assert dfa.enumerate_language(2) == ["1", "22"]
+
+    def test_is_empty(self):
+        assert dfa_from_strings([]).is_empty()
+        assert not dfa_from_strings(["x"]).is_empty()
+
+    def test_minimize_preserves_language(self):
+        strings = [str(n) for n in range(700, 760)]
+        dfa = dfa_from_strings(strings)
+        minimized = minimize_dfa(dfa)
+        assert minimized.equivalent_to(dfa)
+        assert len(minimized.states) <= len(dfa.states)
+
+    def test_minimize_merges_trie_suffixes(self):
+        # 701..709 share structure a minimal DFA can exploit.
+        dfa = dfa_from_strings(["70" + str(d) for d in range(10)])
+        minimized = minimize_dfa(dfa)
+        assert len(minimized.states) < len(dfa.states)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=9999), min_size=1, max_size=25))
+    def test_minimize_equivalence_property(self, values):
+        strings = [str(v) for v in values]
+        dfa = dfa_from_strings(strings)
+        minimized = minimize_dfa(dfa)
+        assert minimized.equivalent_to(dfa)
+        for text in strings:
+            assert minimized.accepts_string(text)
+
+    def test_subset_construction_from_search_nfa(self):
+        nfa = compile_search_nfa(parse_regex("_70[1-3]_"), frozenset("0123456789"))
+        dfa = dfa_from_nfa(nfa)
+        from repro.automata.nfa import START_SENTINEL, END_SENTINEL
+
+        assert dfa.accepts_string(START_SENTINEL + "702" + END_SENTINEL)
+        assert not dfa.accepts_string(START_SENTINEL + "704" + END_SENTINEL)
+
+
+class TestFaToRegex:
+    def test_round_trip_small(self):
+        strings = ["701", "702", "703", "711"]
+        dfa = minimize_dfa(dfa_from_strings(strings))
+        node = dfa_to_regex(dfa)
+        assert node is not None
+        compiled = re.compile("^(?:" + to_python_regex(node) + ")$")
+        for text in strings:
+            assert compiled.match(text)
+        for text in ["700", "704", "71", "7011"]:
+            assert not compiled.match(text)
+
+    def test_empty_language_returns_none(self):
+        assert dfa_to_regex(dfa_from_strings([])) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=65535), min_size=1, max_size=30))
+    def test_round_trip_property(self, values):
+        strings = sorted(str(v) for v in values)
+        dfa = minimize_dfa(dfa_from_strings(strings))
+        node = dfa_to_regex(dfa)
+        compiled = re.compile("^(?:" + to_python_regex(node) + ")$")
+        accepted = [s for s in (str(n) for n in range(65536)) if compiled.match(s)]
+        assert sorted(accepted) == strings
+
+
+class TestQuantifiedGroups:
+    def test_star_group_language(self):
+        from repro.core.regexlang import asn_language
+
+        # (12)+ unanchored: any ASN containing "12".
+        language = asn_language("(12)+")
+        assert 12 in language
+        assert 1212 in language
+        assert 512 in language  # contains "12"
+        assert 345 not in language
+
+    def test_anchored_star_group(self):
+        from repro.core.regexlang import asn_language
+
+        language = asn_language("(12)+", anchored=True)
+        assert language == {12, 1212}  # 121212 > 16 bits
+
+    def test_optional_digit(self):
+        from repro.core.regexlang import asn_language
+
+        assert asn_language("^70[0-9]?$") == {70} | set(range(700, 710))
+
+    def test_escaped_metachar_roundtrip(self):
+        node = parse_regex(r"a\*b")
+        assert node.to_pattern() == r"a\*b"
+        matcher = RegexMatcher(r"1\.2", alphabet=frozenset("12."))
+        assert matcher.matches("1.2")
+        assert not matcher.matches("112")
+
+    def test_nested_groups(self):
+        matcher = RegexMatcher("((1|2)(3|4))")
+        assert matcher.matches("13")
+        assert matcher.matches("24")
+        assert not matcher.matches("56")

@@ -1,0 +1,168 @@
+"""End-to-end tests of the repro-anonymize command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def config_file(tmp_path, figure1_text):
+    path = tmp_path / "cr1.cfg"
+    path.write_text(figure1_text)
+    return path
+
+
+class TestCli:
+    def test_anonymize_single_file(self, config_file, capsys):
+        assert main([str(config_file), "--salt", "s3cret"]) == 0
+        output = config_file.with_name("cr1.cfg.anon")
+        assert output.exists()
+        text = output.read_text()
+        assert "foo.com" not in text
+        assert "router bgp 1111" not in text
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+    def test_out_dir(self, config_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main(
+            [str(config_file), "--salt", "s", "--out-dir", str(out_dir)]
+        ) == 0
+        assert (out_dir / "cr1.cfg.anon").exists()
+
+    def test_directory_input(self, tmp_path, figure1_text):
+        net_dir = tmp_path / "net"
+        net_dir.mkdir()
+        (net_dir / "a.cfg").write_text(figure1_text)
+        (net_dir / "b.cfg").write_text("router bgp 1111\n")
+        out_dir = tmp_path / "out"
+        assert main([str(net_dir), "--salt", "s", "--out-dir", str(out_dir)]) == 0
+        a = (out_dir / "a.cfg.anon").read_text()
+        b = (out_dir / "b.cfg.anon").read_text()
+        # Shared mapping state: the same ASN maps identically in both files.
+        asn_a = [l for l in a.splitlines() if l.startswith("router bgp")][0]
+        asn_b = [l for l in b.splitlines() if l.startswith("router bgp")][0]
+        assert asn_a == asn_b
+
+    def test_report_flag(self, config_file, capsys):
+        main([str(config_file), "--salt", "s", "--report"])
+        assert "tokens:" in capsys.readouterr().out
+
+    def test_scan_leaks_flag(self, config_file, capsys):
+        main([str(config_file), "--salt", "s", "--scan-leaks"])
+        assert "leak scan: no highlighted lines" in capsys.readouterr().out
+
+    def test_inventory(self, capsys):
+        assert main(["--inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "R1 " in out or "R1\t" in out or "R1" in out
+        assert "R28" in out
+
+    def test_salt_required(self, config_file):
+        with pytest.raises(SystemExit):
+            main([str(config_file)])
+
+    def test_missing_file_errors(self):
+        with pytest.raises(FileNotFoundError):
+            main(["/does/not/exist.cfg", "--salt", "s"])
+
+    def test_mindfa_style(self, config_file):
+        assert main(
+            [str(config_file), "--salt", "s", "--regex-style", "mindfa"]
+        ) == 0
+
+    def test_keep_comments(self, config_file):
+        main([str(config_file), "--salt", "s", "--keep-comments"])
+        text = config_file.with_name("cr1.cfg.anon").read_text()
+        assert "description" in text
+
+
+class TestCliStateFile:
+    def test_state_round_trip(self, tmp_path, figure1_text, capsys):
+        config = tmp_path / "r1.cfg"
+        config.write_text(figure1_text)
+        state = tmp_path / "state.json"
+        main([str(config), "--salt", "s", "--state-file", str(state),
+              "--out-dir", str(tmp_path / "a")])
+        first = (tmp_path / "a" / "r1.cfg.anon").read_text()
+        assert state.exists()
+        # Second run in a fresh process-equivalent must be identical.
+        main([str(config), "--salt", "s", "--state-file", str(state),
+              "--out-dir", str(tmp_path / "b")])
+        second = (tmp_path / "b" / "r1.cfg.anon").read_text()
+        assert first == second
+        assert "loaded mapping state" in capsys.readouterr().out
+
+
+class TestCliExportModel:
+    def test_export_model(self, tmp_path, figure1_text):
+        import json
+
+        config = tmp_path / "r1.cfg"
+        config.write_text(figure1_text)
+        model_path = tmp_path / "model.json"
+        main([str(config), "--salt", "s", "--out-dir", str(tmp_path / "o"),
+              "--export-model", str(model_path)])
+        model = json.loads(model_path.read_text())
+        assert model["format_version"] == 1
+        router = next(iter(model["routers"].values()))
+        assert router["bgp"] is not None
+        # The exported model is of the ANONYMIZED network.
+        assert router["bgp"]["asn"] != 1111
+
+
+class TestGenerateCli:
+    def test_generate_single_network(self, tmp_path, capsys):
+        from repro.genconfigs import main as generate_main
+
+        out = tmp_path / "net"
+        assert generate_main([str(out), "--seed", "3", "--pops", "2"]) == 0
+        files = list(out.glob("*.cfg"))
+        assert files
+        assert "hostname" in files[0].read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_then_anonymize_round_trip(self, tmp_path):
+        from repro.genconfigs import main as generate_main
+
+        out = tmp_path / "net"
+        generate_main([str(out), "--seed", "5", "--pops", "2"])
+        anon_dir = tmp_path / "anon"
+        assert main([str(out), "--salt", "s", "--out-dir", str(anon_dir)]) == 0
+        assert list(anon_dir.glob("*.anon"))
+
+    def test_generate_junos(self, tmp_path):
+        from repro.genconfigs import main as generate_main
+
+        out = tmp_path / "jnet"
+        generate_main([str(out), "--seed", "7", "--pops", "2",
+                       "--junos-fraction", "1.0"])
+        text = next(out.glob("*.cfg")).read_text()
+        assert "system {" in text
+
+    def test_generate_paper_corpus_scaled(self, tmp_path, capsys):
+        from repro.genconfigs import main as generate_main
+
+        out = tmp_path / "corpus"
+        assert generate_main([str(out), "--paper-corpus", "--scale", "0.02"]) == 0
+        subdirs = [p for p in out.iterdir() if p.is_dir()]
+        assert len(subdirs) == 31
+        assert "31 networks" in capsys.readouterr().out
+
+
+class TestReportJson:
+    def test_report_json_written(self, tmp_path, figure1_text):
+        import json
+
+        config = tmp_path / "r1.cfg"
+        config.write_text(figure1_text)
+        report_path = tmp_path / "report.json"
+        main([str(config), "--salt", "s", "--out-dir", str(tmp_path / "o"),
+              "--report-json", str(report_path)])
+        report = json.loads(report_path.read_text())
+        assert report["asns_mapped"] >= 2
+        assert report["banners_removed"] == 1
+        assert "R10" in report["rule_hits"]
+        # Raw privileged values never appear in the machine report.
+        assert "seen_asns" not in report
+        assert "1111" not in json.dumps(report["rule_hits"])

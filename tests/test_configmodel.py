@@ -1,0 +1,291 @@
+"""Tests for the config lexer, parser, and network model."""
+
+import pytest
+
+from repro.configmodel import ParsedNetwork, lex_config, parse_config
+from repro.netutil import ip_to_int
+
+SAMPLE = """\
+version 12.2
+hostname r1
+!
+interface Loopback0
+ ip address 6.0.0.1 255.255.255.255
+!
+interface FastEthernet0/0
+ description uplink
+ bandwidth 100000
+ encapsulation dot1Q 10
+ ip address 10.1.1.1 255.255.255.0
+ ip helper-address 10.9.9.9
+ shutdown
+!
+router ospf 100
+ network 10.1.1.0 0.0.0.255 area 3
+ passive-interface FastEthernet0/0
+ redistribute bgp
+!
+router bgp 65001
+ bgp router-id 6.0.0.1
+ network 6.0.0.0 mask 255.0.0.0
+ redistribute ospf
+ neighbor 9.9.9.9 remote-as 701
+ neighbor 9.9.9.9 route-map PEER-in in
+ neighbor 9.9.9.9 route-map PEER-out out
+ neighbor 9.9.9.9 password s3cret
+ neighbor 6.0.0.2 remote-as 65001
+ neighbor 6.0.0.2 update-source Loopback0
+ neighbor 6.0.0.2 next-hop-self
+!
+route-map PEER-in deny 10
+ match as-path 50
+ set local-preference 90
+!
+ip as-path access-list 50 permit (_1239_|_701_)
+ip community-list 100 permit _701:99_
+ip community-list 5 permit 701:100
+ip prefix-list PEER-px seq 5 permit 10.4.0.0/16 le 24
+ip route 10.5.0.0 255.255.0.0 10.1.1.254
+ip route 10.6.0.0 255.255.0.0 Null0
+ip domain-name corp.example
+ip dhcp pool vlan10
+ network 10.1.1.0 255.255.255.0
+ default-router 10.1.1.1
+!
+username ops password 7 xyz
+snmp-server community watchword RO
+ntp server 6.0.0.9
+logging 6.0.0.9
+banner motd ^C
+do not parse this network 99.99.99.99
+^C
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def parsed():
+    return parse_config(SAMPLE)
+
+
+class TestLexer:
+    def test_stanza_grouping(self):
+        stanzas = lex_config(SAMPLE)
+        interface = [s for s in stanzas if s.command == "interface FastEthernet0/0"][0]
+        assert any("ip address" in child for child in interface.children)
+
+    def test_bang_separators_skipped(self):
+        stanzas = lex_config("!\n! text\nhostname r1\n")
+        assert [s.command for s in stanzas] == ["hostname r1"]
+
+    def test_banner_body_skipped(self):
+        stanzas = lex_config(SAMPLE)
+        assert not any("do not parse" in s.command for s in stanzas)
+
+    def test_single_line_banner(self):
+        stanzas = lex_config("banner motd #hi there#\nhostname r1\n")
+        assert [s.command for s in stanzas] == ["hostname r1"]
+
+
+class TestParser:
+    def test_basics(self, parsed):
+        assert parsed.hostname == "r1"
+        assert parsed.version == "12.2"
+
+    def test_interfaces(self, parsed):
+        fe = parsed.interfaces["FastEthernet0/0"]
+        assert fe.address == ip_to_int("10.1.1.1")
+        assert fe.prefix_len == 24
+        assert fe.description == "uplink"
+        assert fe.bandwidth == 100000
+        assert fe.encapsulation == "dot1q"
+        assert fe.shutdown
+        assert fe.helper_addresses == [ip_to_int("10.9.9.9")]
+        assert fe.base_type == "fastethernet"
+        loop = parsed.interfaces["Loopback0"]
+        assert loop.prefix_len == 32
+
+    def test_ospf(self, parsed):
+        ospf = [igp for igp in parsed.igps if igp.protocol == "ospf"][0]
+        assert ospf.process_id == 100
+        base, wildcard, area = ospf.networks[0]
+        assert base == ip_to_int("10.1.1.0")
+        assert wildcard == ip_to_int("0.0.0.255")
+        assert area == "3"
+        assert ospf.passive_interfaces == ["FastEthernet0/0"]
+        assert ospf.redistribute == ["bgp"]
+
+    def test_bgp(self, parsed):
+        bgp = parsed.bgp
+        assert bgp.asn == 65001
+        assert bgp.router_id == ip_to_int("6.0.0.1")
+        assert bgp.networks == [(ip_to_int("6.0.0.0"), 8)]
+        ebgp = bgp.neighbors["9.9.9.9"]
+        assert ebgp.remote_as == 701
+        assert ebgp.route_map_in == "PEER-in"
+        assert ebgp.route_map_out == "PEER-out"
+        assert ebgp.has_password
+        ibgp = bgp.neighbors["6.0.0.2"]
+        assert ibgp.remote_as == 65001
+        assert ibgp.update_source == "Loopback0"
+        assert ibgp.next_hop_self
+
+    def test_route_map(self, parsed):
+        clause = parsed.route_maps[0]
+        assert clause.name == "PEER-in"
+        assert clause.action == "deny"
+        assert clause.sequence == 10
+        assert clause.matches == ["as-path 50"]
+        assert clause.sets == ["local-preference 90"]
+
+    def test_policy_lists(self, parsed):
+        assert parsed.aspath_acls[0].regex == "(_1239_|_701_)"
+        expanded = [c for c in parsed.community_lists if c.expanded]
+        standard = [c for c in parsed.community_lists if not c.expanded]
+        assert expanded[0].number == "100"
+        assert standard[0].body == "701:100"
+        prefix = parsed.prefix_lists[0]
+        assert prefix.name == "PEER-px"
+        assert prefix.prefix_len == 16
+        assert prefix.le == 24
+
+    def test_statics(self, parsed):
+        assert len(parsed.static_routes) == 2
+        targets = {s.target for s in parsed.static_routes}
+        assert "Null0" in targets
+
+    def test_services(self, parsed):
+        assert parsed.usernames == ["ops"]
+        assert parsed.snmp_communities == ["watchword"]
+        assert parsed.ntp_servers == [ip_to_int("6.0.0.9")]
+        assert parsed.logging_hosts == [ip_to_int("6.0.0.9")]
+        assert parsed.domain_name == "corp.example"
+        assert parsed.dhcp_pools == [("vlan10", ip_to_int("10.1.1.0"), 24)]
+
+    def test_garbage_tolerated(self):
+        parsed = parse_config("nonsense command here\n another child\n")
+        assert parsed.unparsed == ["nonsense command here"]
+
+
+class TestNetworkModel:
+    @pytest.fixture(scope="class")
+    def network(self):
+        r2 = SAMPLE.replace("hostname r1", "hostname r2").replace(
+            "ip address 10.1.1.1", "ip address 10.1.1.2"
+        ).replace("ip address 6.0.0.1 255.255.255.255", "ip address 6.0.0.2 255.255.255.255")
+        return ParsedNetwork.from_configs({"r1": SAMPLE, "r2": r2})
+
+    def test_subnets(self, network):
+        assert (ip_to_int("10.1.1.0"), 24) in network.subnets()
+
+    def test_histogram(self, network):
+        histogram = network.subnet_size_histogram()
+        assert histogram[24] == 1
+        assert histogram[32] == 2  # two loopbacks
+
+    def test_adjacency_via_shared_subnet(self, network):
+        assert ("r1", "r2") in network.adjacencies()
+
+    def test_bgp_speakers_and_sessions(self, network):
+        assert network.bgp_speakers() == ["r1", "r2"]
+        sessions = network.bgp_sessions()
+        ebgp = [s for s in sessions if s.ebgp]
+        assert len(ebgp) == 2
+        assert network.ebgp_sessions_per_router() == {"r1": 1, "r2": 1}
+
+    def test_interface_type_histogram(self, network):
+        histogram = network.interface_type_histogram()
+        assert histogram["loopback"] == 2
+        assert histogram["fastethernet"] == 2
+
+    def test_loopbacks(self, network):
+        assert network.loopback_addresses() == {
+            ip_to_int("6.0.0.1"), ip_to_int("6.0.0.2")
+        }
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def exported(self):
+        import json
+
+        from repro.configmodel.export import network_to_dict, network_to_json
+
+        network = ParsedNetwork.from_configs({"r1": SAMPLE})
+        return network_to_dict(network), json.loads(network_to_json(network))
+
+    def test_round_trips_through_json(self, exported):
+        as_dict, from_json = exported
+        assert from_json == as_dict
+
+    def test_router_fields(self, exported):
+        as_dict, _ = exported
+        router = as_dict["routers"]["r1"]
+        assert router["hostname"] == "r1"
+        assert router["bgp"]["asn"] == 65001
+        names = {i["name"] for i in router["interfaces"]}
+        assert "Loopback0" in names
+        assert any(p["protocol"] == "ospf" for p in router["routing_processes"])
+        assert router["static_routes"][0]["prefix"].endswith("/16")
+
+    def test_derived_structure(self, exported):
+        as_dict, _ = exported
+        derived = as_dict["derived"]
+        assert derived["bgp_speakers"] == ["r1"]
+        assert derived["subnet_size_histogram"]["24"] >= 1
+
+    def test_vendor_neutral_across_syntaxes(self):
+        """The same plan exported from IOS and JunOS renderings yields the
+        same derived structure (the footnote-1 abstraction goal)."""
+        from repro.configmodel.export import network_to_dict
+        from repro.iosgen import NetworkSpec, generate_network
+
+        base = dict(name="ex", kind="enterprise", seed=21, num_pops=2, igp="ospf",
+                    lans_per_access=(2, 3), static_burst=(0, 2))
+        ios_net = generate_network(NetworkSpec(junos_fraction=0.0, **base))
+        junos_net = generate_network(NetworkSpec(junos_fraction=1.0, **base))
+        ios_dict = network_to_dict(ParsedNetwork.from_configs(ios_net.configs))
+        junos_dict = network_to_dict(ParsedNetwork.from_configs(junos_net.configs))
+        assert (ios_dict["derived"]["subnet_size_histogram"]
+                == junos_dict["derived"]["subnet_size_histogram"])
+        assert (ios_dict["derived"]["bgp_speakers"]
+                == junos_dict["derived"]["bgp_speakers"])
+
+
+class TestNamedAcls:
+    NAMED = """\
+interface FastEthernet0/0.10
+ encapsulation dot1Q 10
+ ip address 10.1.1.1 255.255.255.0
+ ip access-group protect-v10 in
+!
+ip access-list extended protect-v10
+ permit tcp any 10.1.1.0 0.0.0.255 eq www
+ deny ip any any log
+"""
+
+    def test_named_acl_parsed(self):
+        parsed = parse_config(self.NAMED)
+        entries = [e for e in parsed.access_lists if e.number == "protect-v10"]
+        assert len(entries) == 2
+        assert entries[0].action == "permit"
+        assert entries[1].body == "ip any any log"
+
+    def test_access_group_reference_parsed(self):
+        parsed = parse_config(self.NAMED)
+        iface = parsed.interfaces["FastEthernet0/0.10"]
+        assert iface.acl_groups == ["protect-v10"]
+
+    def test_referential_integrity_after_anonymization(self):
+        from repro.core import Anonymizer
+
+        anon = Anonymizer(salt=b"nacl")
+        output = anon.anonymize_text(self.NAMED)
+        parsed = parse_config(output)
+        group_refs = [
+            g for i in parsed.interfaces.values() for g in i.acl_groups
+        ]
+        defined = {e.number for e in parsed.access_lists}
+        assert group_refs
+        assert set(group_refs) <= defined
+        assert "protect-v10" not in defined  # privileged name hashed

@@ -1,0 +1,203 @@
+"""Tests for DFA set operations and the independent rewrite verifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import (
+    complement_dfa,
+    dfa_from_strings,
+    difference_dfa,
+    intersect_dfa,
+    union_dfa,
+)
+from repro.core.asn import AsnPermutation
+from repro.core.regexlang import rewrite_aspath_regex
+from repro.core.verify import independent_language, verify_aspath_rewrite
+
+string_sets = st.sets(
+    st.integers(min_value=0, max_value=999).map(str), min_size=0, max_size=12
+)
+
+
+class TestSetOperations:
+    def test_intersection_basic(self):
+        a = dfa_from_strings(["1", "2", "3"])
+        b = dfa_from_strings(["2", "3", "4"])
+        product = intersect_dfa(a, b)
+        assert sorted(product.enumerate_language(2)) == ["2", "3"]
+
+    def test_union_basic(self):
+        a = dfa_from_strings(["1"])
+        b = dfa_from_strings(["2"])
+        assert sorted(union_dfa(a, b).enumerate_language(2)) == ["1", "2"]
+
+    def test_difference_basic(self):
+        a = dfa_from_strings(["1", "2"])
+        b = dfa_from_strings(["2"])
+        assert difference_dfa(a, b).enumerate_language(2) == ["1"]
+
+    def test_complement_over_alphabet(self):
+        a = dfa_from_strings(["0", "1"])
+        comp = complement_dfa(a, alphabet="01")
+        assert not comp.accepts_string("0")
+        assert comp.accepts_string("00")
+        assert comp.accepts_string("")  # epsilon rejected by a -> accepted
+
+    @settings(max_examples=40, deadline=None)
+    @given(xs=string_sets, ys=string_sets)
+    def test_intersection_equals_set_intersection(self, xs, ys):
+        a, b = dfa_from_strings(xs), dfa_from_strings(ys)
+        product = intersect_dfa(a, b)
+        expected = sorted(xs & ys, key=lambda s: (len(s), s))
+        got = sorted(product.enumerate_language(3), key=lambda s: (len(s), s))
+        assert got == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(xs=string_sets, ys=string_sets)
+    def test_union_and_difference_consistent(self, xs, ys):
+        a, b = dfa_from_strings(xs), dfa_from_strings(ys)
+        union = set(union_dfa(a, b).enumerate_language(3))
+        assert union == xs | ys
+        diff = set(difference_dfa(a, b).enumerate_language(3))
+        assert diff == xs - ys
+
+    @settings(max_examples=25, deadline=None)
+    @given(xs=string_sets, ys=string_sets)
+    def test_de_morgan(self, xs, ys):
+        alphabet = "0123456789"
+        a, b = dfa_from_strings(xs), dfa_from_strings(ys)
+        left = complement_dfa(union_dfa(a, b), alphabet)
+        right = intersect_dfa(
+            complement_dfa(a, alphabet), complement_dfa(b, alphabet)
+        )
+        assert left.equivalent_to(right)
+
+    def test_equivalence_via_difference(self):
+        a = dfa_from_strings(["701", "702"])
+        b = dfa_from_strings(["702", "701"])
+        assert difference_dfa(a, b).is_empty()
+        assert difference_dfa(b, a).is_empty()
+
+
+class TestIndependentVerifier:
+    @pytest.fixture(scope="class")
+    def perm(self):
+        return AsnPermutation(b"verify-salt")
+
+    def test_independent_language_matches_fast_path(self):
+        from repro.core.regexlang import asn_language
+
+        for pattern in ("_70[1-3]_", "(_1239_|_701_)", "^99$"):
+            assert independent_language(pattern) == asn_language(pattern)
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["_70[1-3]_", "(_1239_|_70[2-5]_)", "_701_1239_", "_6451[2-9]_"],
+    )
+    def test_rewrites_verify(self, perm, pattern):
+        outcome = rewrite_aspath_regex(pattern, perm.map_asn)
+        assert verify_aspath_rewrite(outcome, perm.map_asn)
+
+    def test_mindfa_rewrites_verify(self, perm):
+        outcome = rewrite_aspath_regex("_12[0-3][0-9]_", perm.map_asn, style="mindfa")
+        assert verify_aspath_rewrite(outcome, perm.map_asn)
+
+    def test_anchored_rewrites_verify(self, perm):
+        outcome = rewrite_aspath_regex(
+            "(1239|70[2-5])", perm.map_asn, anchored=True
+        )
+        assert verify_aspath_rewrite(outcome, perm.map_asn, anchored=True)
+
+    def test_flagged_outcome_verifies_as_inert(self, perm):
+        outcome = rewrite_aspath_regex("_70{2}_", perm.map_asn)
+        assert outcome.flagged
+        assert verify_aspath_rewrite(outcome, perm.map_asn)
+
+    def test_detects_wrong_rewrite(self, perm):
+        from repro.core.regexlang import RewriteOutcome
+
+        bogus = RewriteOutcome(
+            original="_701_", rewritten="_701_", changed=False
+        )
+        # 701 is public, so identity is (almost surely) the wrong mapping.
+        if perm.map_asn(701) != 701:
+            assert not verify_aspath_rewrite(bogus, perm.map_asn)
+
+
+class TestVerifierProperty:
+    """Hypothesis-driven: every rewrite of a generated pattern verifies
+    under the independent matcher (the central correctness property)."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        base=st.integers(min_value=10, max_value=6000),
+        low=st.integers(min_value=0, max_value=7),
+        span=st.integers(min_value=0, max_value=2),
+        extra=st.integers(min_value=1, max_value=64511),
+        style=st.sampled_from(["alternation", "mindfa"]),
+    )
+    def test_random_range_patterns_verify(self, base, low, span, extra, style):
+        perm = AsnPermutation(b"prop-verify")
+        pattern = "(_{}_|_{}[{}-{}]_)".format(extra, base, low, low + span)
+        outcome = rewrite_aspath_regex(pattern, perm.map_asn, style=style)
+        assert verify_aspath_rewrite(outcome, perm.map_asn)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=1, max_value=64511), min_size=1, max_size=4
+        )
+    )
+    def test_literal_alternations_verify(self, values):
+        perm = AsnPermutation(b"prop-verify-2")
+        pattern = "(" + "|".join("_{}_".format(v) for v in values) + ")"
+        outcome = rewrite_aspath_regex(pattern, perm.map_asn)
+        assert verify_aspath_rewrite(outcome, perm.map_asn)
+
+
+class TestCommunityVerifier:
+    def _maps(self):
+        from repro.core.community import CommunityAnonymizer
+
+        community = CommunityAnonymizer(b"cv-salt")
+        return community.asn_map.map_asn, community.map_value
+
+    def test_figure1_pattern_verifies(self):
+        from repro.core.regexlang import rewrite_community_regex
+        from repro.core.verify import verify_community_rewrite
+
+        asn_mapper, value_mapper = self._maps()
+        outcome = rewrite_community_regex(
+            "_701:710[0-3]_", asn_mapper, value_mapper
+        )
+        assert verify_community_rewrite(outcome, asn_mapper, value_mapper, samples=120)
+
+    def test_literal_pairs_verify(self):
+        from repro.core.regexlang import rewrite_community_regex
+        from repro.core.verify import verify_community_rewrite
+
+        asn_mapper, value_mapper = self._maps()
+        outcome = rewrite_community_regex(
+            "(_701:7100_|_1239:42_)", asn_mapper, value_mapper
+        )
+        assert verify_community_rewrite(outcome, asn_mapper, value_mapper, samples=120)
+
+    def test_flagged_outcome_inert(self):
+        from repro.core.regexlang import rewrite_community_regex
+        from repro.core.verify import verify_community_rewrite
+
+        asn_mapper, value_mapper = self._maps()
+        outcome = rewrite_community_regex("701:{bad", asn_mapper, value_mapper)
+        assert outcome.flagged
+        assert verify_community_rewrite(outcome, asn_mapper, value_mapper)
+
+    def test_detects_wrong_rewrite(self):
+        from repro.core.regexlang import RewriteOutcome
+        from repro.core.verify import verify_community_rewrite
+
+        asn_mapper, value_mapper = self._maps()
+        bogus = RewriteOutcome(
+            original="_701:7100_", rewritten="_701:7100_", changed=False
+        )
+        assert not verify_community_rewrite(bogus, asn_mapper, value_mapper, samples=60)

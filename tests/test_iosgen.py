@@ -1,0 +1,214 @@
+"""Tests for the synthetic config generator substrate."""
+
+import random
+
+import pytest
+
+from repro.configmodel import ParsedNetwork, parse_config
+from repro.core.passlist import DEFAULT_PASSLIST
+from repro.iosgen import (
+    NetworkSpec,
+    build_passlist_from_corpus,
+    build_reference_corpus,
+    generate_network,
+    scraped_passlist,
+)
+from repro.iosgen.addressing import AddressPlanner, BlockCarver
+from repro.iosgen.dataset import dataset_statistics, paper_dataset, paper_dataset_specs
+from repro.iosgen.dialects import all_version_strings, dialect_for_version
+from repro.iosgen.naming import NameFactory
+from repro.iosgen.topology import build_topology
+
+
+class TestDialects:
+    def test_at_least_200_versions(self):
+        versions = all_version_strings()
+        assert len(set(versions)) > 200
+
+    def test_dialect_deterministic(self):
+        assert dialect_for_version("12.2(13)T") == dialect_for_version("12.2(13)T")
+
+    def test_old_versions_use_old_interface_names(self):
+        dialect = dialect_for_version("11.1(5)")
+        assert dialect.interface_era == 0
+        assert not dialect.bgp_no_synchronization
+
+
+class TestTopology:
+    def _graph(self, kind, seed=5):
+        spec = NetworkSpec(name="t", kind=kind, seed=seed, num_pops=4)
+        rng = random.Random(seed)
+        return build_topology(spec, NameFactory(seed), rng)
+
+    def test_backbone_connected(self):
+        import networkx as nx
+
+        graph = self._graph("backbone")
+        assert nx.is_connected(graph)
+
+    def test_enterprise_connected(self):
+        import networkx as nx
+
+        graph = self._graph("enterprise")
+        assert nx.is_connected(graph)
+
+    def test_roles_assigned(self):
+        graph = self._graph("backbone")
+        roles = {d["role"] for _, d in graph.nodes(data=True)}
+        assert {"core", "agg", "access"} <= roles
+
+    def test_borders_marked(self):
+        graph = self._graph("backbone")
+        borders = [n for n, d in graph.nodes(data=True) if d.get("is_border")]
+        assert borders
+
+
+class TestAddressing:
+    def test_carver_alignment(self):
+        carver = BlockCarver(0x0A000000, 8)
+        carver.carve(30)
+        addr, length = carver.carve(24)
+        assert addr % (1 << (32 - length)) == 0
+
+    def test_carver_exhaustion(self):
+        carver = BlockCarver(0x0A000000, 30)
+        carver.carve(31)
+        carver.carve(31)
+        with pytest.raises(RuntimeError):
+            carver.carve(31)
+
+    def test_no_overlapping_allocations(self):
+        spec = NetworkSpec(name="t", seed=9, kind="enterprise")
+        planner = AddressPlanner(spec, random.Random(9))
+        records = [planner.loopback() for _ in range(10)]
+        records += [planner.p2p_link() for _ in range(10)]
+        records += [planner.lan_subnet() for _ in range(10)]
+        seen = set()
+        for record in records:
+            size = 1 << (32 - record.prefix_len)
+            span = set(range(record.address, record.address + size))
+            assert not (span & seen)
+            seen |= span
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = NetworkSpec(name="d", seed=4, num_pops=2)
+        a = generate_network(spec)
+        b = generate_network(spec)
+        assert a.configs == b.configs
+
+    def test_all_configs_parse(self, small_enterprise):
+        for name, text in small_enterprise.configs.items():
+            parsed = parse_config(text)
+            assert parsed.hostname == name
+            assert parsed.interfaces
+
+    def test_loopbacks_everywhere(self, small_enterprise):
+        for text in small_enterprise.configs.values():
+            assert "interface Loopback0" in text
+
+    def test_bgp_only_on_borders(self, small_backbone):
+        parsed = ParsedNetwork.from_configs(small_backbone.configs)
+        speakers = parsed.bgp_speakers()
+        assert speakers
+        assert len(speakers) < len(small_backbone.configs)
+
+    def test_peer_asns_match_plan(self, small_backbone):
+        parsed = ParsedNetwork.from_configs(small_backbone.configs)
+        plan_asns = {asn for _, _, asn, _ in small_backbone.plan.peerings}
+        config_asns = {
+            s.remote_as for s in parsed.bgp_sessions() if s.ebgp
+        }
+        assert plan_asns <= config_asns
+
+    def test_regexp_flags_honored(self):
+        spec = NetworkSpec(
+            name="rx", seed=6, kind="backbone", num_pops=2,
+            use_aspath_range_regexps=True, use_alternation_regexps=False,
+            use_rfc1918=False,
+        )
+        net = generate_network(spec)
+        all_text = "\n".join(net.configs.values())
+        assert "[" in all_text.split("as-path access-list")[1].splitlines()[0]
+
+    def test_compartmentalized_adds_filters(self):
+        base = dict(name="c", seed=8, kind="enterprise", num_pops=3)
+        plain = generate_network(NetworkSpec(**base))
+        comp = generate_network(NetworkSpec(compartmentalized=True, **base))
+        plain_text = "\n".join(plain.configs.values())
+        comp_text = "\n".join(comp.configs.values())
+        assert "traceroute" not in plain_text
+        assert "traceroute" in comp_text
+
+    def test_keywords_all_in_passlist(self, small_enterprise, small_backbone):
+        """Every alphabetic keyword the renderer emits outside privileged
+        positions must be in the pass-list, or anonymization would destroy
+        config structure."""
+        from repro.core import Anonymizer
+        from repro.validation import compare_characteristics
+
+        for net in (small_enterprise, small_backbone):
+            anon = Anonymizer(salt=b"kw")
+            result = anon.anonymize_network(dict(net.configs))
+            pre = ParsedNetwork.from_configs(net.configs)
+            post = ParsedNetwork.from_configs(result.configs)
+            check = compare_characteristics(pre, post)
+            assert check.passed, check.summary()
+
+
+class TestCorpusScraper:
+    def test_corpus_pages_rendered(self):
+        corpus = build_reference_corpus(seed=1, pages=10)
+        assert len(corpus) == 10
+        assert all("Usage Guidelines" in page for page in corpus.values())
+
+    def test_scraper_builds_passlist(self):
+        passlist = build_passlist_from_corpus(build_reference_corpus(seed=1, pages=50))
+        assert "router" in passlist
+        assert len(passlist) > 100
+
+    def test_scraper_ignores_numbers(self):
+        passlist = build_passlist_from_corpus({"p": "use 12345 and 1.2.3.4 now"})
+        assert "12345" not in passlist
+        assert "use" in passlist
+
+    def test_coverage_grows_with_pages(self):
+        small = scraped_passlist(seed=2, pages=20)
+        large = scraped_passlist(seed=2, pages=300)
+        assert len(large) >= len(small)
+
+
+class TestDataset:
+    @pytest.fixture(scope="class")
+    def tiny_dataset(self):
+        return paper_dataset(seed=7, scale=0.02)
+
+    def test_31_networks(self, tiny_dataset):
+        assert len(tiny_dataset) == 31
+
+    def test_categorical_counts_match_paper(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert stats["public_range_regexp_networks"] == 2
+        assert stats["private_range_regexp_networks"] == 3
+        assert stats["alternation_regexp_networks"] == 10
+        assert stats["community_regexp_networks"] == 5
+        assert stats["community_range_regexp_networks"] == 2
+        assert stats["compartmentalized_networks"] == 10
+
+    def test_backbones_and_enterprises(self, tiny_dataset):
+        kinds = [n.spec.kind for n in tiny_dataset]
+        assert kinds.count("backbone") == 6
+        assert kinds.count("enterprise") == 25
+
+    def test_distinct_address_blocks(self):
+        specs = paper_dataset_specs(seed=7, scale=0.02)
+        blocks = {s.public_block for s in specs}
+        assert len(blocks) == 31
+
+    def test_many_ios_versions_in_corpus(self, tiny_dataset):
+        versions = set()
+        for net in tiny_dataset:
+            for router in net.plan.routers.values():
+                versions.add(router.version)
+        assert len(versions) > 30

@@ -1,0 +1,336 @@
+"""Tests for the JunOS extension: renderer, parser, rules, end-to-end."""
+
+import re
+
+import pytest
+
+from repro.configmodel import ParsedNetwork
+from repro.configmodel.junos_parser import (
+    iter_statements,
+    looks_like_junos,
+    parse_junos_config,
+)
+from repro.core import Anonymizer, AnonymizerConfig
+from repro.iosgen import NetworkSpec, generate_network
+from repro.iosgen.junos_render import junos_interface_name
+from repro.netutil import ip_to_int
+from repro.validation import compare_characteristics, compare_designs
+
+JUNOS_SAMPLE = """\
+/* juniper router configuration */
+system {
+    host-name cr1.lax.foo.com;
+    domain-name foo.com;
+    root-authentication {
+        encrypted-password "s3cr3thash"; ## SECRET-DATA
+    }
+    login {
+        user jsmith {
+            class super-user;
+        }
+    }
+    syslog {
+        host 6.0.0.9 {
+            any notice;
+        }
+    }
+    ntp {
+        server 6.0.0.9;
+    }
+}
+interfaces {
+    fe-0/0/0 {
+        description "Foo Corp LAX offices";
+        vlan-tagging;
+        unit 0 {
+            family inet {
+                address 1.1.1.1/24;
+            }
+        }
+        unit 10 {
+            vlan-id 10;
+            family inet {
+                address 10.1.4.1/24;
+            }
+        }
+    }
+    lo0 {
+        unit 0 {
+            family inet {
+                address 6.0.0.1/32;
+            }
+        }
+    }
+}
+routing-options {
+    static {
+        route 10.5.0.0/16 next-hop 1.1.1.254;
+        route 10.6.0.0/16 discard;
+    }
+    router-id 6.0.0.1;
+    autonomous-system 1111;
+}
+protocols {
+    ospf {
+        area 0.0.0.0 {
+            interface fe-0/0/0.0;
+            interface lo0.0;
+        }
+    }
+    bgp {
+        group ext-0 {
+            type external;
+            peer-as 701;
+            neighbor 2.3.4.5 {
+                import UUNET-import;
+                export UUNET-export;
+                authentication-key "bgppassword";
+            }
+        }
+    }
+}
+policy-options {
+    prefix-list our-nets {
+        6.0.0.0/8;
+    }
+    policy-statement UUNET-import {
+        term t10 {
+            from {
+                as-path bad-paths;
+                community uunet-comms;
+            }
+            then {
+                reject;
+            }
+        }
+        term t20 {
+            then {
+                local-preference 90;
+                accept;
+            }
+        }
+    }
+    as-path bad-paths "(1239|70[2-5])";
+    community uunet-comms members "701:7[1-5]..";
+    community tag1 members [ 1111:100 ];
+}
+snmp {
+    location "lax main st";
+    contact "noc@foo.com";
+    community foocorp-ro {
+        authorization read-only;
+    }
+}
+"""
+
+
+class TestSniffer:
+    def test_detects_junos(self):
+        assert looks_like_junos(JUNOS_SAMPLE)
+
+    def test_rejects_ios(self, figure1_text):
+        assert not looks_like_junos(figure1_text)
+
+
+class TestInterfaceNameMapping:
+    @pytest.mark.parametrize(
+        "ios,expected",
+        [
+            ("Loopback0", ("lo0", 0)),
+            ("Ethernet0", ("fe-0/0/0", 0)),
+            ("FastEthernet0/1", ("fe-0/0/1", 0)),
+            ("GigabitEthernet0/2", ("ge-0/0/2", 0)),
+            ("Serial1/0", ("so-0/1/0", 0)),
+            ("FastEthernet0/0.10", ("fe-0/0/0", 10)),
+            ("POS2/1", ("so-0/2/1", 0)),
+        ],
+    )
+    def test_mapping(self, ios, expected):
+        assert junos_interface_name(ios) == expected
+
+
+class TestJunosParser:
+    @pytest.fixture(scope="class")
+    def parsed(self):
+        return parse_junos_config(JUNOS_SAMPLE)
+
+    def test_statement_iterator_paths(self):
+        statements = list(iter_statements(JUNOS_SAMPLE))
+        paths = {s[0] for s in statements}
+        assert ("system",) in paths
+        assert any(p[:2] == ("protocols", "bgp") for p in paths)
+
+    def test_annotations_stripped(self):
+        statements = [s for _, s in iter_statements(JUNOS_SAMPLE)]
+        assert any("encrypted-password" in s and "SECRET-DATA" not in s
+                   for s in statements)
+
+    def test_basics(self, parsed):
+        assert parsed.hostname == "cr1.lax.foo.com"
+        assert parsed.domain_name == "foo.com"
+        assert parsed.usernames == ["jsmith"]
+        assert parsed.ntp_servers == [ip_to_int("6.0.0.9")]
+        assert parsed.logging_hosts == [ip_to_int("6.0.0.9")]
+        assert parsed.snmp_communities == ["foocorp-ro"]
+
+    def test_interfaces(self, parsed):
+        assert parsed.interfaces["fe-0/0/0.0"].address == ip_to_int("1.1.1.1")
+        assert parsed.interfaces["fe-0/0/0.0"].prefix_len == 24
+        assert parsed.interfaces["fe-0/0/0.10"].address == ip_to_int("10.1.4.1")
+        assert parsed.interfaces["lo0.0"].prefix_len == 32
+        assert parsed.interfaces["fe-0/0/0.0"].description == "Foo Corp LAX offices"
+
+    def test_ospf_coverage_resolved(self, parsed):
+        ospf = parsed.igps[0]
+        assert ospf.protocol == "ospf"
+        bases = {base for base, _, _ in ospf.networks}
+        assert ip_to_int("1.1.1.0") in bases
+        assert ip_to_int("6.0.0.1") in bases
+
+    def test_bgp(self, parsed):
+        assert parsed.bgp.asn == 1111
+        neighbor = parsed.bgp.neighbors["2.3.4.5"]
+        assert neighbor.remote_as == 701
+        assert neighbor.route_map_in == "UUNET-import"
+        assert neighbor.has_password
+
+    def test_statics(self, parsed):
+        targets = {s.target for s in parsed.static_routes}
+        assert "Null0" in targets  # discard
+        assert "1.1.1.254" in targets
+
+    def test_policy_objects(self, parsed):
+        assert parsed.aspath_acls[0].regex == "(1239|70[2-5])"
+        expanded = [c for c in parsed.community_lists if c.expanded]
+        standard = [c for c in parsed.community_lists if not c.expanded]
+        assert expanded[0].body == "701:7[1-5].."
+        assert standard[0].body == "1111:100"
+        assert parsed.prefix_lists[0].prefix_len == 8
+        clauses = [c for c in parsed.route_maps if c.name == "UUNET-import"]
+        assert clauses[0].action == "deny"
+        assert "as-path bad-paths" in clauses[0].matches
+
+
+class TestJunosAnonymization:
+    @pytest.fixture(scope="class")
+    def anon_output(self):
+        anonymizer = Anonymizer(salt=b"junos-salt")
+        return anonymizer, anonymizer.anonymize_text(JUNOS_SAMPLE)
+
+    def test_syntax_autodetected(self, anon_output):
+        _, output = anon_output
+        assert "peer-as" in output  # junos keywords survive
+
+    def test_asns_permuted(self, anon_output):
+        anonymizer, output = anon_output
+        assert "autonomous-system {};".format(anonymizer.asn_map.map_asn(1111)) in output
+        assert "peer-as {};".format(anonymizer.asn_map.map_asn(701)) in output
+
+    def test_secrets_hashed_with_quotes(self, anon_output):
+        _, output = anon_output
+        assert "s3cr3thash" not in output
+        assert "bgppassword" not in output
+        assert re.search(r'encrypted-password "[0-9a-f]+";', output)
+        assert re.search(r'authentication-key "[0-9a-f]+";', output)
+
+    def test_snmp_community_and_meta(self, anon_output):
+        _, output = anon_output
+        assert "foocorp-ro" not in output
+        assert "lax main st" not in output
+        assert "noc@foo.com" not in output
+
+    def test_hostname_and_domain_hashed(self, anon_output):
+        _, output = anon_output
+        assert "foo.com" not in output
+        assert re.search(r"host-name [0-9a-f.]+;", output)
+
+    def test_description_and_comments_stripped(self, anon_output):
+        _, output = anon_output
+        assert "description" not in output
+        assert "Foo Corp" not in output
+        assert "/*" not in output
+
+    def test_addresses_mapped_masks_preserved(self, anon_output):
+        _, output = anon_output
+        assert "1.1.1.1/24" not in output
+        assert re.search(r"address \d+\.\d+\.\d+\.\d+/24;", output)
+        assert re.search(r"address \d+\.\d+\.\d+\.\d+/32;", output)
+
+    def test_aspath_regexp_rewritten(self, anon_output):
+        """JunOS as-path regexps are implicitly anchored; under anchored
+        semantics the rewrite is language-exact."""
+        anonymizer, output = anon_output
+        match = re.search(r'as-path \S+ "([^"]+)"', output)
+        assert match
+        from repro.core.regexlang import asn_language
+
+        expected = {
+            anonymizer.asn_map.map_asn(n) for n in (1239, 702, 703, 704, 705)
+        }
+        assert asn_language(match.group(1), anchored=True) == expected
+        assert "1239" not in match.group(1)
+
+    def test_community_members_mapped(self, anon_output):
+        anonymizer, output = anon_output
+        expected = "{}:{}".format(
+            anonymizer.asn_map.map_asn(1111), anonymizer.community.map_value(100)
+        )
+        assert "members [ {} ]".format(expected) in output
+
+    def test_structure_preserved_round_trip(self, anon_output):
+        _, output = anon_output
+        pre = parse_junos_config(JUNOS_SAMPLE)
+        post = parse_junos_config(output)
+        assert len(post.interfaces) == len(pre.interfaces)
+        assert post.bgp is not None
+        assert len(post.route_maps) == len(pre.route_maps)
+        assert len(post.static_routes) == len(pre.static_routes)
+
+    def test_forced_syntax_options(self):
+        ios_forced = Anonymizer(AnonymizerConfig(salt=b"s", syntax="junos"))
+        out = ios_forced.anonymize_text("peer-as 701;\n")
+        assert str(ios_forced.asn_map.map_asn(701)) in out
+        with pytest.raises(ValueError):
+            AnonymizerConfig(salt=b"s", syntax="cisco")
+
+
+class TestJunosNetworks:
+    @pytest.mark.parametrize("fraction", [1.0, 0.5])
+    def test_validation_suites_pass(self, fraction):
+        spec = NetworkSpec(
+            name="jnet", kind="enterprise", seed=9, num_pops=2, igp="ospf",
+            junos_fraction=fraction, use_community_regexps=True,
+            lans_per_access=(2, 4), static_burst=(1, 4),
+        )
+        network = generate_network(spec)
+        anonymizer = Anonymizer(salt=b"jnet-salt")
+        result = anonymizer.anonymize_network(dict(network.configs))
+        pre = ParsedNetwork.from_configs(network.configs)
+        post = ParsedNetwork.from_configs(result.configs)
+        suite1 = compare_characteristics(pre, post)
+        assert suite1.passed, suite1.summary()
+        suite2 = compare_designs(pre, post)
+        assert suite2.passed, suite2.summary()
+
+    def test_eigrp_networks_stay_ios(self):
+        spec = NetworkSpec(
+            name="jeigrp", kind="enterprise", seed=9, num_pops=2, igp="eigrp",
+            junos_fraction=1.0,
+        )
+        network = generate_network(spec)
+        assert not any(looks_like_junos(t) for t in network.configs.values())
+
+    def test_cross_vendor_design_equivalence(self):
+        """The same plan rendered as IOS and as JunOS extracts the same
+        vendor-neutral design structure — the paper's applicability claim."""
+        base = dict(name="xv", kind="enterprise", seed=12, num_pops=2, igp="ospf",
+                    lans_per_access=(2, 4), static_burst=(0, 3))
+        ios_net = generate_network(NetworkSpec(junos_fraction=0.0, **base))
+        junos_net = generate_network(NetworkSpec(junos_fraction=1.0, **base))
+        pre_ios = ParsedNetwork.from_configs(ios_net.configs)
+        pre_junos = ParsedNetwork.from_configs(junos_net.configs)
+        assert pre_ios.subnet_size_histogram() == pre_junos.subnet_size_histogram()
+        assert pre_ios.bgp_speakers() == pre_junos.bgp_speakers()
+        assert sorted(pre_ios.ebgp_sessions_per_router().values()) == sorted(
+            pre_junos.ebgp_sessions_per_router().values()
+        )

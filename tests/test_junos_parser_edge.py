@@ -1,0 +1,97 @@
+"""Edge-case and robustness tests for the JunOS parser and lexer."""
+
+import pytest
+
+from repro.configmodel.junos_parser import (
+    iter_statements,
+    looks_like_junos,
+    parse_junos_config,
+)
+
+
+class TestIterStatements:
+    def test_nested_paths(self):
+        text = "a {\n  b {\n    c d;\n  }\n  e f;\n}\n"
+        statements = list(iter_statements(text))
+        assert (("a", "b"), "c d") in statements
+        assert (("a",), "e f") in statements
+
+    def test_unbalanced_close_tolerated(self):
+        text = "}\n}\na {\n  b c;\n}\n"
+        statements = list(iter_statements(text))
+        assert (("a",), "b c") in statements
+
+    def test_hash_comment_lines_skipped(self):
+        statements = list(iter_statements("# header\na {\n  b c;\n}\n"))
+        assert statements == [(("a",), "b c")]
+
+    def test_inline_annotation_stripped(self):
+        statements = list(iter_statements("a {\n  b c; ## SECRET-DATA\n}\n"))
+        assert statements == [(("a",), "b c")]
+
+    def test_block_comment_line_skipped(self):
+        statements = list(iter_statements("/* note */\na {\n  b c;\n}\n"))
+        assert statements == [(("a",), "b c")]
+
+    def test_empty_input(self):
+        assert list(iter_statements("")) == []
+
+
+class TestParserRobustness:
+    def test_empty_config(self):
+        parsed = parse_junos_config("")
+        assert parsed.hostname is None
+        assert parsed.interfaces == {}
+
+    def test_unknown_blocks_ignored(self):
+        parsed = parse_junos_config(
+            "chassis {\n  aggregated-devices {\n    ethernet {\n"
+            "      device-count 4;\n    }\n  }\n}\n"
+        )
+        assert parsed.interfaces == {}
+        assert parsed.bgp is None
+
+    def test_interface_without_address(self):
+        parsed = parse_junos_config(
+            "interfaces {\n  fe-0/0/0 {\n    unit 0 {\n"
+            "      family inet;\n    }\n  }\n}\n"
+        )
+        # No address statement -> no interface entry (counts must match
+        # the renderer's semantics).
+        assert "fe-0/0/0.0" not in parsed.interfaces
+
+    def test_malformed_address_tolerated(self):
+        parsed = parse_junos_config(
+            "interfaces {\n  fe-0/0/0 {\n    unit 0 {\n      family inet {\n"
+            "        address not-an-address;\n      }\n    }\n  }\n}\n"
+        )
+        assert parsed.interfaces == {}
+
+    def test_bgp_without_peer_as(self):
+        parsed = parse_junos_config(
+            "protocols {\n  bgp {\n    group x {\n"
+            "      neighbor 9.9.9.9;\n    }\n  }\n}\n"
+        )
+        assert parsed.bgp is not None
+        assert parsed.bgp.neighbors["9.9.9.9"].remote_as is None
+
+    def test_static_discard_and_nexthop(self):
+        parsed = parse_junos_config(
+            "routing-options {\n  static {\n"
+            "    route 10.0.0.0/8 discard;\n"
+            "    route 10.1.0.0/16 next-hop 1.2.3.4;\n  }\n}\n"
+        )
+        targets = {s.target for s in parsed.static_routes}
+        assert targets == {"Null0", "1.2.3.4"}
+
+
+class TestSniffer:
+    def test_brace_heavy_text_detected(self):
+        text = "interfaces {\n x {\n y {\n z;\n}\n}\n}\n"
+        assert looks_like_junos(text)
+
+    def test_plain_ios_not_detected(self):
+        assert not looks_like_junos("interface Ethernet0\n ip address 1.1.1.1 255.0.0.0\n")
+
+    def test_empty_not_detected(self):
+        assert not looks_like_junos("")

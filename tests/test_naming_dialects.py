@@ -1,0 +1,83 @@
+"""Tests for the identity factory and the IOS dialect family."""
+
+import pytest
+
+from repro.iosgen.dialects import all_version_strings, dialect_for_version
+from repro.iosgen.naming import CITIES, NameFactory
+
+
+class TestNameFactory:
+    def test_deterministic(self):
+        a, b = NameFactory(42), NameFactory(42)
+        assert a.company == b.company
+        assert a.domain == b.domain
+        assert a.hostname("cr", 1, 0) == b.hostname("cr", 1, 0)
+
+    def test_different_seeds_differ(self):
+        outputs = {NameFactory(seed).company for seed in range(30)}
+        assert len(outputs) > 5
+
+    def test_hostname_shape(self):
+        factory = NameFactory(7)
+        hostname = factory.hostname("cr", 2, 1)
+        assert hostname.startswith("cr2.")
+        code, _ = factory.city(1)
+        assert ".{}.".format(code) in hostname
+        assert hostname.endswith(factory.domain)
+
+    def test_phone_shape(self):
+        phone = NameFactory(7).phone()
+        assert phone.isdigit()
+        assert len(phone) == 11
+
+    def test_banner_mentions_company(self):
+        factory = NameFactory(7)
+        assert factory.company_display in factory.banner(0)
+
+    def test_secret_alphabet(self):
+        secret = NameFactory(7).secret()
+        assert 8 <= len(secret) <= 12
+        assert secret.isalnum()
+
+    def test_city_pool_stable(self):
+        factory = NameFactory(7)
+        assert factory.city(3) == factory.city(3)
+        assert factory.city(3) == factory.city(3 + len(CITIES))
+
+
+class TestDialectFamily:
+    def test_family_size(self):
+        versions = all_version_strings()
+        assert len(versions) == len(set(versions))
+        assert len(versions) > 200
+
+    def test_version_format(self):
+        import re
+
+        for version in all_version_strings()[:20]:
+            assert re.match(r"^\d+\.\d+\(\d+\)[TSE]?$", version)
+
+    def test_modern_features_monotone(self):
+        old = dialect_for_version("11.1(3)")
+        new = dialect_for_version("12.4(24)T")
+        assert not old.bgp_no_synchronization
+        assert new.bgp_no_synchronization
+        assert not old.uses_ip_classless or True  # may be hash-enabled
+        assert new.subnet_zero
+
+    def test_banner_delimiters_vary(self):
+        delimiters = {
+            dialect_for_version(v).banner_delimiter
+            for v in all_version_strings()[:40]
+        }
+        assert len(delimiters) >= 2
+
+    def test_interface_eras_vary(self):
+        eras = {
+            dialect_for_version(v).interface_era for v in all_version_strings()
+        }
+        assert eras == {0, 1, 2}
+
+    def test_major_minor_parse(self):
+        dialect = dialect_for_version("12.2(13)T")
+        assert dialect.major_minor == (12, 2)

@@ -1,0 +1,115 @@
+"""Unit and property tests for the IPv4 utility layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import netutil
+
+
+class TestIpConversion:
+    def test_round_trip_known(self):
+        assert netutil.ip_to_int("1.2.3.4") == 0x01020304
+        assert netutil.int_to_ip(0x01020304) == "1.2.3.4"
+
+    def test_extremes(self):
+        assert netutil.ip_to_int("0.0.0.0") == 0
+        assert netutil.ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert netutil.int_to_ip(0) == "0.0.0.0"
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "", "1..2.3", "1.2.3.999"]
+    )
+    def test_rejects_bad_addresses(self, bad):
+        with pytest.raises(ValueError):
+            netutil.ip_to_int(bad)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(ValueError):
+            netutil.int_to_ip(-1)
+        with pytest.raises(ValueError):
+            netutil.int_to_ip(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip_property(self, value):
+        assert netutil.ip_to_int(netutil.int_to_ip(value)) == value
+
+    def test_is_ipv4(self):
+        assert netutil.is_ipv4("10.0.0.1")
+        assert not netutil.is_ipv4("10.0.0")
+        assert not netutil.is_ipv4("hostname")
+
+
+class TestMasks:
+    def test_mask_for_len(self):
+        assert netutil.mask_for_len(0) == 0
+        assert netutil.mask_for_len(8) == 0xFF000000
+        assert netutil.mask_for_len(24) == 0xFFFFFF00
+        assert netutil.mask_for_len(32) == 0xFFFFFFFF
+
+    def test_mask_for_len_rejects(self):
+        with pytest.raises(ValueError):
+            netutil.mask_for_len(33)
+
+    @given(st.integers(min_value=0, max_value=32))
+    def test_mask_round_trip(self, length):
+        assert netutil.mask_to_len(netutil.mask_for_len(length)) == length
+
+    def test_mask_to_len_non_contiguous(self):
+        assert netutil.mask_to_len(netutil.ip_to_int("255.0.255.0")) is None
+
+    def test_wildcard_to_len(self):
+        assert netutil.wildcard_to_len(netutil.ip_to_int("0.0.0.255")) == 24
+        assert netutil.wildcard_to_len(netutil.ip_to_int("0.255.255.255")) == 8
+        assert netutil.wildcard_to_len(netutil.ip_to_int("255.0.0.0")) is None
+
+
+class TestClassful:
+    @pytest.mark.parametrize(
+        "address,expected",
+        [
+            ("1.0.0.0", "A"),
+            ("126.255.0.0", "A"),
+            ("128.0.0.0", "B"),
+            ("191.255.0.0", "B"),
+            ("192.0.0.0", "C"),
+            ("223.255.255.255", "C"),
+            ("224.0.0.1", "D"),
+            ("240.0.0.1", "E"),
+        ],
+    )
+    def test_address_class(self, address, expected):
+        assert netutil.address_class(netutil.ip_to_int(address)) == expected
+
+    def test_classful_prefix_len(self):
+        assert netutil.classful_prefix_len(netutil.ip_to_int("10.1.2.3")) == 8
+        assert netutil.classful_prefix_len(netutil.ip_to_int("150.1.2.3")) == 16
+        assert netutil.classful_prefix_len(netutil.ip_to_int("200.1.2.3")) == 24
+
+
+class TestMisc:
+    def test_trailing_zero_bits(self):
+        assert netutil.trailing_zero_bits(0) == 32
+        assert netutil.trailing_zero_bits(netutil.ip_to_int("10.0.0.0")) == 25
+        assert netutil.trailing_zero_bits(netutil.ip_to_int("1.1.1.0")) == 8
+        assert netutil.trailing_zero_bits(1) == 0
+
+    def test_network_address(self):
+        assert netutil.network_address(netutil.ip_to_int("10.1.2.3"), 24) == (
+            netutil.ip_to_int("10.1.2.0")
+        )
+
+    def test_rfc1918(self):
+        assert netutil.is_private_rfc1918(netutil.ip_to_int("10.200.1.1"))
+        assert netutil.is_private_rfc1918(netutil.ip_to_int("172.16.0.1"))
+        assert netutil.is_private_rfc1918(netutil.ip_to_int("172.31.255.255"))
+        assert netutil.is_private_rfc1918(netutil.ip_to_int("192.168.44.1"))
+        assert not netutil.is_private_rfc1918(netutil.ip_to_int("172.32.0.1"))
+        assert not netutil.is_private_rfc1918(netutil.ip_to_int("11.0.0.1"))
+
+    def test_parse_prefix(self):
+        assert netutil.parse_prefix("1.2.3.0/24") == (netutil.ip_to_int("1.2.3.0"), 24)
+        with pytest.raises(ValueError):
+            netutil.parse_prefix("1.2.3.0")
+        with pytest.raises(ValueError):
+            netutil.parse_prefix("1.2.3.0/40")

@@ -1,0 +1,98 @@
+"""Direct tests for the policy-object generator (regexp shapes, numbering)."""
+
+import random
+import re
+
+import pytest
+
+from repro.iosgen.policies import FAMOUS_ASNS, PolicyFactory
+from repro.iosgen.spec import NetworkSpec
+
+
+def _factory(**flags):
+    spec = NetworkSpec(name="p", seed=1, **flags)
+    return PolicyFactory(spec, random.Random(7))
+
+
+class TestRegexpShapes:
+    def test_alternation_shape(self):
+        factory = _factory(use_alternation_regexps=True)
+        bundle = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        regex = bundle.aspath_acls[0].regex
+        assert "|" in regex
+        assert "_701_" in regex
+
+    def test_public_range_shape_emitted_once(self):
+        factory = _factory(use_aspath_range_regexps=True, use_alternation_regexps=True)
+        first = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        second = factory.peer_policies("qwest", 209, 65001, [(0x0A000000, 8)])
+        regexes = [first.aspath_acls[0].regex, second.aspath_acls[0].regex]
+        ranged = [r for r in regexes if re.search(r"\[\d-\d\]", r)]
+        assert len(ranged) == 1  # the flag emits exactly one range regexp
+        assert ranged[0].startswith("_70[")
+
+    def test_private_range_shape(self):
+        factory = _factory(use_private_range_regexps=True, use_alternation_regexps=False)
+        bundle = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        assert bundle.aspath_acls[0].regex == "_6451[2-9]_"
+
+    def test_plain_literal_when_no_flags(self):
+        factory = _factory(use_alternation_regexps=False)
+        bundle = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        assert bundle.aspath_acls[0].regex == "_701_"
+
+    def test_community_range_regex(self):
+        factory = _factory(use_community_range_regexps=True)
+        bundle = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        expanded = [c for c in bundle.community_lists if c.expanded]
+        assert expanded
+        assert re.search(r"7\[1-5\]\.\.", expanded[0].body)
+
+    def test_community_alternation_regex(self):
+        factory = _factory(use_community_regexps=True)
+        bundle = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        expanded = [c for c in bundle.community_lists if c.expanded]
+        assert "|" in expanded[0].body
+
+
+class TestPolicyStructure:
+    def test_import_export_pair(self):
+        factory = _factory()
+        bundle = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        names = {c.name for c in bundle.route_maps}
+        assert names == {"UUNET-import", "UUNET-export"}
+        deny = [c for c in bundle.route_maps if c.action == "deny"]
+        assert deny and deny[0].matches
+
+    def test_list_numbers_unique_across_peers(self):
+        factory = _factory()
+        first = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        second = factory.peer_policies("qwest", 209, 65001, [(0x0A000000, 8)])
+        assert first.aspath_acls[0].number != second.aspath_acls[0].number
+        assert first.community_lists[0].number != second.community_lists[0].number
+
+    def test_export_map_matches_acl(self):
+        factory = _factory()
+        bundle = factory.peer_policies("uunet", 701, 65001, [(0x0A000000, 8)])
+        export = [c for c in bundle.route_maps if c.name.endswith("-export")][0]
+        acl_refs = [m for m in export.matches if m.startswith("ip address")]
+        assert acl_refs
+        referenced = acl_refs[0].split()[-1]
+        assert any(str(e.number) == referenced for e in bundle.access_lists)
+
+    def test_security_acl_terminates_with_deny(self):
+        factory = _factory()
+        entries = factory.security_acl([(0x0A000000, 24)])
+        assert entries[-1].action == "deny"
+        assert entries[-1].body == "ip any any log"
+
+    def test_compartment_acl_blocks_probes(self):
+        factory = _factory()
+        entries = factory.compartment_acl([(0x0A000000, 24)])
+        bodies = " ".join(e.body for e in entries)
+        assert "echo" in bodies
+        assert "traceroute" in bodies
+        assert entries[-1].body == "ip any any"
+
+    def test_famous_asns_are_public(self):
+        assert all(1 <= asn <= 64511 for asn in FAMOUS_ASNS)

@@ -1,0 +1,127 @@
+"""Tests for the Section 7 clearinghouse workflow."""
+
+import pytest
+
+from repro.core import Anonymizer
+from repro.iosgen import NetworkSpec, generate_network
+from repro.portal import Clearinghouse, PortalError
+
+
+@pytest.fixture(scope="module")
+def owner_payload():
+    spec = NetworkSpec(name="portal-net", kind="enterprise", seed=88, num_pops=2,
+                       lans_per_access=(2, 4))
+    network = generate_network(spec)
+    anonymizer = Anonymizer(salt=b"portal-owner-secret")
+    result = anonymizer.anonymize_network(dict(network.configs))
+    return anonymizer, result.configs
+
+
+class TestBlinding:
+    def test_handles_are_stable_and_blind(self):
+        portal = Clearinghouse(b"p")
+        a1 = portal.register_owner("att-noc-token")
+        a2 = portal.register_owner("att-noc-token")
+        assert a1 == a2
+        assert "att" not in a1
+        assert a1.startswith("owner-")
+
+    def test_roles_are_separated(self):
+        portal = Clearinghouse(b"p")
+        assert portal.register_owner("x") != portal.register_researcher("x")
+
+    def test_portal_secret_changes_handles(self):
+        assert (
+            Clearinghouse(b"p1").register_owner("x")
+            != Clearinghouse(b"p2").register_owner("x")
+        )
+
+
+class TestUploadGate:
+    def test_clean_upload_accepted(self, owner_payload):
+        anonymizer, configs = owner_payload
+        portal = Clearinghouse()
+        owner = portal.register_owner("tok")
+        receipt = portal.upload(owner, anonymizer, configs, "enterprise net")
+        assert receipt.accepted
+        assert receipt.dataset_id == "ds-0001"
+
+    def test_leaky_upload_rejected(self, owner_payload):
+        anonymizer, configs = owner_payload
+        tampered = dict(configs)
+        name = sorted(tampered)[0]
+        leaked_asn = next(iter(anonymizer.report.seen_asns))
+        tampered[name] += "\nrouter bgp {}\n".format(leaked_asn)
+        portal = Clearinghouse()
+        owner = portal.register_owner("tok")
+        receipt = portal.upload(owner, anonymizer, tampered)
+        assert not receipt.accepted
+        assert receipt.highlighted
+        assert "leak scanner" in receipt.reason
+
+    def test_non_config_upload_rejected(self, owner_payload):
+        anonymizer, _ = owner_payload
+        clean = Anonymizer(salt=b"x")  # fresh: empty report, no leaks
+        portal = Clearinghouse()
+        owner = portal.register_owner("tok")
+        receipt = portal.upload(owner, clean, {"notes.txt": "hello world\n"})
+        assert not receipt.accepted
+        assert "does not parse" in receipt.reason
+
+    def test_flagged_anonymization_rejected(self):
+        anonymizer = Anonymizer(salt=b"f")
+        output = anonymizer.anonymize_text("ip as-path access-list 5 permit _70{2}_\n")
+        portal = Clearinghouse()
+        owner = portal.register_owner("tok")
+        receipt = portal.upload(owner, anonymizer, {"r1": output})
+        assert not receipt.accepted
+        assert "flagged" in receipt.reason
+
+    def test_unknown_owner_rejected(self, owner_payload):
+        anonymizer, configs = owner_payload
+        with pytest.raises(PortalError):
+            Clearinghouse().upload("owner-ffffffffffff", anonymizer, configs)
+
+
+class TestResearcherWorkflow:
+    @pytest.fixture
+    def portal_with_data(self, owner_payload):
+        anonymizer, configs = owner_payload
+        portal = Clearinghouse()
+        owner = portal.register_owner("tok")
+        receipt = portal.upload(owner, anonymizer, configs, "backbone study data")
+        researcher = portal.register_researcher("alice")
+        return portal, owner, researcher, receipt.dataset_id
+
+    def test_catalog_hides_owner(self, portal_with_data):
+        portal, owner, _, dataset_id = portal_with_data
+        catalog = portal.catalog()
+        assert catalog[0][0] == dataset_id
+        assert all(owner not in str(entry) for entry in catalog)
+
+    def test_fetch_requires_registration(self, portal_with_data):
+        portal, _, researcher, dataset_id = portal_with_data
+        configs = portal.fetch(researcher, dataset_id)
+        assert configs
+        with pytest.raises(PortalError):
+            portal.fetch("researcher-000000000000", dataset_id)
+        with pytest.raises(PortalError):
+            portal.fetch(researcher, "ds-9999")
+
+    def test_comment_relay_through_blind(self, portal_with_data):
+        portal, owner, researcher, dataset_id = portal_with_data
+        portal.comment(researcher, dataset_id, "is the OSPF area layout intentional?")
+        inbox = portal.inbox(owner)
+        assert len(inbox) == 1
+        assert inbox[0].dataset_id == dataset_id
+        assert inbox[0].researcher_handle == researcher
+        assert "OSPF" in inbox[0].text
+
+    def test_comment_requires_known_parties(self, portal_with_data):
+        portal, _, researcher, dataset_id = portal_with_data
+        with pytest.raises(PortalError):
+            portal.comment("researcher-bad", dataset_id, "hi")
+        with pytest.raises(PortalError):
+            portal.comment(researcher, "ds-9999", "hi")
+        with pytest.raises(PortalError):
+            portal.inbox("owner-bad")

@@ -1,0 +1,124 @@
+"""Cross-cutting, whole-pipeline property tests (DESIGN.md Section 6).
+
+These drive randomly parameterized generated networks through the full
+anonymizer and assert the paper's global invariants: determinism, leak
+freedom, referential integrity, and validation-suite preservation.
+"""
+
+import re
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.textual import structured_asn_audit
+from repro.configmodel import ParsedNetwork
+from repro.core import Anonymizer
+from repro.iosgen import NetworkSpec, generate_network
+from repro.validation import (
+    compare_characteristics,
+    compare_designs,
+    compare_research_analyses,
+)
+
+network_specs = st.builds(
+    NetworkSpec,
+    name=st.just("prop"),
+    kind=st.sampled_from(["enterprise", "backbone"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_pops=st.integers(min_value=1, max_value=3),
+    igp=st.sampled_from(["ospf", "rip", "eigrp"]),
+    lans_per_access=st.just((1, 3)),
+    static_burst=st.just((0, 3)),
+    use_aspath_range_regexps=st.booleans(),
+    use_private_range_regexps=st.booleans(),
+    use_alternation_regexps=st.booleans(),
+    use_community_regexps=st.booleans(),
+    use_community_range_regexps=st.booleans(),
+    dialer_backup=st.booleans(),
+    comment_density=st.floats(min_value=0.0, max_value=0.5),
+)
+
+_slow = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestPipelineProperties:
+    @_slow
+    @given(spec=network_specs)
+    def test_validation_suites_always_pass(self, spec):
+        network = generate_network(spec)
+        anon = Anonymizer(salt=b"prop-salt")
+        result = anon.anonymize_network(dict(network.configs))
+        pre = ParsedNetwork.from_configs(network.configs)
+        post = ParsedNetwork.from_configs(result.configs)
+        suite1 = compare_characteristics(pre, post)
+        assert suite1.passed, suite1.summary()
+        suite2 = compare_designs(pre, post)
+        assert suite2.passed, suite2.summary()
+        suite3 = compare_research_analyses(pre, post)
+        assert suite3.passed, suite3.summary()
+
+    @_slow
+    @given(spec=network_specs)
+    def test_asn_leak_freedom(self, spec):
+        network = generate_network(spec)
+        anon = Anonymizer(salt=b"prop-salt-2")
+        result = anon.anonymize_network(dict(network.configs))
+        assert structured_asn_audit(result.configs, anon.report.seen_asns) == []
+
+    @_slow
+    @given(spec=network_specs)
+    def test_determinism(self, spec):
+        network = generate_network(spec)
+        out1 = Anonymizer(salt=b"d").anonymize_network(dict(network.configs)).configs
+        out2 = Anonymizer(salt=b"d").anonymize_network(dict(network.configs)).configs
+        assert out1 == out2
+
+    @_slow
+    @given(spec=network_specs)
+    def test_no_fabricated_name_survives(self, spec):
+        """No company/city/person string from the generator's identity pool
+        may appear in anonymized output (the textual attack surface)."""
+        from repro.iosgen.naming import CITIES, COMPANY_STEMS, PEOPLE
+
+        network = generate_network(spec)
+        anon = Anonymizer(salt=b"prop-salt-3")
+        result = anon.anonymize_network(dict(network.configs))
+        blob = "\n".join(result.configs.values()).lower()
+        for word in COMPANY_STEMS + PEOPLE + [c for c, _ in CITIES]:
+            assert not re.search(r"\b" + re.escape(word) + r"\b", blob), word
+
+    @_slow
+    @given(spec=network_specs)
+    def test_no_comment_text_survives(self, spec):
+        network = generate_network(spec)
+        anon = Anonymizer(salt=b"prop-salt-4")
+        result = anon.anonymize_network(dict(network.configs))
+        blob = "\n".join(result.configs.values())
+        assert "description" not in blob
+        assert "banner" not in blob
+
+
+class TestSecretFreedom:
+    def test_no_generated_secret_survives(self, small_enterprise):
+        """Every password/community/key planted by the generator must be
+        gone from the output."""
+        secrets = set()
+        for text in small_enterprise.configs.values():
+            for match in re.finditer(
+                r"(?:enable secret(?: \d)?|password(?: \d)?"
+                r"|snmp-server community|tacacs-server key) (\S+)",
+                text,
+            ):
+                secrets.add(match.group(1))
+        anon = Anonymizer(salt=b"sec")
+        result = anon.anonymize_network(dict(small_enterprise.configs))
+        blob = "\n".join(result.configs.values())
+        for secret in secrets:
+            if secret.isdigit():  # community list numbers etc.
+                continue
+            assert secret not in blob, secret

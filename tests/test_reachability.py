@@ -1,0 +1,93 @@
+"""Tests for the static reachability analysis."""
+
+import pytest
+
+from repro.configmodel import ParsedNetwork
+from repro.core import Anonymizer
+from repro.netutil import ip_to_int
+from repro.validation.reachability import compute_reachability
+
+TWO_RIP_ROUTERS = {
+    "a": (
+        "hostname a\n"
+        "interface E0\n ip address 10.0.12.1 255.255.255.252\n"
+        "interface E1\n ip address 10.1.0.1 255.255.255.0\n"
+        "router rip\n network 10.0.0.0\n"
+    ),
+    "b": (
+        "hostname b\n"
+        "interface E0\n ip address 10.0.12.2 255.255.255.252\n"
+        "interface E1\n ip address 10.2.0.1 255.255.255.0\n"
+        "router rip\n network 10.0.0.0\n"
+    ),
+}
+
+SPLIT_INSTANCES = {
+    # a-b share a subnet and RIP; c is RIP but on a disjoint subnet:
+    # two instances, so c never learns a's LAN.
+    "a": TWO_RIP_ROUTERS["a"],
+    "b": TWO_RIP_ROUTERS["b"],
+    "c": (
+        "hostname c\n"
+        "interface E0\n ip address 10.9.9.1 255.255.255.252\n"
+        "interface E1\n ip address 10.3.0.1 255.255.255.0\n"
+        "router rip\n network 10.0.0.0\n"
+    ),
+}
+
+
+class TestReachabilityPropagation:
+    def test_igp_floods_within_instance(self):
+        result = compute_reachability(ParsedNetwork.from_configs(TWO_RIP_ROUTERS))
+        a_lan = (ip_to_int("10.1.0.0"), 24)
+        b_lan = (ip_to_int("10.2.0.0"), 24)
+        assert b_lan in result.reachable["a"]
+        assert a_lan in result.reachable["b"]
+
+    def test_disjoint_instances_do_not_leak(self):
+        result = compute_reachability(ParsedNetwork.from_configs(SPLIT_INSTANCES))
+        a_lan = (ip_to_int("10.1.0.0"), 24)
+        assert a_lan not in result.reachable["c"]
+        assert a_lan in result.reachable["b"]
+
+    def test_statics_originate(self):
+        configs = dict(TWO_RIP_ROUTERS)
+        configs["a"] += "ip route 172.20.0.0 255.255.0.0 10.0.12.2\n"
+        result = compute_reachability(ParsedNetwork.from_configs(configs))
+        assert (ip_to_int("172.20.0.0"), 16) in result.reachable["a"]
+        # Static routes are local unless redistributed; 'b' learns it only
+        # through the instance union (our model floods member knowledge).
+        assert (ip_to_int("172.20.0.0"), 16) in result.reachable["b"]
+
+    def test_matrix_shape(self):
+        result = compute_reachability(ParsedNetwork.from_configs(TWO_RIP_ROUTERS))
+        shape = result.matrix_shape()
+        assert len(shape) == 2
+        assert shape[0] == shape[1]  # symmetric two-router design
+
+    def test_universally_reachable(self):
+        result = compute_reachability(ParsedNetwork.from_configs(TWO_RIP_ROUTERS))
+        universal = result.universally_reachable()
+        assert (ip_to_int("10.0.12.0"), 30) in universal
+
+    def test_empty_network(self):
+        result = compute_reachability(ParsedNetwork.from_configs({}))
+        assert result.reachable == {}
+        assert result.matrix_shape() == []
+
+
+class TestAnonymizationInvariance:
+    def test_matrix_shape_identical_pre_post(self, small_enterprise):
+        anon = Anonymizer(salt=b"reach")
+        result = anon.anonymize_network(dict(small_enterprise.configs))
+        pre = compute_reachability(ParsedNetwork.from_configs(small_enterprise.configs))
+        post = compute_reachability(ParsedNetwork.from_configs(result.configs))
+        assert pre.matrix_shape() == post.matrix_shape()
+        assert len(pre.universally_reachable()) == len(post.universally_reachable())
+
+    def test_backbone_invariance(self, small_backbone):
+        anon = Anonymizer(salt=b"reach2")
+        result = anon.anonymize_network(dict(small_backbone.configs))
+        pre = compute_reachability(ParsedNetwork.from_configs(small_backbone.configs))
+        post = compute_reachability(ParsedNetwork.from_configs(result.configs))
+        assert pre.matrix_shape() == post.matrix_shape()

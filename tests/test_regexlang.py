@@ -1,0 +1,174 @@
+"""Tests for regexp language computation and rewriting (Section 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.asn import AsnPermutation, is_public_asn
+from repro.core.community import CommunityAnonymizer
+from repro.core.regexlang import (
+    NEVER_MATCH_PATTERN,
+    asn_language,
+    rewrite_aspath_regex,
+    rewrite_community_regex,
+)
+
+
+@pytest.fixture(scope="module")
+def perm():
+    return AsnPermutation(b"regex-salt")
+
+
+@pytest.fixture(scope="module")
+def community():
+    return CommunityAnonymizer(b"regex-salt")
+
+
+class TestAsnLanguage:
+    def test_paper_example_range(self):
+        # "70[1-3] accepts ASN 701, 702, and 703" — with boundaries that is
+        # exactly the language; unanchored it also accepts e.g. 7011.
+        assert asn_language("_70[1-3]_") == {701, 702, 703}
+
+    def test_unanchored_language_is_search_semantics(self):
+        language = asn_language("70[1-3]")
+        assert {701, 702, 703} <= language
+        assert 7011 in language  # contains "701"
+
+    def test_alternation(self):
+        assert asn_language("(_1239_|_701_)") == {1239, 701}
+
+    def test_anchored(self):
+        assert asn_language("^99$") == {99}
+
+    def test_empty_language(self):
+        assert asn_language("^$") == set()
+
+    def test_universe(self):
+        assert len(asn_language(".*")) == 65536
+
+
+class TestAspathRewrite:
+    def test_literal_branches_mapped_in_place(self, perm):
+        out = rewrite_aspath_regex("(_1239_|_701_)", perm.map_asn)
+        assert out.changed
+        assert str(perm.map_asn(1239)) in out.rewritten
+        assert str(perm.map_asn(701)) in out.rewritten
+        assert "1239" not in out.rewritten or str(perm.map_asn(1239)) == "1239"
+
+    def test_language_preserved_exactly(self, perm):
+        pattern = "(_1239_|_70[2-5]_)"
+        out = rewrite_aspath_regex(pattern, perm.map_asn)
+        expected = {perm.map_asn(n) for n in asn_language(pattern)}
+        assert asn_language(out.rewritten) == expected
+
+    def test_adjacency_pattern_preserved(self, perm):
+        # `_701_1239_` constrains a *sequence*; numbers map in place.
+        out = rewrite_aspath_regex("_701_1239_", perm.map_asn)
+        assert out.rewritten == "_{}_{}_".format(perm.map_asn(701), perm.map_asn(1239))
+
+    def test_digit_free_pattern_unchanged(self, perm):
+        for pattern in (".*", "^$", "_.*_"):
+            out = rewrite_aspath_regex(pattern, perm.map_asn)
+            assert out.rewritten == pattern
+            assert not out.changed
+
+    def test_private_only_language_unchanged(self, perm):
+        out = rewrite_aspath_regex("_6451[2-9]_", perm.map_asn)
+        assert out.rewritten == "_6451[2-9]_"
+
+    def test_mixed_public_private_language(self, perm):
+        # _6451[0-5]_ accepts 64510, 64511 (public) and 64512-64515 (private)
+        out = rewrite_aspath_regex("_6451[0-5]_", perm.map_asn, style="mindfa")
+        language = asn_language(out.rewritten)
+        expected = {perm.map_asn(64510), perm.map_asn(64511), 64512, 64513, 64514, 64515}
+        assert language == expected
+
+    def test_mindfa_equivalent_to_alternation(self, perm):
+        pattern = "_70[1-9]_"
+        alternation = rewrite_aspath_regex(pattern, perm.map_asn, style="alternation")
+        mindfa = rewrite_aspath_regex(pattern, perm.map_asn, style="mindfa")
+        assert asn_language(alternation.rewritten) == asn_language(mindfa.rewritten)
+        assert len(mindfa.rewritten) <= len(alternation.rewritten)
+
+    def test_huge_language_with_digits_flagged(self, perm):
+        out = rewrite_aspath_regex("_1[0-9]*_", perm.map_asn, max_language=100)
+        assert out.flagged
+        assert out.rewritten == NEVER_MATCH_PATTERN
+        assert asn_language(out.rewritten) == set()
+
+    def test_unparseable_flagged_and_neutralized(self, perm):
+        out = rewrite_aspath_regex("_70{2}_", perm.map_asn)
+        assert out.flagged
+        assert out.rewritten == NEVER_MATCH_PATTERN
+
+    def test_oversize_literal_warned(self, perm):
+        out = rewrite_aspath_regex("_123456_", perm.map_asn)
+        assert out.flagged  # exceeds the 16-bit ASN space
+
+    def test_seen_asns_recorded(self, perm):
+        out = rewrite_aspath_regex("(_1239_|_70[2-3]_)", perm.map_asn)
+        assert {1239, 702, 703} <= out.asns_seen
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=st.integers(min_value=10, max_value=6450),
+           low=st.integers(min_value=0, max_value=8))
+    def test_range_rewrite_language_property(self, perm, base, low):
+        high = low + 1
+        pattern = "_{}[{}-{}]_".format(base, low, high)
+        out = rewrite_aspath_regex(pattern, perm.map_asn)
+        original = asn_language(pattern)
+        expected = {perm.map_asn(n) if is_public_asn(n) else n for n in original}
+        assert asn_language(out.rewritten) == expected
+
+
+class TestCommunityRewrite:
+    def test_paper_figure1_pattern(self, perm, community):
+        # Figure 1 line 31: 701:7[1-5].. matches communities from UUNET
+        # with values 7100-7599.
+        out = rewrite_community_regex(
+            "_701:7[1-5].._", perm.map_asn, community.map_value
+        )
+        assert out.changed
+        mapped_asn = str(perm.map_asn(701))
+        assert mapped_asn in out.rewritten
+        mapped_value = str(community.map_value(7100))
+        assert mapped_value in out.rewritten
+
+    def test_pair_language_preserved(self, perm, community):
+        out = rewrite_community_regex(
+            "_701:710[0-3]_", perm.map_asn, community.map_value, style="mindfa"
+        )
+        import re as _re
+        from repro.automata.matcher import compile_python_regex
+
+        compiled = compile_python_regex(out.rewritten)
+        for value in range(7100, 7104):
+            subject = "{}:{}".format(perm.map_asn(701), community.map_value(value))
+            assert compiled.search(subject), subject
+        # A pair outside the language must not match.
+        other = "{}:{}".format(perm.map_asn(701), community.map_value(9999))
+        assert not compiled.search(other)
+
+    def test_alternation_of_literal_pairs(self, perm, community):
+        out = rewrite_community_regex(
+            "(_701:7100_|_701:7200_)", perm.map_asn, community.map_value
+        )
+        assert out.changed
+        assert str(perm.map_asn(701)) in out.rewritten
+
+    def test_colonless_branch_treated_as_asn(self, perm, community):
+        out = rewrite_community_regex("_701_", perm.map_asn, community.map_value)
+        assert str(perm.map_asn(701)) in out.rewritten
+
+    def test_unparseable_neutralized(self, perm, community):
+        out = rewrite_community_regex("701:{bad", perm.map_asn, community.map_value)
+        assert out.rewritten == NEVER_MATCH_PATTERN
+        assert out.flagged
+
+    def test_oversize_side_flagged(self, perm, community):
+        out = rewrite_community_regex(
+            "_701:[0-9]+_", perm.map_asn, community.map_value, max_language=100
+        )
+        assert out.flagged
+        assert out.rewritten == NEVER_MATCH_PATTERN

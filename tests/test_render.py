@@ -1,0 +1,182 @@
+"""Direct unit tests for the IOS and JunOS renderers."""
+
+import random
+import re
+
+import pytest
+
+from repro.iosgen.dialects import all_version_strings, dialect_for_version
+from repro.iosgen.naming import NameFactory
+from repro.iosgen.plan import (
+    AccessListEntry,
+    AsPathAclEntry,
+    BgpNeighborPlan,
+    BgpPlan,
+    CommunityListEntry,
+    IgpPlan,
+    InterfacePlan,
+    NamedAclPlan,
+    PrefixListEntry,
+    RouteMapClause,
+    RouterPlan,
+    StaticRoute,
+)
+from repro.iosgen.render import render_config
+from repro.iosgen.junos_render import render_junos_config
+from repro.iosgen.spec import NetworkSpec
+from repro.netutil import ip_to_int
+
+
+def _sample_router():
+    router = RouterPlan(hostname="r1.test.example", role="hub", pop_index=0,
+                        version="12.2(13)T")
+    router.interfaces = [
+        InterfacePlan(name="Loopback0", kind="loopback",
+                      address=ip_to_int("6.0.0.1"), prefix_len=32),
+        InterfacePlan(name="FastEthernet0/0", kind="lan",
+                      address=ip_to_int("10.1.1.1"), prefix_len=24,
+                      description="user lan"),
+        InterfacePlan(name="Serial0/0", kind="p2p",
+                      address=ip_to_int("6.1.0.1"), prefix_len=30,
+                      bandwidth=1544, encapsulation="ppp"),
+    ]
+    router.igp = IgpPlan(protocol="ospf", process_id=100,
+                         networks=[(ip_to_int("10.1.1.0"), 255, 0),
+                                   (ip_to_int("6.1.0.0"), 3, 0)])
+    router.bgp = BgpPlan(asn=65001, router_id=ip_to_int("6.0.0.1"),
+                         networks=[(ip_to_int("6.0.0.0"), 8)],
+                         neighbors=[
+                             BgpNeighborPlan(address=ip_to_int("9.9.9.9"),
+                                             remote_as=701, ebgp=True,
+                                             route_map_in="P-in",
+                                             route_map_out="P-out",
+                                             password="pw123",
+                                             send_community=True),
+                         ])
+    router.route_maps = [
+        RouteMapClause("P-in", "deny", 10, matches=["as-path 50"]),
+        RouteMapClause("P-in", "permit", 20, sets=["local-preference 90"]),
+    ]
+    router.aspath_acls = [AsPathAclEntry(50, "permit", "(_1239_|_701_)")]
+    router.community_lists = [CommunityListEntry(1, "permit", "701:100")]
+    router.named_acls = [NamedAclPlan("guard", [("permit", "ip any any")])]
+    router.prefix_lists = [PrefixListEntry("P-px", 5, "permit",
+                                           ip_to_int("6.0.0.0"), 8, le=24)]
+    router.static_routes = [StaticRoute(ip_to_int("10.9.0.0"), 16, 0)]
+    router.enable_secret = "topsecret"
+    router.usernames = [("bob", "pw")]
+    router.snmp_community = "comm"
+    router.banner = "KEEP OUT\nproperty of test"
+    router.domain_name = "test.example"
+    router.vty_password = "vtypw"
+    return router
+
+
+@pytest.fixture
+def ios_text():
+    router = _sample_router()
+    dialect = dialect_for_version(router.version)
+    return render_config(router, dialect, NameFactory(1), NetworkSpec(), random.Random(1)), dialect
+
+
+class TestIosRenderer:
+    def test_sections_in_canonical_order(self, ios_text):
+        text, _ = ios_text
+        order = [text.index(marker) for marker in (
+            "hostname ", "interface Loopback0", "router ospf",
+            "router bgp", "\nip route ", "\nip access-list extended",
+            "\nroute-map P-in deny", "line vty")]
+        assert order == sorted(order)
+
+    def test_banner_uses_dialect_delimiter(self, ios_text):
+        text, dialect = ios_text
+        assert "banner motd {}".format(dialect.banner_delimiter) in text
+        assert "KEEP OUT" in text
+
+    def test_masks_rendered(self, ios_text):
+        text, _ = ios_text
+        assert " ip address 10.1.1.1 255.255.255.0" in text
+        assert " ip address 6.1.0.1 255.255.255.252" in text
+        assert "network 6.0.0.0 mask 255.0.0.0" in text
+
+    def test_static_null0(self, ios_text):
+        text, _ = ios_text
+        assert "ip route 10.9.0.0 255.255.0.0 Null0" in text
+
+    def test_bgp_neighbor_lines(self, ios_text):
+        text, _ = ios_text
+        assert "neighbor 9.9.9.9 remote-as 701" in text
+        assert "neighbor 9.9.9.9 password pw123" in text
+        assert "neighbor 9.9.9.9 route-map P-in in" in text
+
+    def test_named_acl_rendered(self, ios_text):
+        text, _ = ios_text
+        assert "ip access-list extended guard" in text
+
+    def test_prefix_list_rendered(self, ios_text):
+        text, _ = ios_text
+        assert "ip prefix-list P-px seq 5 permit 6.0.0.0/8 le 24" in text
+
+    def test_ends_with_end(self, ios_text):
+        text, _ = ios_text
+        assert text.rstrip().endswith("end")
+
+    def test_dialect_era_affects_boilerplate(self):
+        router = _sample_router()
+        old = render_config(router, dialect_for_version("11.1(3)"),
+                            NameFactory(1), NetworkSpec(), random.Random(1))
+        new = render_config(router, dialect_for_version("12.3(16)T"),
+                            NameFactory(1), NetworkSpec(), random.Random(1))
+        assert "no synchronization" not in old
+        assert "no synchronization" in new
+
+
+class TestJunosRenderer:
+    @pytest.fixture
+    def junos_text(self):
+        router = _sample_router()
+        return render_junos_config(router, NameFactory(1), NetworkSpec(), random.Random(1))
+
+    def test_braces_balanced(self, junos_text):
+        assert junos_text.count("{") == junos_text.count("}")
+
+    def test_statements_terminated(self, junos_text):
+        for line in junos_text.splitlines():
+            stripped = line.strip()
+            if not stripped or stripped.endswith(("{", "}")) or stripped.startswith("/*"):
+                continue
+            assert stripped.endswith(";"), stripped
+
+    def test_interface_mapping(self, junos_text):
+        assert "lo0 {" in junos_text
+        assert "fe-0/0/0 {" in junos_text
+        assert "so-0/0/0 {" in junos_text
+        assert "address 10.1.1.1/24;" in junos_text
+
+    def test_bgp_group(self, junos_text):
+        assert "peer-as 701;" in junos_text
+        assert "autonomous-system 65001;" in junos_text
+        assert 'authentication-key "pw123";' in junos_text
+
+    def test_policy_statement(self, junos_text):
+        assert "policy-statement P-in {" in junos_text
+        assert "local-preference 90;" in junos_text
+        assert "reject;" in junos_text
+
+    def test_aspath_regex_stripped_of_underscores(self, junos_text):
+        match = re.search(r'as-path aspath-50 "([^"]*)";', junos_text)
+        assert match
+        assert "_" not in match.group(1)
+        assert "1239" in match.group(1)
+
+    def test_statics(self, junos_text):
+        assert "route 10.9.0.0/16 discard;" in junos_text
+
+    def test_parses_back(self, junos_text):
+        from repro.configmodel.junos_parser import parse_junos_config
+
+        parsed = parse_junos_config(junos_text)
+        assert parsed.hostname == "r1.test.example"
+        assert parsed.bgp.asn == 65001
+        assert parsed.bgp.neighbors["9.9.9.9"].remote_as == 701
+        assert parsed.interfaces["fe-0/0/0.0"].prefix_len == 24

@@ -1,0 +1,255 @@
+"""Per-rule tests: every context rule (R6-R28) on crafted config lines.
+
+Each test pushes one line through a fresh Anonymizer and asserts exactly
+what changed and what survived.
+"""
+
+import re
+
+import pytest
+
+from repro.core import Anonymizer
+from repro.core.rules import STRUCTURAL_RULES, all_rules, build_line_rules, rule_inventory
+
+
+@pytest.fixture
+def anon():
+    return Anonymizer(salt=b"rule-salt")
+
+
+def one_line(anon, text):
+    return anon.anonymize_text(text + "\n").rstrip("\n")
+
+
+class TestRegistry:
+    def test_28_rules_documented(self):
+        # 2 segmentation + 3 comment + 4 misc + 12 asn + 4 ip + 3 secret
+        ids = {r.rule_id for r in all_rules()}
+        expected = {"R{}".format(n) for n in range(1, 29)}
+        assert expected <= ids
+
+    def test_categories_match_paper_accounting(self):
+        rules = all_rules()
+        by_category = {}
+        for rule in rules:
+            by_category.setdefault(rule.category, set()).add(
+                rule.rule_id.rstrip("b")
+            )
+        assert len(by_category["segmentation"]) == 2
+        assert len(by_category["comment"]) == 3
+        assert len(by_category["misc"]) == 4
+        assert len(by_category["asn"]) == 12
+        assert len(by_category["ip"]) == 4
+        assert len(by_category["secret"]) == 3
+
+    def test_structural_rules_have_no_apply(self):
+        assert all(r.apply is None for r in STRUCTURAL_RULES)
+
+    def test_line_rules_all_applyable(self):
+        assert all(r.apply is not None for r in build_line_rules())
+
+    def test_inventory_renders(self):
+        text = rule_inventory()
+        assert "R14" in text and "R28" in text
+
+
+class TestAsnRules:
+    def test_r10_router_bgp(self, anon):
+        out = one_line(anon, "router bgp 701")
+        mapped = anon.asn_map.map_asn(701)
+        assert out == "router bgp {}".format(mapped)
+
+    def test_r11_remote_as(self, anon):
+        out = one_line(anon, " neighbor 9.9.9.9 remote-as 1239")
+        assert "remote-as {}".format(anon.asn_map.map_asn(1239)) in out
+        assert "1239" not in out.replace(str(anon.asn_map.map_asn(1239)), "")
+
+    def test_r12_local_as(self, anon):
+        out = one_line(anon, " neighbor 9.9.9.9 local-as 3356")
+        assert "local-as {}".format(anon.asn_map.map_asn(3356)) in out
+
+    def test_r13_prepend_list(self, anon):
+        out = one_line(anon, " set as-path prepend 701 701 701")
+        mapped = str(anon.asn_map.map_asn(701))
+        assert out == " set as-path prepend {m} {m} {m}".format(m=mapped)
+
+    def test_r14_aspath_regexp(self, anon):
+        out = one_line(anon, "ip as-path access-list 50 permit (_1239_|_701_)")
+        assert str(anon.asn_map.map_asn(1239)) in out
+        assert str(anon.asn_map.map_asn(701)) in out
+        assert out.startswith("ip as-path access-list 50 permit ")
+
+    def test_r14_list_number_not_an_asn(self, anon):
+        out = one_line(anon, "ip as-path access-list 701 permit _99_")
+        # The list number 701 is a local identifier, never mapped.
+        assert out.startswith("ip as-path access-list 701 ")
+
+    def test_r15_standard_community_list(self, anon):
+        out = one_line(anon, "ip community-list 1 permit 701:7100")
+        mapped = "{}:{}".format(
+            anon.asn_map.map_asn(701), anon.community.map_value(7100)
+        )
+        assert out == "ip community-list 1 permit " + mapped
+
+    def test_r15_expanded_community_regexp(self, anon):
+        out = one_line(anon, "ip community-list 100 permit _701:710[0-1]_")
+        assert str(anon.asn_map.map_asn(701)) in out
+        assert str(anon.community.map_value(7100)) in out
+        assert str(anon.community.map_value(7101)) in out
+
+    def test_r15_named_lists(self, anon):
+        out = one_line(anon, "ip community-list standard CUSTLIST permit 701:42")
+        assert str(anon.asn_map.map_asn(701)) in out
+        assert "CUSTLIST" not in out  # name is privileged -> hashed
+
+    def test_r16_set_community(self, anon):
+        out = one_line(anon, " set community 701:7100 no-export additive")
+        assert str(anon.asn_map.map_asn(701)) in out
+        assert out.endswith("no-export additive")
+
+    def test_r17_extcommunity(self, anon):
+        out = one_line(anon, " set extcommunity rt 701:99")
+        assert "rt {}:{}".format(
+            anon.asn_map.map_asn(701), anon.community.map_value(99)
+        ) in out
+
+    def test_r18_route_target_and_rd(self, anon):
+        out = one_line(anon, " route-target import 701:100")
+        assert str(anon.asn_map.map_asn(701)) in out
+        out2 = one_line(anon, " rd 1239:5")
+        assert str(anon.asn_map.map_asn(1239)) in out2
+
+    def test_r19_confed_identifier(self, anon):
+        out = one_line(anon, " bgp confederation identifier 701")
+        assert out.endswith(str(anon.asn_map.map_asn(701)))
+
+    def test_r20_confed_peers(self, anon):
+        out = one_line(anon, " bgp confederation peers 65100 701 1239")
+        assert str(anon.asn_map.map_asn(701)) in out
+        assert "65100" in out  # private ASN untouched
+
+    def test_r21_set_origin_egp(self, anon):
+        out = one_line(anon, " set origin egp 701")
+        assert out.endswith(str(anon.asn_map.map_asn(701)))
+
+    def test_private_asns_untouched(self, anon):
+        assert one_line(anon, "router bgp 65001") == "router bgp 65001"
+        assert one_line(anon, " neighbor 9.9.9.9 remote-as 64512").endswith("64512")
+
+
+class TestIpRules:
+    def test_r22_address_and_mask(self, anon):
+        out = one_line(anon, " ip address 6.1.2.3 255.255.255.0")
+        assert out.endswith("255.255.255.0")
+        assert "6.1.2.3" not in out
+        mapped = anon.ip_map.map_address("6.1.2.3")
+        assert mapped in out
+
+    def test_r23_prefix_notation(self, anon):
+        out = one_line(anon, "ip prefix-list X seq 5 permit 6.1.0.0/16 le 24")
+        assert "/16 le 24" in out
+        assert "6.1.0.0" not in out
+
+    def test_r24_classful_network_truncated(self, anon):
+        mapped_host = anon.ip_map.map_address("6.1.2.3")  # prime the trie
+        out = one_line(anon, " network 6.0.0.0")
+        assert re.match(r" network \d+\.0\.0\.0$", out)
+        # must cover the mapped host classfully
+        assert out.split()[-1].split(".")[0] == mapped_host.split(".")[0]
+
+    def test_r24_ospf_network_not_truncated(self, anon):
+        out = one_line(anon, " network 6.1.2.0 0.0.0.255 area 3")
+        assert out.endswith("0.0.0.255 area 3")
+
+    def test_r25_wildcard_pair_canonicalized(self, anon):
+        out = one_line(anon, "access-list 10 permit ip 6.1.2.0 0.0.0.255 any")
+        parts = out.split()
+        base = parts[4]
+        assert parts[5] == "0.0.0.255"
+        assert base.endswith(".0")  # wildcard bits cleared
+
+    def test_r25_bare_quads(self, anon):
+        out = one_line(anon, "logging 6.9.9.9")
+        assert out != "logging 6.9.9.9"
+        assert out.startswith("logging ")
+
+    def test_masks_in_static_routes_kept(self, anon):
+        out = one_line(anon, "ip route 6.0.0.0 255.0.0.0 6.1.1.1")
+        assert "255.0.0.0" in out
+        assert "6.0.0.0" not in out
+
+    def test_consistency_across_lines(self, anon):
+        a = one_line(anon, "logging 6.9.9.9")
+        b = one_line(anon, "ntp server 6.9.9.9")
+        assert a.split()[-1] == b.split()[-1]
+
+
+class TestMiscRules:
+    def test_r6_dialer_string(self, anon):
+        out = one_line(anon, " dialer string 14085551212")
+        assert "14085551212" not in out
+        new_number = out.split()[-1]
+        assert new_number.isdigit()
+        assert len(new_number) == len("14085551212")
+
+    def test_r6_deterministic(self, anon):
+        a = one_line(anon, " dialer string 14085551212")
+        b = one_line(anon, " dialer string 14085551212")
+        assert a == b
+
+    def test_r7_snmp_location(self, anon):
+        out = one_line(anon, "snmp-server location 123 Main St, Springfield")
+        assert out == "snmp-server location"
+
+    def test_r7_snmp_contact(self, anon):
+        out = one_line(anon, "snmp-server contact noc@foocorp.com")
+        assert out == "snmp-server contact"
+
+    def test_r8_mac_address(self, anon):
+        out = one_line(anon, " mac-address 00a0.c912.3456")
+        assert "00a0.c912.3456" not in out
+        assert re.search(r"[0-9a-f]{4}\.[0-9a-f]{4}\.[0-9a-f]{4}", out)
+
+    def test_r9_domain_labels_hashed_even_passlist_words(self, anon):
+        # 'global' style leak: both labels could be pass-list words.
+        out = one_line(anon, "ip domain-name router.interface")
+        assert "router.interface" not in out
+        assert out.count(".") == 1
+
+
+class TestSecretRules:
+    def test_r26_enable_secret(self, anon):
+        out = one_line(anon, "enable secret 5 supersecret")
+        assert "supersecret" not in out
+        assert out.startswith("enable secret 5 ")
+
+    def test_r26_neighbor_password(self, anon):
+        out = one_line(anon, " neighbor 6.1.1.1 password s3cr3t")
+        assert "s3cr3t" not in out
+
+    def test_r26_hashes_passlist_words_too(self, anon):
+        out = one_line(anon, "enable password cisco")
+        assert out != "enable password cisco"
+
+    def test_r26_key_chain_keyword_survives(self, anon):
+        out = one_line(anon, "key chain trees")
+        assert out.startswith("key chain")
+
+    def test_r27_tacacs_key(self, anon):
+        out = one_line(anon, "tacacs-server key sharedsecret")
+        assert "sharedsecret" not in out
+
+    def test_r27b_snmp_community(self, anon):
+        out = one_line(anon, "snmp-server community public RO")
+        assert "public" not in out
+        assert out.endswith(" RO")
+
+    def test_r27b_snmp_host_community(self, anon):
+        out = one_line(anon, "snmp-server host 6.1.1.1 watchword")
+        assert "watchword" not in out
+        assert "6.1.1.1" not in out  # host IP still mapped
+
+    def test_r28_username(self, anon):
+        out = one_line(anon, "username admin password 7 hunter2")
+        assert "admin" not in out.split()[1]
+        assert "hunter2" not in out

@@ -1,0 +1,109 @@
+"""Tests for mapping-state persistence (longitudinal consistency)."""
+
+import json
+
+import pytest
+
+from repro.core import Anonymizer, AnonymizerConfig
+from repro.core.state import (
+    STATE_FORMAT_VERSION,
+    export_state,
+    import_state,
+    load_state,
+    save_state,
+)
+
+
+class TestStateRoundTrip:
+    def test_ip_mapping_consistent_across_sessions(self, tmp_path):
+        first = Anonymizer(salt=b"owner")
+        # Session 1 maps some addresses in an order that shapes the trie.
+        mapped_day1 = {
+            t: first.ip_map.map_address(t)
+            for t in ("10.1.1.5", "10.1.1.0", "6.2.3.4")
+        }
+        path = tmp_path / "state.json"
+        save_state(first, str(path))
+
+        second = Anonymizer(salt=b"owner")
+        load_state(second, str(path))
+        for text, expected in mapped_day1.items():
+            assert second.ip_map.map_address(text) == expected
+
+    def test_new_addresses_after_restore_stay_prefix_consistent(self, tmp_path):
+        first = Anonymizer(salt=b"owner")
+        day1 = first.ip_map.map_address("10.1.1.1")
+        path = tmp_path / "state.json"
+        save_state(first, str(path))
+
+        second = Anonymizer(salt=b"owner")
+        load_state(second, str(path))
+        day2 = second.ip_map.map_address("10.1.1.2")
+        # same /30: mapped addresses must share 30 bits
+        from repro.netutil import ip_to_int
+
+        xor = ip_to_int(day1) ^ ip_to_int(day2)
+        assert xor.bit_length() <= 2
+
+    def test_rng_stream_continues(self, tmp_path):
+        """Mapping unseen addresses after a restore must match what the
+        original instance would have produced."""
+        first = Anonymizer(salt=b"owner")
+        first.ip_map.map_address("10.0.0.1")
+        path = tmp_path / "state.json"
+        save_state(first, str(path))
+
+        second = Anonymizer(salt=b"owner")
+        load_state(second, str(path))
+        assert second.ip_map.map_address("99.1.2.3") == first.ip_map.map_address(
+            "99.1.2.3"
+        )
+
+    def test_hash_cache_restored(self, tmp_path):
+        first = Anonymizer(salt=b"owner")
+        digest = first.hasher.hash_token("FOOCORP")
+        path = tmp_path / "state.json"
+        save_state(first, str(path))
+        second = Anonymizer(salt=b"owner")
+        load_state(second, str(path))
+        assert second.hasher.hash_token("FOOCORP") == digest
+        assert "FOOCORP" in second.hasher.hashed_inputs
+
+    def test_seen_asns_restored(self, tmp_path):
+        first = Anonymizer(salt=b"owner")
+        first.anonymize_text("router bgp 701\n")
+        path = tmp_path / "state.json"
+        save_state(first, str(path))
+        second = Anonymizer(salt=b"owner")
+        load_state(second, str(path))
+        assert 701 in second.report.seen_asns
+
+    def test_full_config_longitudinal_consistency(self, tmp_path, figure1_text):
+        first = Anonymizer(salt=b"owner")
+        day1 = first.anonymize_text(figure1_text)
+        save_state(first, str(tmp_path / "s.json"))
+        second = Anonymizer(salt=b"owner")
+        load_state(second, str(tmp_path / "s.json"))
+        day2 = second.anonymize_text(figure1_text)
+        assert day1 == day2
+
+
+class TestStateValidation:
+    def test_version_checked(self):
+        anonymizer = Anonymizer(salt=b"o")
+        state = export_state(anonymizer)
+        state["format_version"] = 999
+        with pytest.raises(ValueError):
+            import_state(Anonymizer(salt=b"o"), state)
+
+    def test_hash_length_checked(self):
+        state = export_state(Anonymizer(salt=b"o"))
+        other = Anonymizer(AnonymizerConfig(salt=b"o", hash_length=8))
+        with pytest.raises(ValueError):
+            import_state(other, state)
+
+    def test_state_is_json_serializable(self):
+        anonymizer = Anonymizer(salt=b"o")
+        anonymizer.anonymize_text("interface Ethernet0\n ip address 6.1.1.1 255.0.0.0\n")
+        text = json.dumps(export_state(anonymizer))
+        assert json.loads(text)["format_version"] == STATE_FORMAT_VERSION

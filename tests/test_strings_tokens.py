@@ -1,0 +1,150 @@
+"""Tests for string hashing, the pass-list, and token segmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.passlist import DEFAULT_PASSLIST, PassList
+from repro.core.strings import StringHasher
+from repro.core.tokens import TokenAnonymizer, segment_word
+
+
+class TestStringHasher:
+    def test_deterministic(self):
+        hasher = StringHasher(b"salt", length=16)
+        assert hasher.hash_token("UUNET") == hasher.hash_token("UUNET")
+
+    def test_salt_separation(self):
+        a = StringHasher(b"salt-a")
+        b = StringHasher(b"salt-b")
+        assert a.hash_token("UUNET") != b.hash_token("UUNET")
+
+    def test_case_sensitive_inputs(self):
+        hasher = StringHasher(b"salt")
+        assert hasher.hash_token("Foo") != hasher.hash_token("foo")
+
+    def test_length_respected(self):
+        assert len(StringHasher(b"s", length=8).hash_token("token")) == 8
+        assert len(StringHasher(b"s", length=40).hash_token("token")) == 40
+
+    def test_length_bounds(self):
+        with pytest.raises(ValueError):
+            StringHasher(b"s", length=2)
+        with pytest.raises(ValueError):
+            StringHasher(b"s", length=41)
+
+    def test_never_looks_like_integer(self):
+        # Hunt for digit-only digests across many tokens; the guard must
+        # rewrite them so downstream passes can't mistake them for ASNs.
+        hasher = StringHasher(b"salt", length=4)
+        for i in range(3000):
+            out = hasher.hash_token("token{}".format(i))
+            assert not out.isdigit()
+
+    def test_hashed_inputs_recorded(self):
+        hasher = StringHasher(b"salt")
+        hasher.hash_token("secretname")
+        assert "secretname" in hasher.hashed_inputs
+
+    @given(st.text(min_size=1, max_size=30))
+    @settings(max_examples=100)
+    def test_output_is_hexlike(self, token):
+        out = StringHasher(b"s").hash_token(token)
+        assert all(c in "0123456789abcdefh" for c in out)
+
+
+class TestPassList:
+    def test_case_insensitive(self):
+        passlist = PassList(["Ethernet"])
+        assert "ethernet" in passlist
+        assert "ETHERNET" in passlist
+
+    def test_default_has_core_keywords(self):
+        for word in ("interface", "router", "bgp", "neighbor", "permit", "deny",
+                     "ethernet", "description", "access-list", "route-map"):
+            assert word in DEFAULT_PASSLIST, word
+
+    def test_default_lacks_fabricated_names(self):
+        for word in ("globex", "initech", "uunet", "sprintlink", "acmecorp"):
+            assert word not in DEFAULT_PASSLIST, word
+
+    def test_from_text_scrapes_alpha_runs(self):
+        passlist = PassList.from_text("Use the ip address command. Ethernet0/0 works.")
+        assert "ethernet" in passlist
+        assert "address" in passlist
+        assert "0" not in passlist
+
+    def test_from_text_skips_single_letters(self):
+        passlist = PassList.from_text("a b c word")
+        assert "word" in passlist
+        assert "a" not in passlist
+
+    def test_union(self):
+        merged = PassList(["one"]).union(PassList(["two"]))
+        assert "one" in merged and "two" in merged
+
+    def test_iteration_sorted(self):
+        passlist = PassList(["zeta", "alpha"])
+        assert list(passlist) == ["alpha", "zeta"]
+
+
+class TestSegmentation:
+    def test_paper_example(self):
+        # "identifiers like ethernet0/0 become a string ethernet ... and a
+        # non-alphabetic remainder 0/0"
+        runs = segment_word("Ethernet0/0")
+        assert runs == [("Ethernet", True), ("0/0", False)]
+
+    def test_mixed_identifier(self):
+        runs = segment_word("UUNET-import")
+        assert runs == [("UUNET", True), ("-", False), ("import", True)]
+
+    def test_pure_number(self):
+        assert segment_word("12345") == [("12345", False)]
+
+    def test_dotted_quad_is_non_alpha(self):
+        assert segment_word("1.2.3.4") == [("1.2.3.4", False)]
+
+
+class TestTokenAnonymizer:
+    def _anon(self):
+        return TokenAnonymizer(DEFAULT_PASSLIST, StringHasher(b"salt"))
+
+    def test_keeps_keywords(self):
+        anon = self._anon()
+        assert anon.anonymize_word("interface") == "interface"
+        assert anon.anonymize_word("Ethernet0/0") == "Ethernet0/0"
+
+    def test_hashes_unknown(self):
+        anon = self._anon()
+        out = anon.anonymize_word("FooCorp")
+        assert out != "FooCorp"
+        assert "FooCorp" not in out
+
+    def test_partial_hashing_preserves_structure(self):
+        # Route-map name: privileged part hashed, keyword part kept.
+        anon = self._anon()
+        out = anon.anonymize_word("UUNET-import")
+        assert out.endswith("-import")
+        assert "UUNET" not in out
+
+    def test_referential_integrity(self):
+        anon = self._anon()
+        assert anon.anonymize_word("UUNET-import") == anon.anonymize_word("UUNET-import")
+
+    def test_numbers_pass(self):
+        anon = self._anon()
+        assert anon.anonymize_word("65000") == "65000"
+        assert anon.anonymize_word("10.0.0.1") == "10.0.0.1"
+
+    def test_counters(self):
+        anon = self._anon()
+        anon.anonymize_word("interface")
+        anon.anonymize_word("FooCorp")
+        assert anon.tokens_seen == 2
+        assert anon.tokens_hashed == 1
+
+    def test_iter_unknown_runs(self):
+        anon = self._anon()
+        unknown = list(anon.iter_unknown_runs("interface FooCorp Ethernet0"))
+        assert unknown == ["FooCorp"]

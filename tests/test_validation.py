@@ -1,0 +1,261 @@
+"""Tests for the two validation suites (paper Section 5)."""
+
+import pytest
+
+from repro.configmodel import ParsedNetwork
+from repro.core import Anonymizer
+from repro.validation import (
+    characteristics,
+    compare_characteristics,
+    compare_designs,
+    design_signature,
+    extract_design,
+)
+
+
+@pytest.fixture(scope="module")
+def pre_post(session_enterprise):
+    anon = Anonymizer(salt=b"validation-salt")
+    result = anon.anonymize_network(dict(session_enterprise.configs))
+    pre = ParsedNetwork.from_configs(session_enterprise.configs)
+    post = ParsedNetwork.from_configs(result.configs)
+    return pre, post
+
+
+class TestSuite1:
+    def test_passes_on_anonymized_network(self, pre_post):
+        pre, post = pre_post
+        result = compare_characteristics(pre, post)
+        assert result.passed, result.summary()
+
+    def test_paper_properties_present(self, pre_post):
+        pre, _ = pre_post
+        chars = characteristics(pre)
+        # The paper's three named properties:
+        assert "num_bgp_speakers" in chars
+        assert "num_interfaces" in chars
+        assert "subnet_size_histogram" in chars
+
+    def test_detects_dropped_interface(self, pre_post, session_enterprise):
+        pre, _ = pre_post
+        tampered = dict(session_enterprise.configs)
+        name = sorted(tampered)[0]
+        tampered[name] = tampered[name].replace("interface Loopback0", "interface Loopback9")
+        # Removing the Loopback0 address line entirely is a clearer tamper:
+        lines = [
+            l for l in tampered[name].splitlines() if "ip address" not in l or "255.255.255.255" not in l
+        ]
+        tampered[name] = "\n".join(lines)
+        result = compare_characteristics(pre, ParsedNetwork.from_configs(tampered))
+        assert not result.passed
+        assert result.differences
+
+    def test_detects_collapsed_subnets(self, pre_post, session_enterprise):
+        """A NON-prefix-preserving 'anonymization' must fail the suite."""
+        pre, _ = pre_post
+        broken = {
+            name: text.replace("255.255.255.252", "255.255.255.0")
+            for name, text in session_enterprise.configs.items()
+        }
+        result = compare_characteristics(pre, ParsedNetwork.from_configs(broken))
+        assert not result.passed
+
+
+class TestSuite2:
+    def test_passes_on_anonymized_network(self, pre_post):
+        pre, post = pre_post
+        result = compare_designs(pre, post)
+        assert result.passed, result.summary()
+
+    def test_design_has_instances(self, pre_post):
+        pre, _ = pre_post
+        design = extract_design(pre)
+        assert design.instances
+        protocols = {i.protocol for i in design.instances}
+        assert "rip" in protocols
+
+    def test_igp_forms_single_instance(self, pre_post):
+        """All RIP processes share subnets, so they form one instance."""
+        pre, _ = pre_post
+        design = extract_design(pre)
+        rip_instances = [i for i in design.instances if i.protocol == "rip"]
+        covered = [i for i in rip_instances if i.covered_subnets]
+        assert len(covered) == 1
+        assert len(covered[0].routers) > 1
+
+    def test_signature_is_stable(self, pre_post):
+        pre, _ = pre_post
+        a = design_signature(extract_design(pre))
+        b = design_signature(extract_design(pre))
+        assert a == b
+
+    def test_detects_removed_redistribution(self):
+        config = (
+            "hostname r1\n"
+            "interface Ethernet0\n ip address 10.1.1.1 255.255.255.0\n"
+            "router rip\n network 10.0.0.0\n redistribute bgp\n"
+            "router bgp 65001\n neighbor 9.9.9.9 remote-as 701\n"
+        )
+        pre = ParsedNetwork.from_configs({"r1": config})
+        broken = ParsedNetwork.from_configs(
+            {"r1": config.replace(" redistribute bgp\n", "")}
+        )
+        result = compare_designs(pre, broken)
+        assert not result.passed
+
+    def test_detects_broken_ibgp_mesh(self, pre_post, session_enterprise):
+        pre, _ = pre_post
+        broken = {
+            name: "\n".join(
+                line for line in text.splitlines() if "next-hop-self" in line or "remote-as" not in line
+            )
+            for name, text in session_enterprise.configs.items()
+        }
+        result = compare_designs(pre, ParsedNetwork.from_configs(broken))
+        assert not result.passed
+
+
+class TestBackboneValidation:
+    def test_ospf_backbone_round_trip(self, small_backbone):
+        anon = Anonymizer(salt=b"bb-salt")
+        result = anon.anonymize_network(dict(small_backbone.configs))
+        pre = ParsedNetwork.from_configs(small_backbone.configs)
+        post = ParsedNetwork.from_configs(result.configs)
+        assert compare_characteristics(pre, post).passed
+        assert compare_designs(pre, post).passed
+
+    def test_ospf_areas_counted(self, small_backbone):
+        pre = ParsedNetwork.from_configs(small_backbone.configs)
+        design = extract_design(pre)
+        assert design.ospf_area_count >= 2
+
+    def test_ebgp_shape_preserved(self, small_backbone):
+        anon = Anonymizer(salt=b"bb-salt2")
+        result = anon.anonymize_network(dict(small_backbone.configs))
+        pre = ParsedNetwork.from_configs(small_backbone.configs)
+        post = ParsedNetwork.from_configs(result.configs)
+        assert sorted(pre.ebgp_sessions_per_router().values()) == sorted(
+            post.ebgp_sessions_per_router().values()
+        )
+
+
+class TestSuite3:
+    def test_passes_on_anonymized_network(self, pre_post):
+        from repro.validation import compare_research_analyses
+
+        pre, post = pre_post
+        result = compare_research_analyses(pre, post)
+        assert result.passed, result.summary()
+
+    def test_detects_lost_link(self, pre_post, session_enterprise):
+        from repro.validation import compare_research_analyses
+
+        pre, _ = pre_post
+        broken = dict(session_enterprise.configs)
+        # Remove every /30 interface from one router: topology changes.
+        name = sorted(broken)[0]
+        lines = []
+        skip_block = False
+        for line in broken[name].splitlines():
+            if line.startswith("interface ") :
+                skip_block = False
+            if "255.255.255.252" in line:
+                continue
+            lines.append(line)
+        broken[name] = "\n".join(lines)
+        result = compare_research_analyses(
+            pre, ParsedNetwork.from_configs(broken)
+        )
+        assert not result.passed
+
+
+class TestRouteReflection:
+    @pytest.fixture(scope="class")
+    def rr_network(self):
+        from repro.iosgen import NetworkSpec, generate_network
+
+        spec = NetworkSpec(
+            name="rrnet", kind="backbone", seed=2, num_pops=3,
+            num_ebgp_peers=4, use_route_reflectors=True,
+            use_rfc1918=False, lans_per_access=(2, 4),
+        )
+        return generate_network(spec)
+
+    def test_topology_classified(self, rr_network):
+        design = extract_design(ParsedNetwork.from_configs(rr_network.configs))
+        assert design.ibgp_topology == "route-reflector"
+
+    def test_full_mesh_classified(self, small_backbone):
+        design = extract_design(ParsedNetwork.from_configs(small_backbone.configs))
+        assert design.ibgp_topology == "full-mesh"
+
+    def test_rr_clients_parsed(self, rr_network):
+        parsed = ParsedNetwork.from_configs(rr_network.configs)
+        clients = sum(
+            1
+            for router in parsed.routers.values()
+            if router.bgp
+            for neighbor in router.bgp.neighbors.values()
+            if neighbor.route_reflector_client
+        )
+        assert clients > 0
+
+    def test_rr_design_survives_anonymization(self, rr_network):
+        anon = Anonymizer(salt=b"rr-salt")
+        result = anon.anonymize_network(dict(rr_network.configs))
+        pre = ParsedNetwork.from_configs(rr_network.configs)
+        post = ParsedNetwork.from_configs(result.configs)
+        assert compare_designs(pre, post).passed
+        assert extract_design(post).ibgp_topology == "route-reflector"
+
+
+class TestIsis:
+    @pytest.fixture(scope="class")
+    def isis_network(self):
+        from repro.iosgen import NetworkSpec, generate_network
+
+        spec = NetworkSpec(
+            name="isisnet", kind="backbone", seed=6, num_pops=3,
+            igp="isis", use_rfc1918=False, lans_per_access=(2, 4),
+        )
+        return generate_network(spec)
+
+    def test_isis_rendered(self, isis_network):
+        text = "\n".join(isis_network.configs.values())
+        assert "router isis" in text
+        assert "net 49.0001." in text
+        assert "ip router isis" in text
+
+    def test_isis_forms_instance(self, isis_network):
+        design = extract_design(ParsedNetwork.from_configs(isis_network.configs))
+        isis = [i for i in design.instances if i.protocol == "isis"]
+        assert isis
+        assert max(len(i.routers) for i in isis) > 1
+
+    def test_isis_net_anonymized_consistently(self, isis_network):
+        import re
+
+        anon = Anonymizer(salt=b"isis-salt")
+        result = anon.anonymize_network(dict(isis_network.configs))
+        for text in result.configs.values():
+            loopback = re.search(
+                r"ip address (\S+) 255.255.255.255", text
+            )
+            net = re.search(r"net 49\.0001\.(\d{4})\.(\d{4})\.(\d{4})\.00", text)
+            if loopback is None or net is None:
+                continue
+            digits = "".join(net.groups())
+            octets = [int(digits[i:i + 3]) for i in range(0, 12, 3)]
+            derived = "{}.{}.{}.{}".format(*octets)
+            assert derived == loopback.group(1)
+
+    def test_isis_validation_suites_pass(self, isis_network):
+        from repro.validation import compare_research_analyses
+
+        anon = Anonymizer(salt=b"isis-salt-2")
+        result = anon.anonymize_network(dict(isis_network.configs))
+        pre = ParsedNetwork.from_configs(isis_network.configs)
+        post = ParsedNetwork.from_configs(result.configs)
+        assert compare_characteristics(pre, post).passed
+        assert compare_designs(pre, post).passed
+        assert compare_research_analyses(pre, post).passed
