@@ -1,0 +1,105 @@
+"""E22 — parallel rewrite speedup vs worker count.
+
+The freeze-then-rewrite pipeline makes the rewrite phase embarrassingly
+parallel: after :meth:`Anonymizer.freeze_mappings` every shared map is
+read-only, so files can be rewritten in any number of worker processes
+with byte-identical output.  This benchmark measures end-to-end wall time
+(freeze + rewrite + merge) for jobs in {1, 2, 4} on the largest network
+of the bench corpus, checks the byte-identity guarantee while it is at
+it, and emits a machine-readable ``results/BENCH_parallel.json``.
+
+The speedup assertion (>= 2x at 4 workers) only applies on machines with
+at least 4 usable cores; on smaller containers the numbers are recorded
+but not asserted (process fan-out on one core can only add overhead).
+"""
+
+import json
+import os
+import time
+
+from _tables import RESULTS_DIR, fmt, report
+
+from repro.core import Anonymizer
+
+JOBS_SWEEP = (1, 2, 4)
+REPEATS = 3
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_run(configs, jobs):
+    """Best-of-REPEATS wall time for a fresh freeze-then-rewrite run."""
+    best = float("inf")
+    outputs = None
+    for _ in range(REPEATS):
+        anonymizer = Anonymizer(salt=b"par-bench")
+        start = time.perf_counter()
+        result = anonymizer.anonymize_network(
+            dict(configs), two_pass=True, jobs=jobs
+        )
+        best = min(best, time.perf_counter() - start)
+        outputs = result.configs
+    return best, outputs
+
+
+def test_parallel_speedup(dataset):
+    sample = sorted(dataset, key=lambda n: -len(n.configs))[0]
+    total_lines = sum(len(t.splitlines()) for t in sample.configs.values())
+    cpus = _usable_cpus()
+
+    timings = {}
+    baseline_outputs = None
+    for jobs in JOBS_SWEEP:
+        seconds, outputs = _timed_run(sample.configs, jobs)
+        timings[jobs] = seconds
+        if baseline_outputs is None:
+            baseline_outputs = outputs
+        else:
+            # The headline guarantee, measured on the bench corpus too.
+            assert outputs == baseline_outputs
+
+    payload = {
+        "experiment": "BENCH_parallel",
+        "network": sample.name,
+        "files": len(sample.configs),
+        "lines": total_lines,
+        "cpus": cpus,
+        "repeats": REPEATS,
+        "seconds": {str(jobs): timings[jobs] for jobs in JOBS_SWEEP},
+        "speedup": {
+            str(jobs): timings[1] / timings[jobs] for jobs in JOBS_SWEEP
+        },
+        "lines_per_second": {
+            str(jobs): total_lines / timings[jobs] for jobs in JOBS_SWEEP
+        },
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_parallel.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    rows = [
+        ("sample", "(4.3M lines total)",
+         "{} files / {} lines".format(len(sample.configs), total_lines),
+         sample.name),
+        ("usable cores", "", str(cpus), ""),
+    ]
+    for jobs in JOBS_SWEEP:
+        rows.append((
+            "jobs={}".format(jobs), "",
+            "{} s  ({}x)".format(
+                fmt(timings[jobs], 2), fmt(payload["speedup"][str(jobs)], 2)
+            ),
+            "{} lines/s".format(fmt(total_lines / timings[jobs], 0)),
+        ))
+    report("E22", "parallel rewrite speedup", rows)
+
+    if cpus >= 4:
+        assert payload["speedup"]["4"] >= 2.0, (
+            "expected >= 2x speedup at 4 workers on a {}-core machine, "
+            "got {:.2f}x".format(cpus, payload["speedup"]["4"])
+        )

@@ -55,6 +55,29 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="do NOT strip comments (debugging only; comments leak identity)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel rewrite workers (default 1; >1 implies the "
+        "mapping-freeze phase, output is byte-identical for any N)",
+    )
+    parser.add_argument(
+        "--two-pass",
+        dest="two_pass",
+        action="store_true",
+        default=None,
+        help="freeze all mapping state in a corpus-wide first pass "
+        "(guarantees subnet shaping and file-order independence)",
+    )
+    parser.add_argument(
+        "--no-two-pass",
+        dest="two_pass",
+        action="store_false",
+        help="force single-pass anonymization even with --jobs 1 "
+        "(best-effort subnet shaping; default)",
+    )
+    parser.add_argument(
         "--state-file",
         default=None,
         help="mapping-state JSON: loaded if it exists, saved after the run "
@@ -118,6 +141,14 @@ def main(argv=None) -> int:
     if args.salt is None:
         parser.error("--salt is required when anonymizing")
 
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    # --jobs > 1 requires the freeze phase (it is what makes parallel
+    # output order-independent); an explicit --no-two-pass contradicts it.
+    if args.jobs > 1 and args.two_pass is False:
+        parser.error("--no-two-pass cannot be combined with --jobs > 1")
+    two_pass = args.two_pass if args.two_pass is not None else args.jobs > 1
+
     config = AnonymizerConfig(
         salt=args.salt.encode("utf-8"),
         hash_length=args.hash_length,
@@ -125,6 +156,8 @@ def main(argv=None) -> int:
         subnet_shaping=not args.no_subnet_shaping,
         class_preserving=not args.no_class_preserving,
         strip_comments=not args.keep_comments,
+        jobs=args.jobs,
+        two_pass=two_pass,
     )
     anonymizer = Anonymizer(config)
     if args.state_file and Path(args.state_file).exists():
@@ -133,9 +166,11 @@ def main(argv=None) -> int:
         load_state(anonymizer, args.state_file)
         print("loaded mapping state from {}".format(args.state_file))
     configs = _collect_files(args.paths)
-    outputs = {}
-    for name, text in sorted(configs.items()):
-        outputs[name] = anonymizer.anonymize_text(text, source=name)
+    if two_pass:
+        anonymizer.freeze_mappings(configs)
+    from repro.core.parallel import anonymize_files
+
+    outputs = anonymize_files(anonymizer, configs, jobs=args.jobs)
 
     for name, text in outputs.items():
         source = Path(name)

@@ -79,6 +79,12 @@ class AsnPermutation:
             raise ValueError("not a 16-bit ASN: {!r}".format(asn))
         if not is_public_asn(asn):
             return asn
+        # `_seen` doubles as a memo cache: the Feistel walk costs several
+        # HMAC-SHA256 rounds per ASN and corpora repeat the same few ASNs
+        # millions of times.
+        cached = self._seen.get(asn)
+        if cached is not None:
+            return cached
         mapped = self._feistel.encrypt(asn)
         # Cycle-walk until the image lands back in the public range; the
         # orbit of a public ASN always contains another public ASN (itself),

@@ -99,13 +99,13 @@ def build_asn_rules() -> List[Rule]:
     """Construct R10–R21 in application order."""
     rules: List[Rule] = []
 
-    def simple(rule_id, name, description, pattern, group=1):
+    def simple(rule_id, name, description, pattern, group=1, trigger=None):
         compiled = re.compile(pattern, re.IGNORECASE)
 
         def apply(line, ctx):
             return line.apply_rule(compiled, lambda m: _map_number_group(ctx, m, group))
 
-        rules.append(Rule(rule_id, name, "asn", description, apply))
+        rules.append(Rule(rule_id, name, "asn", description, apply, trigger=trigger))
 
     simple(
         "R10",
@@ -113,18 +113,21 @@ def build_asn_rules() -> List[Rule]:
         "The local AS in `router bgp <asn>` (Figure 1 line 16).",
         r"^(\s*router bgp )(\d+)\s*$",
         group=2,
+        trigger="router bgp ",
     )
     simple(
         "R11",
         "neighbor-remote-as",
         "The peer AS in `neighbor <peer> remote-as <asn>` (Figure 1 line 18).",
         r"\bremote-as (\d+)",
+        trigger="remote-as ",
     )
     simple(
         "R12",
         "neighbor-local-as",
         "The AS in `neighbor <peer> local-as <asn>`.",
         r"\blocal-as (\d+)",
+        trigger="local-as ",
     )
 
     prepend_re = re.compile(r"(\bset as-path prepend )((?:\d+ ?)+)", re.IGNORECASE)
@@ -141,6 +144,7 @@ def build_asn_rules() -> List[Rule]:
             "asn",
             "Every AS in `set as-path prepend <asn>...`.",
             apply_prepend,
+            trigger="as-path prepend ",
         )
     )
 
@@ -163,6 +167,7 @@ def build_asn_rules() -> List[Rule]:
             "The regexp body of `ip as-path access-list N permit <regexp>` "
             "(Figure 1 line 32); rewritten via language permutation.",
             apply_aspath_acl,
+            trigger="as-path access-list ",
         )
     )
 
@@ -204,6 +209,7 @@ def build_asn_rules() -> List[Rule]:
             "`ip community-list` bodies: value tokens for standard lists, "
             "regexp rewriting for expanded lists (Figure 1 line 31).",
             apply_comm_list,
+            trigger="community-list ",
         )
     )
 
@@ -222,6 +228,7 @@ def build_asn_rules() -> List[Rule]:
             "Community values in `set community <a:b>... [additive]` "
             "(Figure 1 line 28).",
             apply_set_comm,
+            trigger="set community ",
         )
     )
 
@@ -241,6 +248,7 @@ def build_asn_rules() -> List[Rule]:
             "asn",
             "Extended communities in `set extcommunity rt|soo <a:b>`.",
             apply_ext_comm,
+            trigger="set extcommunity ",
         )
     )
 
@@ -263,6 +271,7 @@ def build_asn_rules() -> List[Rule]:
             "ASN:value pairs in VRF `route-target` and `rd` statements "
             "(IP-form RDs are left for the IP rules).",
             apply_rt,
+            trigger=("route-target ", "rd "),
         )
     )
 
@@ -271,6 +280,7 @@ def build_asn_rules() -> List[Rule]:
         "confederation-identifier",
         "The AS in `bgp confederation identifier <asn>`.",
         r"\bbgp confederation identifier (\d+)",
+        trigger="confederation identifier ",
     )
 
     confed_peers_re = re.compile(r"(\bbgp confederation peers )((?:\d+ ?)+)", re.IGNORECASE)
@@ -287,6 +297,7 @@ def build_asn_rules() -> List[Rule]:
             "asn",
             "Every AS in `bgp confederation peers <asn>...`.",
             apply_confed_peers,
+            trigger="confederation peers ",
         )
     )
 
@@ -295,6 +306,7 @@ def build_asn_rules() -> List[Rule]:
         "set-origin-egp",
         "The AS in the archaic `set origin egp <asn>` route-map action.",
         r"\bset origin egp (\d+)",
+        trigger="set origin egp ",
     )
 
     return rules

@@ -31,6 +31,9 @@ class CommunityAnonymizer:
         salt = normalize_salt(salt)
         self.asn_map = asn_map if asn_map is not None else AsnPermutation(salt)
         self._value_feistel = Feistel16(derive_key(salt, "community-value-permutation"))
+        # Memo cache: community vocabularies are small and the Feistel
+        # rounds behind each mapping are HMAC-SHA256 calls.
+        self._cache = {}
 
     def map_value(self, value: int) -> int:
         """Anonymize the 16-bit value half of a community."""
@@ -49,6 +52,14 @@ class CommunityAnonymizer:
         32-bit decimal community (old-style notation); anything else is
         returned unchanged (it is not a community).
         """
+        cached = self._cache.get(text)
+        if cached is not None:
+            return cached
+        mapped = self._map_community_uncached(text)
+        self._cache[text] = mapped
+        return mapped
+
+    def _map_community_uncached(self, text: str) -> str:
         lowered = text.lower()
         if lowered in WELL_KNOWN_COMMUNITIES:
             return text

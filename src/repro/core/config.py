@@ -38,6 +38,20 @@ class AnonymizerConfig:
     anonymize_private_asns:
         The paper leaves private ASNs alone (they are not globally unique);
         set True for an even more conservative policy.
+    rule_prefilter:
+        Gate each context rule behind its cheap per-line trigger so rules
+        that cannot match a line are skipped without running their regex.
+        Never changes which rules fire (the trigger is a necessary
+        condition of the pattern); disable only to measure its effect.
+    jobs:
+        Default worker count for :meth:`Anonymizer.anonymize_network`.
+        ``jobs > 1`` fans per-file rewriting out over a process pool and
+        implies the mapping-freeze phase (see ``two_pass``).
+    two_pass:
+        Default for the freeze-then-rewrite pipeline: scan the whole
+        corpus once, pre-populating every shared map, before any file is
+        rewritten.  Guarantees subnet shaping and makes the output
+        independent of file processing order.
     """
 
     salt: Union[bytes, str] = b""
@@ -54,6 +68,9 @@ class AnonymizerConfig:
     max_regex_language: int = 2048
     strip_comments: bool = True
     anonymize_private_asns: bool = False
+    rule_prefilter: bool = True
+    jobs: int = 1
+    two_pass: bool = False
     #: Rule ids to disable (used by the iterative-closure experiment of
     #: Section 6.1 to start from a deliberately incomplete rule set).
     disabled_rules: frozenset = frozenset()
@@ -77,3 +94,5 @@ class AnonymizerConfig:
             )
         if isinstance(self.salt, str):
             self.salt = self.salt.encode("utf-8")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1, not {!r}".format(self.jobs))

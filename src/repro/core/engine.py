@@ -3,7 +3,8 @@
 Per config file::
 
     text -> lines -> [comment stripper R3-R5]
-         -> per line: [secret rules R26-R28] -> [ASN rules R10-R21]
+         -> per line: [rule prefilter gates]
+                      [secret rules R26-R28] -> [ASN rules R10-R21]
                       -> [IP rules R22-R25] -> [misc rules R6-R9]
                       -> [token pass R1-R2]
          -> text
@@ -12,12 +13,29 @@ One :class:`Anonymizer` instance holds the mapping state shared by all the
 files of one network, which is what preserves cross-file relationships
 (the same loopback address, route-map name, or peer ASN anonymizes
 identically everywhere it appears in the network).
+
+Two pipeline shapes are supported:
+
+* **One-pass (default)** — files are rewritten in sorted order; the IP
+  trie grows as addresses are first seen, so subnet shaping is
+  best-effort and the mapping depends on file order.
+* **Freeze-then-rewrite** (``two_pass=True``, and always when
+  ``jobs > 1``) — :meth:`Anonymizer.freeze_mappings` scans the whole
+  corpus once, preloading every address (most-trailing-zeros-first, so
+  subnet shaping is guaranteed), pre-hashing the corpus vocabulary, and
+  pre-mapping ASNs/communities; the IP trie is then *frozen* (future flip
+  bits become a pure function of the owner secret).  After the freeze, a
+  file's anonymized bytes depend only on (salt, file text) — not on which
+  other files exist, their order, or which process rewrites them — which
+  is what lets :mod:`repro.core.parallel` fan rewriting out over worker
+  processes with byte-identical results.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.asn import AsnPermutation
 from repro.core.comments import CommentStripper
@@ -28,12 +46,28 @@ from repro.core.ipanon import PrefixPreservingMap
 from repro.core.line import SegmentedLine
 from repro.core.report import AnonymizationReport
 from repro.core.junos_rules import build_junos_rules
-from repro.core.rulebase import Rule
+from repro.core.rulebase import Rule, compile_gate
 from repro.core.rules import build_line_rules
 from repro.configmodel.junos_parser import looks_like_junos
 from repro.core.strings import StringHasher
 from repro.core.tokens import TokenAnonymizer
 from repro.netutil import ip_to_int
+
+#: Dotted-quad scanner used by the corpus preload (compiled once at import;
+#: it is the hot pattern of the freeze phase).
+DOTTED_QUAD_RE = re.compile(r"\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})\b")
+
+#: Decimal-ASN contexts warmed by the freeze phase (a best-effort union of
+#: the R10-R21/J1 locating contexts; warming is a pure cache fill, so
+#: missing a context costs speed, never correctness).
+_ASN_CONTEXT_RE = re.compile(
+    r"\b(?:router bgp|remote-as|local-as|peer-as|autonomous-system|"
+    r"bgp confederation identifier|set origin egp) (\d+)\b",
+    re.IGNORECASE,
+)
+
+#: Community-shaped tokens warmed by the freeze phase.
+_COMMUNITY_TOKEN_RE = re.compile(r"\b\d{1,5}:\d{1,5}\b")
 
 
 @dataclass
@@ -43,6 +77,17 @@ class AnonymizedNetwork:
     configs: Dict[str, str]
     report: AnonymizationReport
     name_map: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FreezeStats:
+    """What :meth:`Anonymizer.freeze_mappings` preloaded."""
+
+    addresses: int = 0
+    system_ids: int = 0
+    words_warmed: int = 0
+    asns_warmed: int = 0
+    communities_warmed: int = 0
 
 
 class Anonymizer:
@@ -81,7 +126,15 @@ class Anonymizer:
         ]
         self.rules: List[Rule] = ios_rules
         self._junos_rules: List[Rule] = junos_extra + ios_rules
+        self._gated_ios = self._compile_gates(ios_rules)
+        self._gated_junos = self._compile_gates(self._junos_rules)
         self.report = AnonymizationReport()
+
+    def _compile_gates(self, rules: List[Rule]):
+        """Pair each rule with its compiled prefilter gate (or None)."""
+        if not self.config.rule_prefilter:
+            return [(rule, None) for rule in rules]
+        return [(rule, compile_gate(rule.trigger)) for rule in rules]
 
     def _syntax_for(self, text: str) -> str:
         if self.config.syntax != "auto":
@@ -105,9 +158,23 @@ class Anonymizer:
 
     def anonymize_text(self, text: str, source: str = "<config>") -> str:
         """Anonymize one config file's text."""
+        result, file_report = self.anonymize_file(text, source)
+        self.report.merge(file_report)
+        return result
+
+    def anonymize_file(
+        self, text: str, source: str = "<config>"
+    ) -> Tuple[str, AnonymizationReport]:
+        """Anonymize one file, returning ``(text, per-file report)``.
+
+        Unlike :meth:`anonymize_text` this does *not* fold the file's
+        counters into :attr:`report`; the parallel pipeline uses it to
+        collect per-file reports from workers and merge them in a
+        deterministic order.
+        """
         lines = text.splitlines()
         syntax = self._syntax_for(text)
-        rules = self._junos_rules if syntax == "junos" else self.rules
+        gated_rules = self._gated_junos if syntax == "junos" else self._gated_ios
         stripper = self._junos_stripper if syntax == "junos" else self._ios_stripper
         file_report = AnonymizationReport()
         file_report.lines_in = len(lines)
@@ -136,25 +203,29 @@ class Anonymizer:
             file_report.words_in = sum(len(line.split()) for line in lines)
 
         out_lines: List[str] = []
-        hashed_before = self.token_anon.tokens_hashed
-        seen_before = self.token_anon.tokens_seen
+        token_anon = self.token_anon
+        hashed_before = token_anon.tokens_hashed
+        seen_before = token_anon.tokens_seen
         for line_number, raw_line in enumerate(lines, start=1):
             ctx.line_number = line_number
+            lowered = raw_line.lower()
             line = SegmentedLine(raw_line)
-            for rule in rules:
+            for rule, gate in gated_rules:
+                if gate is not None and not gate(lowered):
+                    continue
                 hits = rule.apply(line, ctx)
-                file_report.record_rule_hit(rule.rule_id, hits)
-            line.map_live_tokens(self.token_anon.anonymize_word)
+                if hits:
+                    file_report.record_rule_hit(rule.rule_id, hits)
+            line.map_live_tokens(token_anon.anonymize_word)
             out_lines.append(line.render())
-        file_report.tokens_hashed = self.token_anon.tokens_hashed - hashed_before
-        file_report.tokens_seen = self.token_anon.tokens_seen - seen_before
+        file_report.tokens_hashed = token_anon.tokens_hashed - hashed_before
+        file_report.tokens_seen = token_anon.tokens_seen - seen_before
         file_report.lines_out = len(out_lines)
 
-        self.report.merge(file_report)
         result = "\n".join(out_lines)
         if text.endswith("\n"):
             result += "\n"
-        return result
+        return result, file_report
 
     def preload_addresses(self, configs: Dict[str, str]) -> int:
         """First pass of two-pass anonymization: pre-insert every address.
@@ -169,23 +240,113 @@ class Anonymizer:
 
         Returns the number of distinct addresses preloaded.
         """
-        import re as _re
-
-        from repro.netutil import is_ipv4, trailing_zero_bits
-
-        quad = _re.compile(r"\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})\b")
-        seen = set()
-        for text in configs.values():
-            for match in quad.finditer(text):
-                if is_ipv4(match.group(1)):
-                    seen.add(ip_to_int(match.group(1)))
-        ordered = sorted(seen, key=lambda v: (-trailing_zero_bits(v), v))
-        for value in ordered:
-            self.ip_map.map_int(value)
+        seen = self._scan_addresses(configs)
+        self._insert_addresses(seen)
         return len(seen)
 
+    def _scan_addresses(self, configs: Dict[str, str]) -> set:
+        """Every distinct valid dotted-quad value in the corpus."""
+        from repro.netutil import is_ipv4
+
+        seen = set()
+        for text in configs.values():
+            for match in DOTTED_QUAD_RE.finditer(text):
+                if is_ipv4(match.group(1)):
+                    seen.add(ip_to_int(match.group(1)))
+        return seen
+
+    def _scan_system_ids(self, configs: Dict[str, str]) -> set:
+        """Every address encoded in a decodable IS-IS NET system id."""
+        from repro.core.ip_rules import ISIS_NET_RE, decode_system_id
+
+        seen = set()
+        for text in configs.values():
+            for line in text.splitlines():
+                match = ISIS_NET_RE.match(line)
+                if match is not None:
+                    value = decode_system_id(match.group(3))
+                    if value is not None:
+                        seen.add(value)
+        return seen
+
+    def _insert_addresses(self, values: set) -> None:
+        """Insert addresses most-trailing-zeros-first (shaping guarantee)."""
+        from repro.netutil import trailing_zero_bits
+
+        ordered = sorted(values, key=lambda v: (-trailing_zero_bits(v), v))
+        for value in ordered:
+            self.ip_map.map_int(value)
+
+    def freeze_mappings(self, configs: Dict[str, str]) -> FreezeStats:
+        """Scan the whole corpus once and freeze all shared mapping state.
+
+        Generalizes :meth:`preload_addresses`: in one pass over the raw
+        text it
+
+        1. preloads every dotted-quad address *and* every address encoded
+           in an IS-IS NET system id into the IP trie
+           (most-trailing-zeros-first, so subnet shaping is guaranteed),
+        2. pre-hashes the corpus vocabulary whose anonymization involves
+           no salted hashing (pure pass-list words, numbers, punctuation)
+           into the whole-word memo cache,
+        3. pre-maps every ASN and community token it can locate, warming
+           the Feistel memo caches,
+
+        and then calls :meth:`PrefixPreservingMap.freeze` so any address
+        the scan missed still gets an order-independent mapping.  After
+        this returns, rewriting a file performs only read-only lookups on
+        the shared maps (plus pure-function cache fills), so files may be
+        rewritten in any order — or in parallel worker processes — with
+        byte-identical output.
+        """
+        stats = FreezeStats()
+        addresses = self._scan_addresses(configs)
+        system_ids = self._scan_system_ids(configs) - addresses
+        stats.addresses = len(addresses)
+        stats.system_ids = len(system_ids)
+        self._insert_addresses(addresses | system_ids)
+
+        # Pre-hash the vocabulary.  Only words whose anonymization touches
+        # no salted hash are warmed: warming a hashable word would record
+        # it in `hasher.hashed_inputs` even when comment stripping removes
+        # it before the token pass, and the leak scanner treats that
+        # record as ground truth.
+        token_anon = self.token_anon
+        passlist = token_anon.passlist
+        from repro.core.tokens import segment_word
+
+        words = set()
+        for text in configs.values():
+            words.update(text.split())
+        for word in words:
+            if all(
+                not is_alpha or run in passlist
+                for run, is_alpha in segment_word(word)
+            ):
+                token_anon.warm(word)
+                stats.words_warmed += 1
+
+        # Warm the ASN / community permutation caches (best-effort: these
+        # are pure keyed permutations, so a missed context just maps
+        # lazily during the rewrite).
+        for text in configs.values():
+            for match in _ASN_CONTEXT_RE.finditer(text):
+                asn = int(match.group(1))
+                if asn <= 0xFFFF:
+                    self.asn_map.map_asn(asn)
+                    stats.asns_warmed += 1
+            for match in _COMMUNITY_TOKEN_RE.finditer(text):
+                self.community.map_community(match.group(0))
+                stats.communities_warmed += 1
+
+        self.ip_map.freeze()
+        return stats
+
     def anonymize_network(
-        self, configs: Dict[str, str], two_pass: bool = False
+        self,
+        configs: Dict[str, str],
+        two_pass: Optional[bool] = None,
+        jobs: Optional[int] = None,
     ) -> AnonymizedNetwork:
         """Anonymize every config of a network with shared mapping state.
 
@@ -193,20 +354,33 @@ class Anonymizer:
         mapping renames each file by hashing the alphabetic runs of its
         name through the same token pass.
 
-        ``two_pass=True`` runs :meth:`preload_addresses` first so subnet
-        shaping is guaranteed rather than best-effort.
+        ``two_pass=True`` runs :meth:`freeze_mappings` first so subnet
+        shaping is guaranteed rather than best-effort and the mapping is
+        independent of file processing order.  ``jobs > 1`` fans the
+        rewrite phase out over that many worker processes (which implies
+        the freeze); output is byte-identical for every worker count.
+        Both default to the values in :class:`AnonymizerConfig`.
         """
+        if two_pass is None:
+            two_pass = self.config.two_pass
+        if jobs is None:
+            jobs = self.config.jobs
+        if jobs > 1:
+            from repro.core.parallel import anonymize_network_parallel
+
+            return anonymize_network_parallel(self, configs, jobs=jobs)
         if two_pass:
-            self.preload_addresses(configs)
+            self.freeze_mappings(configs)
         out: Dict[str, str] = {}
         name_map: Dict[str, str] = {}
         for name in sorted(configs):
             anonymized = self.anonymize_text(configs[name], source=name)
-            # Hash per dot-label, exactly like the hostname/domain rule
-            # (R9), so a renamed file still matches its hashed hostname.
-            new_name = ".".join(
-                self.hasher.hash_token(label) for label in name.split(".")
-            )
+            new_name = self.anonymize_file_name(name)
             name_map[name] = new_name
             out[new_name] = anonymized
         return AnonymizedNetwork(configs=out, report=self.report, name_map=name_map)
+
+    def anonymize_file_name(self, name: str) -> str:
+        """Hash a file name per dot-label, exactly like the hostname/domain
+        rule (R9), so a renamed file still matches its hashed hostname."""
+        return ".".join(self.hasher.hash_token(label) for label in name.split("."))

@@ -11,7 +11,7 @@ semantics worth asserting (address+mask pairs, prefix notation, classful
 from __future__ import annotations
 
 import re
-from typing import List
+from typing import List, Optional
 
 from repro.core.context import RuleContext
 from repro.core.rulebase import Rule
@@ -25,6 +25,31 @@ from repro.netutil import (
 )
 
 _QUAD = r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}"
+
+#: Prefilter hint shared by the quad-matching rules: one cheap scan for a
+#: dotted quad gates all of them (most config lines carry no address).
+QUAD_HINT = re.compile(_QUAD)
+
+#: IS-IS NET lines (rule X1); also used by the mapping-freeze corpus scan
+#: to preload the IP trie with decodable system ids.
+ISIS_NET_RE = re.compile(
+    r"^(\s*net )(\d{2}(?:\.[0-9a-fA-F]{4})?)((?:\.[0-9a-fA-F]{4}){3})(\.\d{2})\s*$",
+    re.IGNORECASE,
+)
+
+
+def decode_system_id(dotted: str) -> Optional[int]:
+    """Decode a ``.hhhh.hhhh.hhhh`` system id into the IPv4 int it encodes.
+
+    Returns ``None`` when the system id does not follow the
+    loopback-encoding convention (non-decimal digits or octets > 255).
+    """
+    digits = dotted.replace(".", "")
+    if digits.isdigit() and len(digits) == 12:
+        octets = [int(digits[i : i + 3]) for i in range(0, 12, 3)]
+        if all(o <= 255 for o in octets):
+            return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+    return None
 
 
 def build_ip_rules() -> List[Rule]:
@@ -55,6 +80,7 @@ def build_ip_rules() -> List[Rule]:
             "`ip address <addr> <mask>` interface pairs (Figure 1 lines "
             "10, 14); the netmask is special and passes through unchanged.",
             apply_addr_mask,
+            trigger="ip address ",
         )
     )
 
@@ -78,6 +104,7 @@ def build_ip_rules() -> List[Rule]:
             "ip",
             "`a.b.c.d/len` prefixes; the length is structural and kept.",
             apply_prefix,
+            trigger=QUAD_HINT,
         )
     )
 
@@ -112,6 +139,7 @@ def build_ip_rules() -> List[Rule]:
             "`network <addr>` statements of RIP/IGRP/EIGRP/BGP (Figure 1 "
             "line 35); class preservation keeps classful semantics valid.",
             apply_network,
+            trigger="network ",
         )
     )
 
@@ -153,13 +181,11 @@ def build_ip_rules() -> List[Rule]:
             "ACL address/wildcard pairs, server addresses, static routes); "
             "wildcards are special values and pass through unchanged.",
             apply_bare,
+            trigger=QUAD_HINT,
         )
     )
 
-    net_re = re.compile(
-        r"^(\s*net )(\d{2}(?:\.[0-9a-fA-F]{4})?)((?:\.[0-9a-fA-F]{4}){3})(\.\d{2})\s*$",
-        re.IGNORECASE,
-    )
+    net_re = ISIS_NET_RE
 
     def apply_isis_net(line, ctx):
         def handler(match):
@@ -184,6 +210,7 @@ def build_ip_rules() -> List[Rule]:
             "Non-decodable system ids are hashed. (Extension beyond the "
             "paper's 28 IOS rules.)",
             apply_isis_net,
+            trigger="net ",
         )
     )
 
@@ -192,18 +219,16 @@ def build_ip_rules() -> List[Rule]:
 
 def _map_system_id(ctx: RuleContext, dotted: str) -> str:
     """Map a `.hhhh.hhhh.hhhh` system id, preserving the loopback link."""
-    digits = dotted.replace(".", "")
-    if digits.isdigit() and len(digits) == 12:
-        octets = [int(digits[i : i + 3]) for i in range(0, 12, 3)]
-        if all(o <= 255 for o in octets):
-            value = (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
-            mapped = ctx.ip_map.map_int(value)
-            padded = "{:03d}{:03d}{:03d}{:03d}".format(
-                (mapped >> 24) & 0xFF, (mapped >> 16) & 0xFF,
-                (mapped >> 8) & 0xFF, mapped & 0xFF,
-            )
-            return ".{}.{}.{}".format(padded[0:4], padded[4:8], padded[8:12])
+    value = decode_system_id(dotted)
+    if value is not None:
+        mapped = ctx.ip_map.map_int(value)
+        padded = "{:03d}{:03d}{:03d}{:03d}".format(
+            (mapped >> 24) & 0xFF, (mapped >> 16) & 0xFF,
+            (mapped >> 8) & 0xFF, mapped & 0xFF,
+        )
+        return ".{}.{}.{}".format(padded[0:4], padded[4:8], padded[8:12])
     import hashlib
 
+    digits = dotted.replace(".", "")
     digest = hashlib.sha1(ctx.hasher.salt + b"sysid:" + digits.encode()).hexdigest()
     return ".{}.{}.{}".format(digest[0:4], digest[4:8], digest[8:12])

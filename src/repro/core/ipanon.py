@@ -48,10 +48,12 @@ added to the data-structure":
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import random
 from typing import Optional, Union
 
-from repro.core.secrets import derive_seed_int, normalize_salt
+from repro.core.secrets import derive_key, derive_seed_int, normalize_salt
 from repro.netutil import IPV4_MAX, int_to_ip, ip_to_int, mask_for_len
 
 
@@ -152,6 +154,8 @@ class PrefixPreservingMap:
         salt = normalize_salt(salt)
         self._rng = random.Random(derive_seed_int(salt, "ip-trie-flip-bits"))
         self._flips = {}
+        self._frozen = False
+        self._frozen_flip_key = derive_key(salt, "ip-trie-frozen-flip-bits")
         self.class_preserving = class_preserving
         self.subnet_shaping = subnet_shaping
         self.preserve_specials = preserve_specials
@@ -179,7 +183,44 @@ class PrefixPreservingMap:
             output = (output << 1) | (bit ^ flip)
         return output
 
+    def freeze(self) -> None:
+        """Detach any *future* flip bits from the RNG stream.
+
+        Before freezing, flip bits are drawn from a salted RNG stream, so
+        the trie depends on insertion order (that is what enables subnet
+        shaping, and what forces sequential file processing).  After
+        :meth:`freeze`, a node created for a previously-unseen prefix gets
+        its flip bit from a keyed hash of ``(depth, prefix)`` — a pure
+        function of the owner secret, independent of when or in which
+        process the node is created.  The mapping-freeze phase preloads
+        every address it can find and then calls this, so that even an
+        address the corpus scan missed maps identically in every worker
+        and in the sequential pipeline.
+
+        Freezing is one-way for a given instance; already-created nodes
+        keep their RNG-drawn bits.
+        """
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
     def _new_flip(self, depth: int, prefix: int, value: int) -> int:
+        if self._frozen:
+            # Post-freeze flip bits are a pure function of (secret, depth,
+            # prefix) — never of `value` or of RNG position — so a node
+            # gets the same bit no matter which address creates it first,
+            # in which process.  The subnet-shaping pin is deliberately
+            # NOT applied here: it depends on the creating address's zero
+            # suffix, which would reintroduce order dependence.  Shaping
+            # is best-effort for addresses the freeze scan missed (per the
+            # paper), and exact for everything it preloaded.
+            material = b"%d:%d" % (depth, prefix)
+            digest = hmac.new(self._frozen_flip_key, material, hashlib.sha256)
+            if self.class_preserving and (depth, prefix) in self._CLASS_NODES:
+                return 0
+            return digest.digest()[0] & 1
         # Draw first so the RNG stream advances identically whether or not
         # a shaping constraint pins this node (keeps unrelated subtrees
         # independent of shaping decisions).

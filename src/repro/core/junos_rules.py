@@ -46,6 +46,7 @@ def build_junos_rules() -> List[Rule]:
             "Quoted credentials (encrypted-password, authentication-key, "
             "pre-shared-key) are hashed, quotes preserved.",
             apply_secret,
+            trigger=("encrypted-password", "authentication-key", "pre-shared-key", "md5"),
         )
     )
 
@@ -61,6 +62,7 @@ def build_junos_rules() -> List[Rule]:
             "asn",
             "`peer-as N`, `autonomous-system N`, and `local-as N`.",
             apply_asn,
+            trigger=("peer-as ", "autonomous-system ", "local-as "),
         )
     )
 
@@ -95,6 +97,7 @@ def build_junos_rules() -> List[Rule]:
             "`as-path <name> \"<regexp>\"` definitions: language-permuted "
             "rewrite, same machinery as IOS rule R14.",
             apply_aspath,
+            trigger="as-path ",
         )
     )
 
@@ -145,6 +148,7 @@ def build_junos_rules() -> List[Rule]:
             "`community <name> members [...]` value lists and quoted "
             "member regexps (IOS rules R15/R16 equivalents).",
             apply_community,
+            trigger="community ",
         )
     )
 
@@ -166,6 +170,7 @@ def build_junos_rules() -> List[Rule]:
             "asn",
             "ASNs inside `as-path-prepend \"...\"` (IOS rule R13 equivalent).",
             apply_prepend,
+            trigger="as-path-prepend ",
         )
     )
 
@@ -188,6 +193,7 @@ def build_junos_rules() -> List[Rule]:
             "ASN:value pairs in `route-distinguisher` / `vrf-target` "
             "(IOS rule R18 equivalent).",
             apply_rd,
+            trigger=("route-distinguisher", "vrf-target"),
         )
     )
 
@@ -211,6 +217,7 @@ def build_junos_rules() -> List[Rule]:
             "SNMP community block headers `community <string> {` "
             "(IOS rule R27b equivalent).",
             apply_snmp_comm,
+            trigger="community ",
         )
     )
 
@@ -227,6 +234,7 @@ def build_junos_rules() -> List[Rule]:
             "Quoted free text in snmp location/contact and login message "
             "is removed (IOS rule R7 / banner equivalent).",
             apply_meta,
+            trigger=("location ", "contact ", "message "),
         )
     )
 
@@ -250,6 +258,7 @@ def build_junos_rules() -> List[Rule]:
             "host-name/domain-name labels hashed unconditionally "
             "(IOS rule R9 equivalent).",
             apply_hostname,
+            trigger=("host-name ", "domain-name "),
         )
     )
 
@@ -272,6 +281,7 @@ def build_junos_rules() -> List[Rule]:
             "Dotted-quad OSPF area identifiers pass through unchanged "
             "(identifiers, not addresses).",
             apply_area,
+            trigger="area ",
         )
     )
 
@@ -294,6 +304,7 @@ def build_junos_rules() -> List[Rule]:
             "secret",
             "Login account names `user <name> {` (IOS rule R28 equivalent).",
             apply_user,
+            trigger="user ",
         )
     )
 

@@ -55,6 +55,7 @@ def build_misc_rules() -> List[Rule]:
             "Phone numbers in `dialer string` / `dialer map` commands are "
             "replaced by same-length pseudorandom digit strings.",
             apply_dialer,
+            trigger="dialer ",
         )
     )
 
@@ -73,6 +74,7 @@ def build_misc_rules() -> List[Rule]:
             "Free text in `snmp-server location|contact|chassis-id` is "
             "removed entirely (it names buildings, cities, and people).",
             apply_snmp_meta,
+            trigger="snmp-server ",
         )
     )
 
@@ -98,6 +100,9 @@ def build_misc_rules() -> List[Rule]:
             "MAC addresses (hhhh.hhhh.hhhh) map to salted same-format "
             "values (vendor OUIs identify hardware purchases).",
             apply_mac,
+            # The gate runs on the lowercased line, so the lowercase-only
+            # hex classes here are not a narrowing of the rule's pattern.
+            trigger=re.compile(r"\b[0-9a-f]{4}\.[0-9a-f]{4}\.[0-9a-f]{4}\b"),
         )
     )
 
@@ -124,6 +129,7 @@ def build_misc_rules() -> List[Rule]:
             "name (the 'global crossing' problem applied to domains), and "
             "hostname suffixes must hash consistently with `ip domain-name`.",
             apply_domain,
+            trigger=("domain", "hostname "),
         )
     )
 

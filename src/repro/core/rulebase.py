@@ -3,13 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Pattern, Sequence, Union
 
 from repro.core.context import RuleContext
 from repro.core.line import SegmentedLine
 
 #: A line rule: rewrites matches in-place, returns the number of rewrites.
 RuleApply = Callable[[SegmentedLine, RuleContext], int]
+
+#: A rule trigger: a cheap precondition on the raw (lowercased) line text.
+#: ``str`` — a literal substring that must be present; ``Sequence[str]`` —
+#: any one of several literals; ``Pattern`` — a cheap combined regex.
+Trigger = Union[str, Sequence[str], Pattern]
+
+#: A compiled gate: lowered-line -> "could this rule possibly match?".
+Gate = Callable[[str], bool]
 
 
 @dataclass
@@ -22,6 +30,15 @@ class Rule:
     appear in the registry so the complete rule inventory of the paper
     (Section 4.2: 28 rules across 200+ IOS versions) is visible and
     documentable in one place.
+
+    ``trigger`` is an optional prefilter: a condition that is *necessary*
+    (never sufficient) for the rule's pattern to match anywhere in a line.
+    The engine compiles triggers into a dispatch gate and skips a rule
+    entirely on lines where its gate fails — a C-level substring scan in
+    place of a full regex pass over every live segment.  Correctness
+    contract: every replacement piece a rule emits as *live* text is a
+    substring of the original line, so gating on the raw line can never
+    skip a rule that a later rewrite would have made matchable.
     """
 
     rule_id: str
@@ -29,3 +46,25 @@ class Rule:
     category: str
     description: str
     apply: Optional[RuleApply] = None
+    trigger: Optional[Trigger] = None
+
+
+def compile_gate(trigger: Optional[Trigger]) -> Optional[Gate]:
+    """Compile a rule trigger into a fast line predicate (or ``None``).
+
+    The predicate receives the *lowercased* line text (rule patterns are
+    case-insensitive, so literal triggers are lowercased too).
+    """
+    if trigger is None:
+        return None
+    if isinstance(trigger, str):
+        literal = trigger.lower()
+        return lambda lowered: literal in lowered
+    if isinstance(trigger, (tuple, list, frozenset, set)):
+        literals = tuple(t.lower() for t in trigger)
+        if len(literals) == 1:
+            only = literals[0]
+            return lambda lowered: only in lowered
+        return lambda lowered: any(t in lowered for t in literals)
+    search = trigger.search  # a compiled regex
+    return lambda lowered: search(lowered) is not None

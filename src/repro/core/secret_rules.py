@@ -45,6 +45,7 @@ def build_secret_rules() -> List[Rule]:
             "always hashed, pass-list or not; the optional encryption-type "
             "digit is kept.",
             apply_password,
+            trigger=("password", "secret", "key-string", "md5"),
         )
     )
 
@@ -67,6 +68,7 @@ def build_secret_rules() -> List[Rule]:
             "TACACS+/RADIUS shared secrets, plus `snmp-server community` "
             "strings (handled together: both are working credentials).",
             apply_key,
+            trigger=("tacacs-server", "radius-server"),
         )
     )
 
@@ -100,6 +102,7 @@ def build_secret_rules() -> List[Rule]:
             "secret",
             "(companion pattern to R27) `snmp-server community <string>`.",
             apply_snmp_comm,
+            trigger="snmp-server ",
         )
     )
 
@@ -119,6 +122,7 @@ def build_secret_rules() -> List[Rule]:
             "Local account names in `username <name> ...` are hashed even "
             "when they are dictionary words.",
             apply_username,
+            trigger="username ",
         )
     )
 

@@ -81,7 +81,6 @@ def import_state(anonymizer: Anonymizer, state: Dict) -> None:
     ip_map.collision_walks = state["ip_counters"]["collision_walks"]
     ip_map.addresses_mapped = state["ip_counters"]["addresses_mapped"]
     anonymizer.hasher._cache = dict(state["hash_cache"])
-    anonymizer.hasher._hashed_inputs = dict(state["hash_cache"])
     anonymizer.report.seen_asns.update(int(a) for a in state.get("seen_asns", []))
 
 

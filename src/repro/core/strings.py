@@ -10,7 +10,8 @@ both occurrences hash to the same digest).
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from types import MappingProxyType
+from typing import Dict, Mapping
 
 
 class StringHasher:
@@ -32,8 +33,11 @@ class StringHasher:
             raise ValueError("hash length must be between 4 and 40 hex chars")
         self.salt = salt
         self.length = length
+        # One dict does double duty: memo cache for repeat lookups AND the
+        # leak-scanner record of every token hashed so far.  (They held
+        # identical key/value pairs when kept separately, which doubled
+        # memory on large corpora.)
         self._cache: Dict[str, str] = {}
-        self._hashed_inputs: Dict[str, str] = {}
 
     def hash_token(self, token: str) -> str:
         """Return the anonymized form of *token*.
@@ -50,14 +54,15 @@ class StringHasher:
         if out.isdigit():
             out = "h" + out[:-1]
         self._cache[token] = out
-        self._hashed_inputs[token] = out
         return out
 
     @property
-    def hashed_inputs(self) -> Dict[str, str]:
-        """Mapping of every original token hashed so far to its digest.
+    def hashed_inputs(self) -> Mapping[str, str]:
+        """Read-only mapping of every original token hashed so far.
 
         Used by the leak scanner (Section 6.1): after anonymization, no
         original token recorded here may appear verbatim in the output.
+        The view is live (it reflects later hashing) and cannot be
+        mutated by callers.
         """
-        return dict(self._hashed_inputs)
+        return MappingProxyType(self._cache)

@@ -35,28 +35,60 @@ def segment_word(word: str) -> List[Tuple[str, bool]]:
 
 
 class TokenAnonymizer:
-    """The final per-word pass: pass-list lookup + salted hashing."""
+    """The final per-word pass: pass-list lookup + salted hashing.
+
+    Whole words memoize: config vocabulary is tiny relative to corpus size
+    (the same ``Ethernet0/0``, ``ip``, ``255`` tokens repeat millions of
+    times), so each distinct word is segmented and looked up once and the
+    cache replays the result — including its contribution to the
+    ``tokens_seen`` / ``tokens_hashed`` counters, which therefore stay
+    exact occurrence counts.
+    """
 
     def __init__(self, passlist: PassList, hasher: StringHasher):
         self.passlist = passlist
         self.hasher = hasher
         self.tokens_seen = 0
         self.tokens_hashed = 0
+        #: word -> (anonymized word, tokens_seen delta, tokens_hashed delta)
+        self._word_cache = {}
 
-    def anonymize_word(self, word: str) -> str:
-        """Anonymize one whitespace-delimited word."""
+    def _compute_word(self, word: str):
         out = []
+        seen = hashed = 0
         for run, is_alpha in segment_word(word):
             if not is_alpha:
                 out.append(run)
                 continue
-            self.tokens_seen += 1
+            seen += 1
             if run in self.passlist:
                 out.append(run)
             else:
-                self.tokens_hashed += 1
+                hashed += 1
                 out.append(self.hasher.hash_token(run))
-        return "".join(out)
+        entry = ("".join(out), seen, hashed)
+        self._word_cache[word] = entry
+        return entry
+
+    def anonymize_word(self, word: str) -> str:
+        """Anonymize one whitespace-delimited word."""
+        entry = self._word_cache.get(word)
+        if entry is None:
+            entry = self._compute_word(word)
+        result, seen, hashed = entry
+        self.tokens_seen += seen
+        self.tokens_hashed += hashed
+        return result
+
+    def warm(self, word: str) -> None:
+        """Pre-compute *word*'s anonymization without counting it.
+
+        Used by the mapping-freeze phase: the salted hash of every
+        distinct word is computed up front so the rewrite phase (and every
+        parallel worker shipped the warmed cache) only does dict lookups.
+        """
+        if word not in self._word_cache:
+            self._compute_word(word)
 
     def iter_unknown_runs(self, text: str) -> Iterator[str]:
         """Yield the alphabetic runs in *text* that are not on the pass-list."""

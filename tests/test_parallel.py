@@ -1,0 +1,287 @@
+"""Tests for the parallel anonymization pipeline and the rule prefilter.
+
+The headline guarantee: parallel output is byte-identical to sequential
+output for any worker count, because all mapping state is frozen before
+any rewriting happens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Anonymizer, AnonymizerConfig
+from repro.core.context import RuleContext
+from repro.core.engine import FreezeStats
+from repro.core.line import SegmentedLine
+from repro.core.parallel import FrozenSnapshot, anonymize_files
+from repro.core.rulebase import compile_gate
+from repro.iosgen import NetworkSpec, generate_network
+
+JUNOS_CONFIG = """\
+system {
+    host-name core1.pop3.example.net;
+    root-authentication {
+        encrypted-password "$1$abadsecret$xyz";
+    }
+}
+protocols {
+    bgp {
+        group transit {
+            peer-as 1239;
+            neighbor 6.4.2.9;
+        }
+    }
+}
+policy-options {
+    as-path from-sprint "1239 .*";
+    community cust-tag members [ 701:120 701:121 ];
+    policy-statement tag-it {
+        term one {
+            then {
+                community add cust-tag;
+                as-path-prepend "65001 65001";
+            }
+        }
+    }
+}
+"""
+
+ISIS_CONFIG = """\
+hostname isis-r1.corp.example
+interface Loopback0
+ ip address 6.0.0.3 255.255.255.255
+router isis
+ net 49.0001.1720.3125.5254.00
+ is-type level-2-only
+"""
+
+
+def _network_configs():
+    """A multi-file synthetic network exercising every rule family."""
+    spec = NetworkSpec(
+        name="par-net",
+        kind="enterprise",
+        seed=23,
+        num_pops=3,
+        igp="isis",
+        lans_per_access=(2, 4),
+        static_burst=(0, 3),
+        use_community_regexps=True,
+        dialer_backup=True,
+        comment_density=0.3,
+    )
+    configs = dict(generate_network(spec).configs)
+    configs["core1.pop3.example.net"] = JUNOS_CONFIG
+    configs["isis-r1.corp.example"] = ISIS_CONFIG
+    return configs
+
+
+@pytest.fixture(scope="module")
+def network_configs():
+    return _network_configs()
+
+
+@pytest.fixture(scope="module")
+def sequential_run(network_configs):
+    """The jobs=1 freeze-then-rewrite baseline every worker count must hit."""
+    anonymizer = Anonymizer(salt=b"parallel-secret")
+    result = anonymizer.anonymize_network(dict(network_configs), two_pass=True, jobs=1)
+    return anonymizer, result
+
+
+class TestParallelByteIdentity:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_output_matches_sequential(self, network_configs, sequential_run, jobs):
+        _, expected = sequential_run
+        anonymizer = Anonymizer(salt=b"parallel-secret")
+        result = anonymizer.anonymize_network(
+            dict(network_configs), two_pass=True, jobs=jobs
+        )
+        assert result.configs == expected.configs
+        assert result.name_map == expected.name_map
+
+    def test_config_default_jobs_used(self, network_configs, sequential_run):
+        _, expected = sequential_run
+        config = AnonymizerConfig(salt=b"parallel-secret", jobs=2)
+        result = Anonymizer(config).anonymize_network(dict(network_configs))
+        assert result.configs == expected.configs
+
+    def test_file_order_does_not_matter(self, network_configs, sequential_run):
+        _, expected = sequential_run
+        reordered = dict(reversed(list(network_configs.items())))
+        anonymizer = Anonymizer(salt=b"parallel-secret")
+        result = anonymizer.anonymize_network(reordered, jobs=2)
+        assert result.configs == expected.configs
+
+
+class TestMergedReport:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_report_counters_equal_sequential(
+        self, network_configs, sequential_run, jobs
+    ):
+        sequential_anon, _ = sequential_run
+        anonymizer = Anonymizer(salt=b"parallel-secret")
+        anonymizer.anonymize_network(dict(network_configs), jobs=jobs)
+        assert anonymizer.report.to_dict() == sequential_anon.report.to_dict()
+        assert anonymizer.report.seen_asns == sequential_anon.report.seen_asns
+        assert (
+            anonymizer.report.seen_public_ips
+            == sequential_anon.report.seen_public_ips
+        )
+
+    def test_hashed_inputs_complete_after_parallel_run(
+        self, network_configs, sequential_run
+    ):
+        # The leak scanner's ground truth must not lose tokens that were
+        # hashed only inside worker processes.
+        sequential_anon, _ = sequential_run
+        anonymizer = Anonymizer(salt=b"parallel-secret")
+        anonymizer.anonymize_network(dict(network_configs), jobs=2)
+        assert dict(anonymizer.hasher.hashed_inputs) == dict(
+            sequential_anon.hasher.hashed_inputs
+        )
+
+
+class TestFreezePhase:
+    def test_freeze_stats_cover_corpus(self, network_configs):
+        anonymizer = Anonymizer(salt=b"freeze")
+        stats = anonymizer.freeze_mappings(dict(network_configs))
+        assert isinstance(stats, FreezeStats)
+        assert stats.addresses > 0
+        # The IS-IS NET encodes 172.31.255.254, which appears nowhere in
+        # the corpus as a dotted quad — only the system-id scan finds it.
+        assert stats.system_ids > 0
+        assert stats.words_warmed > 0
+        assert stats.asns_warmed > 0
+        assert anonymizer.ip_map.frozen
+
+    def test_frozen_trie_is_insertion_order_independent(self):
+        addresses = ["10.1.0.0", "10.1.1.5", "10.2.3.4", "6.1.2.0", "6.1.2.9"]
+        first = Anonymizer(salt=b"frz")
+        first.ip_map.freeze()
+        second = Anonymizer(salt=b"frz")
+        second.ip_map.freeze()
+        mapped_forward = [first.ip_map.map_address(a) for a in addresses]
+        mapped_reverse = [
+            second.ip_map.map_address(a) for a in reversed(addresses)
+        ]
+        assert mapped_forward == list(reversed(mapped_reverse))
+
+    def test_freeze_does_not_pollute_hashed_inputs(self, network_configs):
+        # Only zero-hash words are warmed: freezing must not record corpus
+        # words as "hashed" when the rewrite never hashes them.
+        anonymizer = Anonymizer(salt=b"freeze2")
+        anonymizer.freeze_mappings(dict(network_configs))
+        assert dict(anonymizer.hasher.hashed_inputs) == {}
+
+    def test_snapshot_round_trip(self, network_configs):
+        anonymizer = Anonymizer(salt=b"snap")
+        anonymizer.freeze_mappings(dict(network_configs))
+        restored = FrozenSnapshot.capture(anonymizer).restore()
+        name = sorted(network_configs)[0]
+        text = network_configs[name]
+        assert (
+            restored.anonymize_file(text, source=name)[0]
+            == anonymizer.anonymize_file(text, source=name)[0]
+        )
+
+
+class TestRulePrefilter:
+    def test_prefilter_never_changes_which_rules_fire(self, network_configs):
+        """Property over every corpus line: a firing rule's gate passes."""
+        reference = Anonymizer(salt=b"gatecheck")
+        lines = set()
+        for text in network_configs.values():
+            lines.update(text.splitlines())
+        # Crafted edge lines: triggers split across case, leading spaces,
+        # and rule keywords embedded mid-line.
+        lines.update(
+            [
+                " Router BGP 65000",
+                "ip community-list 120 permit 701:7[1-5]..",
+                "  net 49.0001.0060.0000.0003.00",
+                "snmp-server community S3cret RO",
+                "username Admin password 7 0501abcdef",
+                "set as-path prepend 701 701",
+                "neighbor 6.1.1.1 remote-as 1239",
+                "no rules here at all",
+            ]
+        )
+        for rule in reference.rules + reference._junos_rules:
+            if rule.apply is None:
+                continue
+            gate = compile_gate(rule.trigger)
+            if gate is None:
+                continue
+            for raw_line in lines:
+                ctx = reference._make_context("gatecheck")
+                hits = rule.apply(SegmentedLine(raw_line), ctx)
+                if hits:
+                    assert gate(raw_line.lower()), (
+                        "rule {} fired on {!r} but its prefilter gate "
+                        "rejected the line".format(rule.rule_id, raw_line)
+                    )
+
+    def test_prefilter_output_identical_to_unfiltered(self, network_configs):
+        with_filter = Anonymizer(
+            AnonymizerConfig(salt=b"pf", rule_prefilter=True)
+        )
+        without_filter = Anonymizer(
+            AnonymizerConfig(salt=b"pf", rule_prefilter=False)
+        )
+        out_a = with_filter.anonymize_network(dict(network_configs))
+        out_b = without_filter.anonymize_network(dict(network_configs))
+        assert out_a.configs == out_b.configs
+        assert (
+            with_filter.report.to_dict() == without_filter.report.to_dict()
+        )
+
+
+class TestAnonymizeFiles:
+    def test_original_names_preserved(self, network_configs):
+        anonymizer = Anonymizer(salt=b"names")
+        anonymizer.freeze_mappings(dict(network_configs))
+        outputs = anonymize_files(anonymizer, dict(network_configs), jobs=2)
+        assert sorted(outputs) == sorted(network_configs)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnonymizerConfig(salt=b"x", jobs=0)
+
+
+class TestCliFlags:
+    def test_no_two_pass_conflicts_with_jobs(self, tmp_path, capsys):
+        from repro.cli import main
+
+        config = tmp_path / "r1.cfg"
+        config.write_text("router bgp 701\n")
+        with pytest.raises(SystemExit):
+            main([str(config), "--salt", "s", "--jobs", "2", "--no-two-pass"])
+
+    def test_jobs_flag_end_to_end(self, tmp_path):
+        from repro.cli import main
+
+        for index in range(3):
+            (tmp_path / "r{}.cfg".format(index)).write_text(
+                "hostname r{}.corp.example\n"
+                "ip address 10.0.{}.1 255.255.255.0\n"
+                "router bgp 701\n".format(index, index)
+            )
+        out_seq = tmp_path / "out-seq"
+        out_par = tmp_path / "out-par"
+        assert (
+            main(
+                [str(tmp_path), "--salt", "s", "--two-pass",
+                 "--out-dir", str(out_seq)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [str(tmp_path), "--salt", "s", "--jobs", "2",
+                 "--out-dir", str(out_par)]
+            )
+            == 0
+        )
+        for path in sorted(out_seq.iterdir()):
+            assert (out_par / path.name).read_text() == path.read_text()
