@@ -3,6 +3,17 @@
 Anonymize one or more router configuration files (or a whole directory of
 them as one network) with shared mapping state, print a report, and
 optionally run the leak scanner over the output.
+
+Exit codes (distinct, so CI and scripts can detect a dirty run):
+
+* ``0`` — clean run: every file written, no leak highlights.
+* ``2`` — usage error (argparse).
+* ``3`` — the leak scanner highlighted lines for human review.
+* ``4`` — at least one file was quarantined or failed to write; its
+  output was withheld (fail-closed) and the run is incomplete.
+* ``5`` — both 3 and 4.
+* ``6`` — a state file or run manifest could not be used (corrupt,
+  truncated, wrong version, or wrong salt).
 """
 
 from __future__ import annotations
@@ -14,6 +25,12 @@ from pathlib import Path
 from repro.attacks.textual import scan_for_leaks
 from repro.core import Anonymizer, AnonymizerConfig
 from repro.core.rules import rule_inventory
+
+EXIT_OK = 0
+EXIT_LEAKS = 3
+EXIT_QUARANTINE = 4
+EXIT_LEAKS_AND_QUARANTINE = 5
+EXIT_STATE_ERROR = 6
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -84,6 +101,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "(keeps later uploads consistent; protect it like the salt)",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip files the run manifest records as already written with "
+        "an intact digest (implies --two-pass so the resumed output is "
+        "byte-identical to a clean run); requires --out-dir or --manifest",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="run-manifest JSON path (default: {} inside --out-dir)".format(
+            "the .repro-run-manifest.json file"
+        ),
+    )
+    parser.add_argument(
         "--scan-leaks",
         action="store_true",
         help="run the Section 6.1 leak scanner over the output",
@@ -114,6 +146,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _read_config_text(path: Path):
+    """Read one candidate config file defensively.
+
+    Returns its text, or ``None`` (with a warning on stderr) for files
+    that cannot be part of a config corpus: unreadable ones and binary
+    blobs.  Bytes that are not valid UTF-8 decode with U+FFFD replacement
+    instead of aborting the whole corpus run with a
+    ``UnicodeDecodeError``.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        print(
+            "warning: skipping {} (unreadable: {})".format(
+                path, type(exc).__name__
+            ),
+            file=sys.stderr,
+        )
+        return None
+    if b"\x00" in data[:8192]:
+        print("warning: skipping {} (binary file)".format(path), file=sys.stderr)
+        return None
+    return data.decode("utf-8", errors="replace")
+
+
 def _collect_files(paths) -> dict:
     configs = {}
     for raw in paths:
@@ -121,9 +178,13 @@ def _collect_files(paths) -> dict:
         if path.is_dir():
             for child in sorted(path.iterdir()):
                 if child.is_file():
-                    configs[str(child)] = child.read_text()
+                    text = _read_config_text(child)
+                    if text is not None:
+                        configs[str(child)] = text
         elif path.is_file():
-            configs[str(path)] = path.read_text()
+            text = _read_config_text(path)
+            if text is not None:
+                configs[str(path)] = text
         else:
             raise FileNotFoundError(raw)
     return configs
@@ -147,7 +208,19 @@ def main(argv=None) -> int:
     # output order-independent); an explicit --no-two-pass contradicts it.
     if args.jobs > 1 and args.two_pass is False:
         parser.error("--no-two-pass cannot be combined with --jobs > 1")
-    two_pass = args.two_pass if args.two_pass is not None else args.jobs > 1
+    # --resume also requires the freeze: skipped files must have been
+    # anonymized under the same corpus-wide frozen mappings the rerun
+    # uses, or the resumed corpus would not be byte-identical to a clean
+    # run.
+    if args.resume and args.two_pass is False:
+        parser.error("--no-two-pass cannot be combined with --resume")
+    if args.resume and not (args.out_dir or args.manifest):
+        parser.error("--resume requires --out-dir (or an explicit --manifest)")
+    two_pass = (
+        args.two_pass
+        if args.two_pass is not None
+        else (args.jobs > 1 or args.resume)
+    )
 
     config = AnonymizerConfig(
         salt=args.salt.encode("utf-8"),
@@ -160,27 +233,78 @@ def main(argv=None) -> int:
         two_pass=two_pass,
     )
     anonymizer = Anonymizer(config)
+    if anonymizer.fault_plan is not None:
+        print(
+            "WARNING: fault injection active ({}); never publish this "
+            "run's output".format(anonymizer.fault_plan.describe()),
+            file=sys.stderr,
+        )
     if args.state_file and Path(args.state_file).exists():
-        from repro.core.state import load_state
+        from repro.core.state import StateError, load_state
 
-        load_state(anonymizer, args.state_file)
+        try:
+            load_state(anonymizer, args.state_file)
+        except StateError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return EXIT_STATE_ERROR
         print("loaded mapping state from {}".format(args.state_file))
     configs = _collect_files(args.paths)
+    if not configs:
+        print("error: no readable config files found", file=sys.stderr)
+        return 1
     if two_pass:
         anonymizer.freeze_mappings(configs)
-    from repro.core.parallel import anonymize_files
 
-    outputs = anonymize_files(anonymizer, configs, jobs=args.jobs)
+    from repro.core.runner import (
+        MANIFEST_NAME,
+        RunnerError,
+        run_anonymization,
+    )
 
-    for name, text in outputs.items():
+    def out_path_for(name: str) -> Path:
         source = Path(name)
         if args.out_dir:
-            out_path = Path(args.out_dir) / (source.name + args.suffix)
-            out_path.parent.mkdir(parents=True, exist_ok=True)
-        else:
-            out_path = source.with_name(source.name + args.suffix)
-        out_path.write_text(text)
-        print("wrote {}".format(out_path))
+            return Path(args.out_dir) / (source.name + args.suffix)
+        return source.with_name(source.name + args.suffix)
+
+    manifest_path = args.manifest
+    if manifest_path is None and args.out_dir:
+        manifest_path = str(Path(args.out_dir) / MANIFEST_NAME)
+
+    try:
+        result = run_anonymization(
+            anonymizer,
+            configs,
+            out_path_for,
+            jobs=args.jobs,
+            resume=args.resume,
+            manifest_path=manifest_path,
+        )
+    except RunnerError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return EXIT_STATE_ERROR
+
+    for name in sorted(result.outcomes):
+        outcome = result.outcomes[name]
+        if outcome.status == "written":
+            print("wrote {}".format(outcome.out_path))
+        elif outcome.status == "skipped":
+            print("skipped {} (already complete)".format(outcome.out_path))
+        elif outcome.status == "quarantined":
+            print(
+                "quarantined {} ({}): output withheld".format(
+                    name, outcome.detail
+                ),
+                file=sys.stderr,
+            )
+        else:  # write-failed
+            print(
+                "write failed for {} ({}): output withheld".format(
+                    name, outcome.detail
+                ),
+                file=sys.stderr,
+            )
+    outputs = result.outputs
 
     if args.state_file:
         from repro.core.state import save_state
@@ -208,6 +332,7 @@ def main(argv=None) -> int:
         Path(args.export_model).write_text(model)
         print("wrote model to {}".format(args.export_model))
 
+    leaks_found = False
     if args.scan_leaks:
         leaks = scan_for_leaks(
             outputs,
@@ -217,6 +342,7 @@ def main(argv=None) -> int:
         )
         print()
         if leaks:
+            leaks_found = True
             print("{} lines highlighted for human review:".format(len(leaks)))
             for leak in leaks[:50]:
                 print(
@@ -227,7 +353,14 @@ def main(argv=None) -> int:
                 )
         else:
             print("leak scan: no highlighted lines")
-    return 0
+
+    if leaks_found and result.dirty:
+        return EXIT_LEAKS_AND_QUARANTINE
+    if result.dirty:
+        return EXIT_QUARANTINE
+    if leaks_found:
+        return EXIT_LEAKS
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -23,8 +23,16 @@ from repro.core.cryptopan import CryptoPanMap
 from repro.core.asn import AsnPermutation, is_public_asn, is_private_asn
 from repro.core.community import CommunityAnonymizer
 from repro.core.strings import StringHasher
+from repro.core.faults import FaultInjected, FaultPlan, build_fault_plan
+from repro.core.runner import RunResult, RunnerError, run_anonymization
 
 __all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "build_fault_plan",
+    "RunResult",
+    "RunnerError",
+    "run_anonymization",
     "Anonymizer",
     "AnonymizedNetwork",
     "AnonymizerConfig",

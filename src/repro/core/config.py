@@ -78,6 +78,10 @@ class AnonymizerConfig:
     #: paper implements IOS and notes direct applicability to JunOS; the
     #: JunOS rule extensions (J1-J9) realize that claim.
     syntax: str = "auto"
+    #: Deterministic fault-injection plan (see :mod:`repro.core.faults`);
+    #: ``None`` falls back to the ``REPRO_FAULT_PLAN`` environment
+    #: variable.  Test-only: never set on a run whose output you publish.
+    fault_plan: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.passlist is None:

@@ -33,6 +33,7 @@ Two pipeline shapes are supported:
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -42,6 +43,7 @@ from repro.core.comments import CommentStripper
 from repro.core.community import CommunityAnonymizer
 from repro.core.config import AnonymizerConfig
 from repro.core.context import RuleContext
+from repro.core.faults import build_fault_plan
 from repro.core.ipanon import PrefixPreservingMap
 from repro.core.line import SegmentedLine
 from repro.core.report import AnonymizationReport
@@ -129,6 +131,7 @@ class Anonymizer:
         self._gated_ios = self._compile_gates(ios_rules)
         self._gated_junos = self._compile_gates(self._junos_rules)
         self.report = AnonymizationReport()
+        self.fault_plan = build_fault_plan(config)
 
     def _compile_gates(self, rules: List[Rule]):
         """Pair each rule with its compiled prefilter gate (or None)."""
@@ -206,18 +209,39 @@ class Anonymizer:
         token_anon = self.token_anon
         hashed_before = token_anon.tokens_hashed
         seen_before = token_anon.tokens_seen
+        fault_plan = self.fault_plan
         for line_number, raw_line in enumerate(lines, start=1):
             ctx.line_number = line_number
-            lowered = raw_line.lower()
-            line = SegmentedLine(raw_line)
-            for rule, gate in gated_rules:
-                if gate is not None and not gate(lowered):
-                    continue
-                hits = rule.apply(line, ctx)
-                if hits:
-                    file_report.record_rule_hit(rule.rule_id, hits)
-            line.map_live_tokens(token_anon.anonymize_word)
-            out_lines.append(line.render())
+            # Fail-closed guarantee: if anything below raises, the whole
+            # line is replaced by a salted-hash placeholder.  The raw line
+            # never reaches the output, and the report records the event.
+            try:
+                lowered = raw_line.lower()
+                line = SegmentedLine(raw_line)
+                for rule, gate in gated_rules:
+                    if gate is not None and not gate(lowered):
+                        continue
+                    hits = rule.apply(line, ctx)
+                    if hits:
+                        file_report.record_rule_hit(rule.rule_id, hits)
+                        if fault_plan is not None:
+                            fault_plan.on_rule_hits(rule.rule_id, hits)
+                line.map_live_tokens(token_anon.anonymize_word)
+                rendered = line.render()
+            except Exception as exc:
+                rendered = self.fail_closed_placeholder(raw_line)
+                file_report.lines_failed_closed += 1
+                file_report.record_rule_hit("FAIL-CLOSED")
+                # Only the exception class name: its message may quote the
+                # raw line, and flags travel in shareable report JSON.
+                file_report.flag(
+                    source,
+                    line_number,
+                    "FAIL-CLOSED",
+                    "line replaced by fail-closed placeholder after "
+                    "{}".format(type(exc).__name__),
+                )
+            out_lines.append(rendered)
         file_report.tokens_hashed = token_anon.tokens_hashed - hashed_before
         file_report.tokens_seen = token_anon.tokens_seen - seen_before
         file_report.lines_out = len(out_lines)
@@ -226,6 +250,20 @@ class Anonymizer:
         if text.endswith("\n"):
             result += "\n"
         return result, file_report
+
+    def fail_closed_placeholder(self, raw_line: str) -> str:
+        """The replacement emitted for a line whose anonymization failed.
+
+        Deterministic (salted SHA-256 of the raw line) so a faulted run
+        and its retry agree, and content-free: the digest lets the owner
+        locate the original line locally without revealing it.  Computed
+        directly rather than through :class:`StringHasher` so the raw line
+        never enters the hash cache that rides back from workers.
+        """
+        digest = hashlib.sha256(
+            self.config.salt + raw_line.encode("utf-8", "backslashreplace")
+        ).hexdigest()[:16]
+        return "! REPRO-FAIL-CLOSED {}".format(digest)
 
     def preload_addresses(self, configs: Dict[str, str]) -> int:
         """First pass of two-pass anonymization: pre-insert every address.

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for the fail-closed runner.
+
+An anonymizer's worst failure mode is a *partial* failure: an exception
+mid-run that leaves some output written and some raw, or a crashed worker
+that aborts the whole corpus with no indication of the poisoned file.  To
+prove the runner's fail-closed guarantees hold (``tests/test_faults.py``),
+this module injects faults at three seams, deterministically:
+
+* ``rule:<rule_id>[:<nth>]`` — the named rule raises on its *nth* hit
+  (default: the first).  The engine must respond by replacing the entire
+  line with a hashed placeholder, never by passing the raw line through.
+* ``worker-exit:<match>[:<code>]`` — a pool worker calls :func:`os._exit`
+  when it starts rewriting a file whose name contains *match* (simulating
+  a segfault / OOM-kill).  The parallel layer must quarantine that file,
+  respawn the pool once, and finish the rest of the corpus.
+* ``write-fail:<match>`` — the atomic writer raises :class:`OSError` the
+  first time it writes a file whose name contains *match*.  No partial
+  output file may remain observable.
+
+A plan is a ``;``-separated list of specs, taken from
+``AnonymizerConfig.fault_plan`` or the ``REPRO_FAULT_PLAN`` environment
+variable (config wins).  Hit counters live on the plan instance, so each
+worker process — which rebuilds its anonymizer, and with it its plan —
+counts independently; that keeps injection deterministic per process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "build_fault_plan",
+]
+
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_KINDS = ("rule", "worker-exit", "write-fail")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an injected ``rule`` fault (never by production code)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: what to break, where, and when."""
+
+    kind: str  # "rule" | "worker-exit" | "write-fail"
+    target: str  # rule id, or a substring of the file name
+    nth: int = 1  # rule faults: raise on the nth hit
+
+    def __str__(self) -> str:
+        if self.kind == "rule":
+            return "{}:{}:{}".format(self.kind, self.target, self.nth)
+        return "{}:{}".format(self.kind, self.target)
+
+
+class FaultPlan:
+    """A parsed fault plan plus its per-process trigger state."""
+
+    def __init__(self, specs: Tuple[FaultSpec, ...]):
+        self.specs = specs
+        self._rule_hits: Dict[str, int] = {}
+        self._rules_fired: Set[str] = set()
+        self._writes_failed: Set[str] = set()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``kind:target[:nth]`` specs separated by ``;``.
+
+        A malformed plan raises :class:`ValueError` — a typo'd fault plan
+        silently injecting nothing would defeat the tests that rely on it.
+        """
+        specs: List[FaultSpec] = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            kind = parts[0].strip().lower().replace("_", "-")
+            if kind not in _KINDS or len(parts) < 2 or not parts[1].strip():
+                raise ValueError(
+                    "bad fault spec {!r}: expected kind:target[:nth] with "
+                    "kind in {}".format(chunk, "/".join(_KINDS))
+                )
+            target = parts[1].strip()
+            nth = 1
+            if len(parts) >= 3 and parts[2].strip():
+                nth = int(parts[2])
+                if nth < 1:
+                    raise ValueError("fault nth must be >= 1 in {!r}".format(chunk))
+            specs.append(FaultSpec(kind=kind, target=target, nth=nth))
+        if not specs:
+            raise ValueError("fault plan {!r} contains no specs".format(text))
+        return cls(tuple(specs))
+
+    def describe(self) -> str:
+        return "; ".join(str(spec) for spec in self.specs)
+
+    # -- trigger points ---------------------------------------------------
+
+    def on_rule_hits(self, rule_id: str, hits: int) -> None:
+        """Called by the engine after *rule_id* rewrote *hits* matches.
+
+        Raises :class:`FaultInjected` exactly once per plan instance when
+        the cumulative hit count first reaches the spec's ``nth``.
+        """
+        for spec in self.specs:
+            if spec.kind != "rule" or spec.target != rule_id:
+                continue
+            count = self._rule_hits.get(rule_id, 0) + hits
+            self._rule_hits[rule_id] = count
+            if count >= spec.nth and rule_id not in self._rules_fired:
+                self._rules_fired.add(rule_id)
+                raise FaultInjected(
+                    "injected fault: rule {} hit #{}".format(rule_id, spec.nth)
+                )
+
+    def should_kill_worker(self, source: str) -> bool:
+        """True if a worker rewriting *source* must die (``os._exit``)."""
+        return any(
+            spec.kind == "worker-exit" and spec.target in source
+            for spec in self.specs
+        )
+
+    def fail_write_once(self, name: str) -> bool:
+        """True exactly once per matching *name*: the write must fail now."""
+        for spec in self.specs:
+            if spec.kind != "write-fail" or spec.target not in name:
+                continue
+            key = "{}\x00{}".format(spec.target, name)
+            if key not in self._writes_failed:
+                self._writes_failed.add(key)
+                return True
+        return False
+
+
+def build_fault_plan(config) -> Optional[FaultPlan]:
+    """The plan for an :class:`AnonymizerConfig` (or None when unfaulted).
+
+    ``config.fault_plan`` wins; otherwise the ``REPRO_FAULT_PLAN``
+    environment variable seeds the plan, so the CLI and worker processes
+    (which inherit the environment) can be faulted without code changes.
+    """
+    text = getattr(config, "fault_plan", None)
+    if text is None:
+        text = os.environ.get(FAULT_PLAN_ENV)
+    if not text:
+        return None
+    return FaultPlan.parse(text)

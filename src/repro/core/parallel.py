@@ -96,14 +96,20 @@ class FrozenSnapshot:
 #: One worker's Anonymizer, built once per process by :func:`_init_worker`.
 _WORKER_ANONYMIZER: Optional[Anonymizer] = None
 
+#: True only in pool worker processes (set by the initializer).  The
+#: ``worker-exit`` fault consults it so an injected crash can never kill
+#: the parent when a task falls back to in-process rewriting.
+_IN_WORKER = False
+
 
 def _init_worker(snapshot: FrozenSnapshot) -> None:
-    global _WORKER_ANONYMIZER
+    global _WORKER_ANONYMIZER, _IN_WORKER
     _WORKER_ANONYMIZER = snapshot.restore()
+    _IN_WORKER = True
 
 
-def _rewrite_one(task: Tuple[str, str]):
-    """Worker task: anonymize one file against the frozen snapshot.
+def _rewrite_with(anonymizer: Anonymizer, name: str, text: str):
+    """Anonymize one file, returning its result and hash-cache delta.
 
     Returns ``(name, text, per-file report, new hash-cache entries)``.
     The hash-cache delta (tokens first hashed while rewriting this file)
@@ -112,8 +118,6 @@ def _rewrite_one(task: Tuple[str, str]):
     New entries append to the end of the dict (insertion order), so the
     delta is a cheap slice.
     """
-    name, text = task
-    anonymizer = _WORKER_ANONYMIZER
     cache = anonymizer.hasher._cache
     cache_size_before = len(cache)
     out, file_report = anonymizer.anonymize_file(text, source=name)
@@ -123,6 +127,24 @@ def _rewrite_one(task: Tuple[str, str]):
     else:
         hashed_delta = {}
     return name, out, file_report, hashed_delta
+
+
+def _rewrite_one(task: Tuple[str, str]):
+    """Worker task: anonymize one file against the frozen snapshot."""
+    name, text = task
+    anonymizer = _WORKER_ANONYMIZER
+    plan = anonymizer.fault_plan
+    if plan is not None and _IN_WORKER and plan.should_kill_worker(name):
+        import os
+
+        os._exit(87)  # simulate a hard worker death (segfault / OOM-kill)
+    return _rewrite_with(anonymizer, name, text)
+
+
+def _quarantine_reason(exc: BaseException) -> str:
+    """A shareable reason string: class name only, never message text
+    (exception messages can quote raw config lines)."""
+    return type(exc).__name__
 
 
 def anonymize_files(
@@ -136,31 +158,97 @@ def anonymize_files(
     responsible for having run :meth:`Anonymizer.freeze_mappings` when
     ``jobs > 1`` — without the freeze, parallel output would depend on
     which worker first saw each address.
+
+    Failure isolation is per file and fail-closed: a file whose rewrite
+    raises — or whose worker process dies, surfacing as
+    ``BrokenProcessPool`` — is *quarantined*: it is absent from the
+    returned dict and recorded in ``anonymizer.report.quarantined_files``,
+    while every other file still completes.  After a pool break the pool
+    is respawned exactly once and the unfinished files are retried one at
+    a time, so the poisoned file is identified definitively instead of
+    taking innocent pending tasks down with it.
     """
     names = sorted(configs)
+    outputs: Dict[str, str] = {}
     if jobs <= 1 or len(names) <= 1:
-        return {
-            name: anonymizer.anonymize_text(configs[name], source=name)
-            for name in names
-        }
+        for name in names:
+            try:
+                out, file_report = anonymizer.anonymize_file(
+                    configs[name], source=name
+                )
+            except Exception as exc:
+                anonymizer.report.quarantine(name, _quarantine_reason(exc))
+                continue
+            anonymizer.report.merge(file_report)
+            outputs[name] = out
+        return outputs
 
     from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
 
     snapshot = FrozenSnapshot.capture(anonymizer)
     results: Dict[str, Tuple[str, AnonymizationReport, Dict[str, str]]] = {}
+    quarantined: Dict[str, str] = {}
+    unfinished: List[str] = []
+
     with ProcessPoolExecutor(
         max_workers=min(jobs, len(names)),
         initializer=_init_worker,
         initargs=(snapshot,),
     ) as pool:
-        tasks = [(name, configs[name]) for name in names]
-        for name, out, file_report, hashed_delta in pool.map(
-            _rewrite_one, tasks, chunksize=max(1, len(tasks) // (jobs * 4))
-        ):
-            results[name] = (out, file_report, hashed_delta)
+        futures = [
+            (name, pool.submit(_rewrite_one, (name, configs[name])))
+            for name in names
+        ]
+        for name, future in futures:
+            try:
+                _, out, file_report, hashed_delta = future.result()
+            except BrokenProcessPool:
+                # The dying worker poisons every unfinished future; which
+                # file actually killed it is settled by the retry below.
+                unfinished.append(name)
+            except Exception as exc:
+                quarantined[name] = _quarantine_reason(exc)
+            else:
+                results[name] = (out, file_report, hashed_delta)
 
-    outputs: Dict[str, str] = {}
+    if unfinished:
+        # Respawn the pool once and retry with a single task in flight at
+        # a time: if the pool breaks again, the in-flight file *is* the
+        # poisoned one.  Files after it finish in-process (the snapshot
+        # restore is exactly what a worker would have run).
+        in_process_from = len(unfinished)
+        with ProcessPoolExecutor(
+            max_workers=1, initializer=_init_worker, initargs=(snapshot,)
+        ) as retry_pool:
+            for index, name in enumerate(unfinished):
+                try:
+                    _, out, file_report, hashed_delta = retry_pool.submit(
+                        _rewrite_one, (name, configs[name])
+                    ).result()
+                except BrokenProcessPool as exc:
+                    quarantined[name] = _quarantine_reason(exc)
+                    in_process_from = index + 1
+                    break
+                except Exception as exc:
+                    quarantined[name] = _quarantine_reason(exc)
+                else:
+                    results[name] = (out, file_report, hashed_delta)
+        for name in unfinished[in_process_from:]:
+            local = snapshot.restore()
+            try:
+                _, out, file_report, hashed_delta = _rewrite_with(
+                    local, name, configs[name]
+                )
+            except Exception as exc:
+                quarantined[name] = _quarantine_reason(exc)
+            else:
+                results[name] = (out, file_report, hashed_delta)
+
     for name in names:  # merge in the sequential pipeline's order
+        if name in quarantined:
+            anonymizer.report.quarantine(name, quarantined[name])
+            continue
         out, file_report, hashed_delta = results[name]
         outputs[name] = out
         anonymizer.report.merge(file_report)

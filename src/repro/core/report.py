@@ -47,8 +47,16 @@ class AnonymizationReport:
     phone_numbers_mapped: int = 0
     macs_mapped: int = 0
     secrets_hashed: int = 0
+    #: Lines replaced end-to-end by the fail-closed placeholder because a
+    #: rule raised mid-line (the raw text never reaches the output).
+    lines_failed_closed: int = 0
     rule_hits: Dict[str, int] = field(default_factory=dict)
     flags: List[LineFlag] = field(default_factory=list)
+    #: Files whose output was withheld entirely (worker crash or engine
+    #: error): ``{source name: reason}``.  Quarantined files are never
+    #: written; the reason carries only the exception class name so no raw
+    #: config text can leak through a shared report.
+    quarantined_files: Dict[str, str] = field(default_factory=dict)
     seen_asns: Set[int] = field(default_factory=set)
     seen_public_ips: Set[int] = field(default_factory=set)
 
@@ -58,6 +66,9 @@ class AnonymizationReport:
 
     def flag(self, source: str, line_number: int, rule_id: str, message: str) -> None:
         self.flags.append(LineFlag(source, line_number, rule_id, message))
+
+    def quarantine(self, source: str, reason: str) -> None:
+        self.quarantined_files[source] = reason
 
     @property
     def comment_word_fraction(self) -> float:
@@ -85,11 +96,13 @@ class AnonymizationReport:
             "phone_numbers_mapped",
             "macs_mapped",
             "secrets_hashed",
+            "lines_failed_closed",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for rule_id, count in other.rule_hits.items():
             self.record_rule_hit(rule_id, count)
         self.flags.extend(other.flags)
+        self.quarantined_files.update(other.quarantined_files)
         self.seen_asns.update(other.seen_asns)
         self.seen_public_ips.update(other.seen_public_ips)
 
@@ -115,6 +128,8 @@ class AnonymizationReport:
             "phone_numbers_mapped": self.phone_numbers_mapped,
             "macs_mapped": self.macs_mapped,
             "secrets_hashed": self.secrets_hashed,
+            "lines_failed_closed": self.lines_failed_closed,
+            "quarantined_files": dict(self.quarantined_files),
             "rule_hits": dict(self.rule_hits),
             "flags": [
                 {
@@ -147,6 +162,8 @@ class AnonymizationReport:
             "communities: {} mapped".format(self.communities_mapped),
             "regexps rewritten: {}".format(self.regexps_rewritten),
             "secrets hashed: {}".format(self.secrets_hashed),
+            "fail-closed lines: {}".format(self.lines_failed_closed),
+            "quarantined files: {}".format(len(self.quarantined_files)),
             "flags for human review: {}".format(len(self.flags)),
         ]
         return "\n".join(lines)

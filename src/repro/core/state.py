@@ -33,6 +33,17 @@ from repro.core.engine import Anonymizer
 STATE_FORMAT_VERSION = 1
 
 
+class StateError(ValueError):
+    """A mapping-state file cannot be used (corrupt, truncated, wrong
+    version, or incompatible with this anonymizer).
+
+    Subclasses :class:`ValueError` so existing callers that catch
+    ``ValueError`` keep working; the CLI catches :class:`StateError` to
+    turn any of these into a one-line error and a nonzero exit instead of
+    a raw traceback.
+    """
+
+
 def export_state(anonymizer: Anonymizer) -> Dict:
     """Capture the mapping state of *anonymizer* as a JSON-able dict."""
     ip_map = anonymizer.ip_map
@@ -60,28 +71,48 @@ def import_state(anonymizer: Anonymizer, state: Dict) -> None:
     The anonymizer must have been constructed with the same salt and
     compatible configuration; the salt itself is never stored.
     """
+    if not isinstance(state, dict):
+        raise StateError(
+            "state document must be a JSON object, not {}".format(
+                type(state).__name__
+            )
+        )
     version = state.get("format_version")
     if version != STATE_FORMAT_VERSION:
-        raise ValueError(
+        raise StateError(
             "unsupported state format version {!r} (expected {})".format(
                 version, STATE_FORMAT_VERSION
             )
         )
     if state.get("hash_length") != anonymizer.hasher.length:
-        raise ValueError(
+        raise StateError(
             "state was written with hash_length={} but this anonymizer "
             "uses {}".format(state.get("hash_length"), anonymizer.hasher.length)
         )
+    try:
+        flips = {
+            (int(key.split(":")[0]), int(key.split(":")[1])): int(flip)
+            for key, flip in state["ip_trie"].items()
+        }
+        rng_state = _decode_rng_state(state["ip_rng_state"])
+        collision_walks = state["ip_counters"]["collision_walks"]
+        addresses_mapped = state["ip_counters"]["addresses_mapped"]
+        hash_cache = dict(state["hash_cache"])
+        seen_asns = {int(a) for a in state.get("seen_asns", [])}
+    except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
+        raise StateError(
+            "state document is malformed ({}: {}); was the file truncated "
+            "or edited?".format(type(exc).__name__, exc)
+        ) from exc
+    # All fields decoded and validated before any mutation: a malformed
+    # document can never leave the anonymizer half-restored.
     ip_map = anonymizer.ip_map
-    ip_map._flips = {
-        (int(key.split(":")[0]), int(key.split(":")[1])): int(flip)
-        for key, flip in state["ip_trie"].items()
-    }
-    ip_map._rng.setstate(_decode_rng_state(state["ip_rng_state"]))
-    ip_map.collision_walks = state["ip_counters"]["collision_walks"]
-    ip_map.addresses_mapped = state["ip_counters"]["addresses_mapped"]
-    anonymizer.hasher._cache = dict(state["hash_cache"])
-    anonymizer.report.seen_asns.update(int(a) for a in state.get("seen_asns", []))
+    ip_map._flips = flips
+    ip_map._rng.setstate(rng_state)
+    ip_map.collision_walks = collision_walks
+    ip_map.addresses_mapped = addresses_mapped
+    anonymizer.hasher._cache = hash_cache
+    anonymizer.report.seen_asns.update(seen_asns)
 
 
 def save_state(anonymizer: Anonymizer, path: str) -> None:
@@ -91,9 +122,27 @@ def save_state(anonymizer: Anonymizer, path: str) -> None:
 
 
 def load_state(anonymizer: Anonymizer, path: str) -> None:
-    """Load mapping state previously written by :func:`save_state`."""
-    with open(path) as handle:
-        import_state(anonymizer, json.load(handle))
+    """Load mapping state previously written by :func:`save_state`.
+
+    Raises :class:`StateError` (never a raw ``json.JSONDecodeError`` or
+    ``KeyError`` traceback) for an unreadable, corrupt, truncated, or
+    incompatible state file — with the path in the message so the
+    operator knows exactly which file to inspect.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            state = json.load(handle)
+    except OSError as exc:
+        raise StateError("cannot read state file {}: {}".format(path, exc)) from exc
+    except ValueError as exc:  # json.JSONDecodeError subclasses ValueError
+        raise StateError(
+            "state file {} is not valid JSON (corrupt or truncated): "
+            "{}".format(path, exc)
+        ) from exc
+    try:
+        import_state(anonymizer, state)
+    except StateError as exc:
+        raise StateError("state file {}: {}".format(path, exc)) from exc
 
 
 def _encode_rng_state(state):

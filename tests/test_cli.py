@@ -166,3 +166,25 @@ class TestReportJson:
         # Raw privileged values never appear in the machine report.
         assert "seen_asns" not in report
         assert "1111" not in json.dumps(report["rule_hits"])
+
+
+class TestCollectFiles:
+    def test_binary_file_skipped_with_warning(self, tmp_path, capsys):
+        net = tmp_path / "net"
+        net.mkdir()
+        (net / "good.cfg").write_text("router bgp 701\n")
+        (net / "image.bin").write_bytes(b"\x89PNG\x00\x1a\x0b")
+        out_dir = tmp_path / "out"
+        assert main([str(net), "--salt", "s", "--out-dir", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+        assert "skipping" in captured.err and "image.bin" in captured.err
+        assert (out_dir / "good.cfg.anon").exists()
+        assert not (out_dir / "image.bin.anon").exists()
+
+    def test_non_utf8_text_decodes_with_replacement(self, tmp_path, capsys):
+        config = tmp_path / "latin1.cfg"
+        config.write_bytes(b"hostname caf\xe9.example.com\nrouter bgp 701\n")
+        out_dir = tmp_path / "out"
+        assert main([str(config), "--salt", "s", "--out-dir", str(out_dir)]) == 0
+        out = (out_dir / "latin1.cfg.anon").read_text()
+        assert "router bgp" in out  # run completed despite bad bytes

@@ -2,6 +2,7 @@
 whatever bytes are thrown at it (the paper's automation requirement: "the
 anonymization process must be fully automated to avoid human errors")."""
 
+import os
 import string
 
 from hypothesis import HealthCheck, given, settings
@@ -15,7 +16,8 @@ _config_chars = st.text(
 )
 
 _fuzz = settings(
-    max_examples=120,
+    # CI's fault-injection job raises this budget via REPRO_FUZZ_EXAMPLES.
+    max_examples=int(os.environ.get("REPRO_FUZZ_EXAMPLES", "120")),
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )

@@ -13,7 +13,7 @@ from repro.core import Anonymizer, AnonymizerConfig
 from repro.core.context import RuleContext
 from repro.core.engine import FreezeStats
 from repro.core.line import SegmentedLine
-from repro.core.parallel import FrozenSnapshot, anonymize_files
+from repro.core.parallel import FrozenSnapshot, _rewrite_with, anonymize_files
 from repro.core.rulebase import compile_gate
 from repro.iosgen import NetworkSpec, generate_network
 
@@ -174,6 +174,46 @@ class TestFreezePhase:
         anonymizer.freeze_mappings(dict(network_configs))
         assert dict(anonymizer.hasher.hashed_inputs) == {}
 
+    def test_hash_cache_delta_merge_with_overlapping_tokens(self):
+        # Two workers hashing the SAME new token must both report it in
+        # their deltas with identical digests, and merging must neither
+        # lose it nor re-include tokens hashed before the snapshot.
+        configs = {
+            "a.cfg": "hostname shared-word.example.com\n",
+            "b.cfg": "hostname shared-word.example.net\n",
+        }
+        parent = Anonymizer(salt=b"delta")
+        parent.hasher.hash_token("presnap")  # cached before capture
+        parent.freeze_mappings(dict(configs))
+        snapshot = FrozenSnapshot.capture(parent)
+
+        worker_a = snapshot.restore()
+        worker_b = snapshot.restore()
+        _, _, _, delta_a = _rewrite_with(worker_a, "a.cfg", configs["a.cfg"])
+        _, _, _, delta_b = _rewrite_with(worker_b, "b.cfg", configs["b.cfg"])
+
+        # Both workers hashed "shared-word" independently; the keyed hash
+        # makes their answers identical, so merge order cannot matter.
+        overlap = set(delta_a) & set(delta_b)
+        assert "shared-word" in overlap
+        for token in overlap:
+            assert delta_a[token] == delta_b[token]
+        # Pre-snapshot cache entries are not part of any worker delta.
+        assert "presnap" not in delta_a and "presnap" not in delta_b
+
+        # The merged ground truth equals a sequential run over the same
+        # corpus (plus the pre-snapshot token).
+        sequential = Anonymizer(salt=b"delta")
+        sequential.hasher.hash_token("presnap")
+        sequential.freeze_mappings(dict(configs))
+        for name in sorted(configs):
+            sequential.anonymize_file(configs[name], source=name)
+        merged = dict(parent.hasher.hashed_inputs)
+        for delta in (delta_a, delta_b):
+            for token, digest in delta.items():
+                merged.setdefault(token, digest)
+        assert merged == dict(sequential.hasher.hashed_inputs)
+
     def test_snapshot_round_trip(self, network_configs):
         anonymizer = Anonymizer(salt=b"snap")
         anonymizer.freeze_mappings(dict(network_configs))
@@ -283,5 +323,7 @@ class TestCliFlags:
             )
             == 0
         )
-        for path in sorted(out_seq.iterdir()):
+        anon_files = sorted(out_seq.glob("*.anon"))
+        assert anon_files  # the run manifest is not an output file
+        for path in anon_files:
             assert (out_par / path.name).read_text() == path.read_text()
