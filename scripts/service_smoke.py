@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Service smoke test: the CI drive-the-daemon-for-real job.
+
+Starts ``repro-anonymize serve`` as a subprocess, then walks the whole
+operational surface end to end:
+
+1. wait for the ready file and ``GET /healthz``,
+2. create a session, freeze it over a sample corpus,
+3. anonymize a config via the ``submit`` CLI subcommand and verify the
+   output is byte-identical to the batch ``--jobs 2`` CLI run,
+4. scrape ``GET /metrics`` and check the request/rule-family counters
+   and the queue-depth gauge are present,
+5. SIGTERM the daemon and require a graceful exit 0.
+
+Runs under a hard deadline so a wedged daemon fails loudly instead of
+hanging CI.  Exits 0 on success, 1 with a message on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+DEADLINE_SECONDS = 120
+
+SAMPLE = """\
+hostname cr1.lax.foo.com
+interface Ethernet0
+ ip address 1.1.1.1 255.255.255.0
+router bgp 1111
+ neighbor 2.3.4.5 remote-as 701
+ neighbor 2.3.4.5 route-map UUNET-import in
+access-list 143 permit ip 1.1.1.0 0.0.0.255 2.0.0.0 0.255.255.255
+"""
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 (py3.10 compat)
+    print("SMOKE FAIL: {}".format(message), file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    started = time.time()
+
+    def remaining() -> float:
+        left = DEADLINE_SECONDS - (time.time() - started)
+        if left <= 0:
+            fail("deadline exceeded")
+        return left
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    workdir = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    ready = workdir / "ready.txt"
+    (workdir / "in").mkdir()
+    (workdir / "in" / "cr1.cfg").write_text(SAMPLE)
+
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--ready-file",
+            str(ready),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        while not ready.exists():
+            if daemon.poll() is not None:
+                fail("daemon exited early:\n" + (daemon.stdout.read() or ""))
+            if remaining() < DEADLINE_SECONDS - 30:
+                fail("daemon never wrote the ready file")
+            time.sleep(0.05)
+        url = ready.read_text().strip()
+        print("daemon ready at {}".format(url))
+
+        sys.path.insert(0, SRC)
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(url, timeout=min(60, remaining()))
+        health = client.healthz()
+        if health.get("status") != "ok":
+            fail("healthz reported {!r}".format(health))
+        print("healthz ok: {}".format(health))
+
+        # submit (the CLI path) against the live daemon.
+        submit_dir = workdir / "via-service"
+        code = subprocess.call(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "submit",
+                str(workdir / "in"),
+                "--server",
+                url,
+                "--salt",
+                "smoke-secret",
+                "--out-dir",
+                str(submit_dir),
+            ],
+            env=env,
+            timeout=remaining(),
+        )
+        if code != 0:
+            fail("submit exited {}".format(code))
+
+        # batch reference run; byte-identity is the headline invariant.
+        batch_dir = workdir / "via-batch"
+        code = subprocess.call(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                str(workdir / "in"),
+                "--salt",
+                "smoke-secret",
+                "--jobs",
+                "2",
+                "--out-dir",
+                str(batch_dir),
+            ],
+            env=env,
+            timeout=remaining(),
+        )
+        if code != 0:
+            fail("batch run exited {}".format(code))
+        via_service = (submit_dir / "cr1.cfg.anon").read_bytes()
+        via_batch = (batch_dir / "cr1.cfg.anon").read_bytes()
+        if via_service != via_batch:
+            fail("service output differs from batch output")
+        if b"foo.com" in via_service or b"1111" in via_service:
+            fail("raw identifiers leaked into the anonymized output")
+        print("submit output byte-identical to batch --jobs 2")
+
+        metrics = client.metrics_text()
+        for needle in (
+            "repro_requests_total",
+            'repro_rule_family_hits_total{family="asn"}',
+            "repro_queue_depth",
+            "repro_request_seconds_bucket",
+        ):
+            if needle not in metrics:
+                fail("metrics missing {!r}".format(needle))
+        print("metrics exposition ok ({} lines)".format(len(metrics.splitlines())))
+
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=remaining())
+        if daemon.returncode != 0:
+            fail(
+                "daemon exited {} after SIGTERM:\n{}".format(
+                    daemon.returncode, out
+                )
+            )
+        if "drained" not in out:
+            fail("daemon did not report a graceful drain:\n" + out)
+        print("graceful drain ok")
+        print("SMOKE PASS in {:.1f}s".format(time.time() - started))
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,16 +4,14 @@ Anonymize one or more router configuration files (or a whole directory of
 them as one network) with shared mapping state, print a report, and
 optionally run the leak scanner over the output.
 
-Exit codes (distinct, so CI and scripts can detect a dirty run):
+Two service subcommands ride on the same entry point:
 
-* ``0`` — clean run: every file written, no leak highlights.
-* ``2`` — usage error (argparse).
-* ``3`` — the leak scanner highlighted lines for human review.
-* ``4`` — at least one file was quarantined or failed to write; its
-  output was withheld (fail-closed) and the run is incomplete.
-* ``5`` — both 3 and 4.
-* ``6`` — a state file or run manifest could not be used (corrupt,
-  truncated, wrong version, or wrong salt).
+* ``repro-anonymize serve`` — run the long-lived anonymization daemon.
+* ``repro-anonymize submit`` — anonymize files through a running daemon.
+
+Exit codes are shared with the service layer and documented in
+:mod:`repro.core.status` (distinct, so CI and scripts can detect the
+*kind* of dirty run).
 """
 
 from __future__ import annotations
@@ -25,12 +23,15 @@ from pathlib import Path
 from repro.attacks.textual import scan_for_leaks
 from repro.core import Anonymizer, AnonymizerConfig
 from repro.core.rules import rule_inventory
-
-EXIT_OK = 0
-EXIT_LEAKS = 3
-EXIT_QUARANTINE = 4
-EXIT_LEAKS_AND_QUARANTINE = 5
-EXIT_STATE_ERROR = 6
+from repro.core.status import (
+    EXIT_LEAKS,
+    EXIT_LEAKS_AND_QUARANTINE,
+    EXIT_NO_INPUT,
+    EXIT_OK,
+    EXIT_QUARANTINE,
+    EXIT_STATE_ERROR,
+    exit_code_for,
+)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -191,6 +192,12 @@ def _collect_files(paths) -> dict:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("serve", "submit"):
+        from repro.service.cli import serve_main, submit_main
+
+        return (serve_main if argv[0] == "serve" else submit_main)(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
@@ -251,21 +258,25 @@ def main(argv=None) -> int:
     configs = _collect_files(args.paths)
     if not configs:
         print("error: no readable config files found", file=sys.stderr)
-        return 1
+        return EXIT_NO_INPUT
     if two_pass:
         anonymizer.freeze_mappings(configs)
 
     from repro.core.runner import (
         MANIFEST_NAME,
         RunnerError,
+        resolve_out_paths,
         run_anonymization,
     )
 
+    try:
+        out_paths = resolve_out_paths(configs, args.out_dir, args.suffix)
+    except RunnerError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return EXIT_STATE_ERROR
+
     def out_path_for(name: str) -> Path:
-        source = Path(name)
-        if args.out_dir:
-            return Path(args.out_dir) / (source.name + args.suffix)
-        return source.with_name(source.name + args.suffix)
+        return out_paths[name]
 
     manifest_path = args.manifest
     if manifest_path is None and args.out_dir:
@@ -354,13 +365,7 @@ def main(argv=None) -> int:
         else:
             print("leak scan: no highlighted lines")
 
-    if leaks_found and result.dirty:
-        return EXIT_LEAKS_AND_QUARANTINE
-    if result.dirty:
-        return EXIT_QUARANTINE
-    if leaks_found:
-        return EXIT_LEAKS
-    return EXIT_OK
+    return exit_code_for(leaks=leaks_found, dirty=result.dirty)
 
 
 if __name__ == "__main__":

@@ -132,6 +132,9 @@ class Anonymizer:
         self._gated_junos = self._compile_gates(self._junos_rules)
         self.report = AnonymizationReport()
         self.fault_plan = build_fault_plan(config)
+        #: Stats of the last :meth:`freeze_mappings` call (``None`` until
+        #: a freeze runs); the service's session-info endpoint reports it.
+        self.last_freeze_stats: Optional[FreezeStats] = None
 
     def _compile_gates(self, rules: List[Rule]):
         """Pair each rule with its compiled prefilter gate (or None)."""
@@ -378,7 +381,16 @@ class Anonymizer:
                 stats.communities_warmed += 1
 
         self.ip_map.freeze()
+        self.last_freeze_stats = stats
         return stats
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze_mappings` has frozen the IP trie, i.e.
+        every future mapping is a pure function of (salt, input) and the
+        anonymizer may serve files in any order with byte-identical
+        output."""
+        return self.ip_map.frozen
 
     def anonymize_network(
         self,

@@ -16,6 +16,43 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
+#: Rule-id ranges -> family name (the paper's Section 4 groupings).  The
+#: service's ``/metrics`` endpoint aggregates hit counters per family so a
+#: dashboard shows "ip rules fired 4M times", not 28 separate series.
+_RULE_FAMILY_RANGES = (
+    (1, 2, "token"),
+    (3, 5, "comment"),
+    (6, 9, "misc"),
+    (10, 21, "asn"),
+    (22, 25, "ip"),
+    (26, 28, "secret"),
+)
+
+
+def rule_family(rule_id: str) -> str:
+    """The rule family a rule id belongs to.
+
+    ``R1``-``R28`` map to the paper's Section 4 groupings, ``J*`` ids are
+    the JunOS extensions, ``FAIL-CLOSED`` is its own family, and anything
+    unrecognized lands in ``other`` (a counter must never raise).
+    """
+    if rule_id == "FAIL-CLOSED":
+        return "fail_closed"
+    if rule_id.startswith("J"):
+        return "junos"
+    if rule_id.startswith("R"):
+        digits = ""
+        for char in rule_id[1:]:
+            if not char.isdigit():
+                break
+            digits += char
+        if digits:
+            number = int(digits)
+            for low, high, family in _RULE_FAMILY_RANGES:
+                if low <= number <= high:
+                    return family
+    return "other"
+
 
 @dataclass
 class LineFlag:
@@ -69,6 +106,14 @@ class AnonymizationReport:
 
     def quarantine(self, source: str, reason: str) -> None:
         self.quarantined_files[source] = reason
+
+    def family_hits(self) -> Dict[str, int]:
+        """Rule hits aggregated per family (see :func:`rule_family`)."""
+        families: Dict[str, int] = {}
+        for rule_id, count in self.rule_hits.items():
+            family = rule_family(rule_id)
+            families[family] = families.get(family, 0) + count
+        return families
 
     @property
     def comment_word_fraction(self) -> float:

@@ -47,7 +47,9 @@ __all__ = [
     "RunnerError",
     "atomic_write_text",
     "load_manifest",
+    "resolve_out_paths",
     "run_anonymization",
+    "salt_fingerprint",
 ]
 
 MANIFEST_FORMAT_VERSION = 1
@@ -64,10 +66,64 @@ def _digest_text(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8", "backslashreplace")).hexdigest()
 
 
-def _salt_fingerprint(salt: bytes) -> str:
-    # Keyed so the fingerprint reveals nothing about a low-entropy salt
-    # beyond equality between runs.
+def salt_fingerprint(salt: bytes) -> str:
+    """Keyed fingerprint of an owner salt (equality only, never the salt).
+
+    Keyed so the fingerprint reveals nothing about a low-entropy salt
+    beyond equality between runs.  Shared by the run manifest (refuses to
+    resume under a different salt) and the service (a session advertises
+    its fingerprint so a client can verify it is talking to the mapping
+    universe it expects without ever sending the salt again).
+    """
     return hashlib.sha256(b"repro-run-manifest\x00" + salt).hexdigest()[:16]
+
+
+def resolve_out_paths(names, out_dir, suffix: str) -> Dict[str, Path]:
+    """Map every input name to a collision-free output path.
+
+    Without *out_dir* each output lands next to its input
+    (``<input><suffix>``), which cannot collide.  With *out_dir* the
+    natural ``out_dir/<basename><suffix>`` scheme silently overwrites
+    outputs when two inputs share a basename (``siteA/rtr1.conf`` and
+    ``siteB/rtr1.conf``) — exactly the corpus shape of a multi-site
+    network.  When that happens, the input paths are mirrored below their
+    common ancestor instead (``out_dir/siteA/rtr1.conf<suffix>``), so
+    every input keeps a distinct output.  If even the mirrored paths
+    collide (two spellings of the same file), the run refuses to start
+    rather than guess which output to keep.
+    """
+    names = list(names)
+    if out_dir is None:
+        return {
+            name: Path(name).with_name(Path(name).name + suffix)
+            for name in names
+        }
+    out_dir = Path(out_dir)
+    by_basename: Dict[str, int] = {}
+    for name in names:
+        base = Path(name).name
+        by_basename[base] = by_basename.get(base, 0) + 1
+    if all(count == 1 for count in by_basename.values()):
+        return {name: out_dir / (Path(name).name + suffix) for name in names}
+    absolutes = {name: os.path.abspath(name) for name in names}
+    common = os.path.commonpath(list(absolutes.values()))
+    if len(names) == 1 or os.path.isfile(common):
+        common = os.path.dirname(common)
+    paths = {
+        name: out_dir / (os.path.relpath(absolutes[name], common) + suffix)
+        for name in names
+    }
+    taken: Dict[Path, str] = {}
+    for name, path in sorted(paths.items()):
+        if path in taken:
+            raise RunnerError(
+                "output path collision: {!r} and {!r} both map to {} — "
+                "rename one input or pass distinct paths".format(
+                    taken[path], name, path
+                )
+            )
+        taken[path] = name
+    return paths
 
 
 def atomic_write_text(
@@ -232,7 +288,7 @@ def run_anonymization(
     and the manifest, and their output is withheld entirely.
     """
     plan = anonymizer.fault_plan
-    fingerprint = _salt_fingerprint(anonymizer.config.salt)
+    fingerprint = salt_fingerprint(anonymizer.config.salt)
 
     previous: Dict = {}
     if resume:

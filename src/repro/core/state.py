@@ -115,6 +115,32 @@ def import_state(anonymizer: Anonymizer, state: Dict) -> None:
     anonymizer.report.seen_asns.update(seen_asns)
 
 
+def export_state_json(anonymizer: Anonymizer) -> str:
+    """The anonymizer's mapping state as a JSON string.
+
+    The service's ``GET /sessions/<id>/state`` endpoint returns this so
+    an owner can carry a session's mappings across daemon restarts.
+    Treat the document with the same secrecy as the salt.
+    """
+    return json.dumps(export_state(anonymizer), sort_keys=True)
+
+
+def import_state_json(anonymizer: Anonymizer, text: str) -> None:
+    """Restore mapping state from a JSON string (see :func:`export_state_json`).
+
+    Raises :class:`StateError` for anything that is not a valid state
+    document — never a raw ``json.JSONDecodeError``.
+    """
+    try:
+        state = json.loads(text)
+    except ValueError as exc:
+        raise StateError(
+            "state document is not valid JSON (corrupt or truncated): "
+            "{}".format(exc)
+        ) from exc
+    import_state(anonymizer, state)
+
+
 def save_state(anonymizer: Anonymizer, path: str) -> None:
     """Write the anonymizer's mapping state to *path* as JSON."""
     with open(path, "w") as handle:

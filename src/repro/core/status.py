@@ -1,0 +1,62 @@
+"""Process exit codes shared by the batch CLI and the service.
+
+One module owns every exit code so the batch ``repro-anonymize`` run, the
+``submit`` client, and CI scripts that interpret either agree on what each
+number means.  The codes are distinct (no reuse of 1 for several unrelated
+failures) so a wrapper can branch on the *kind* of dirtiness:
+
+* ``EXIT_OK`` (0) — clean run: every file written, no leak highlights.
+* ``EXIT_NO_INPUT`` (1) — no readable config files were found among the
+  given paths (all missing, binary, or unreadable).
+* ``EXIT_USAGE`` (2) — usage error (argparse's own convention).
+* ``EXIT_LEAKS`` (3) — the leak scanner (or a per-file report) highlighted
+  lines for human review.
+* ``EXIT_QUARANTINE`` (4) — at least one file was quarantined or failed to
+  write; its output was withheld (fail-closed) and the run is incomplete.
+* ``EXIT_LEAKS_AND_QUARANTINE`` (5) — both 3 and 4.
+* ``EXIT_STATE_ERROR`` (6) — a state file, run manifest, or service
+  session could not be used (corrupt, truncated, wrong version, or wrong
+  salt).
+* ``EXIT_SERVICE_ERROR`` (7) — the anonymization service could not be
+  reached or answered with a protocol-level error.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_NO_INPUT",
+    "EXIT_USAGE",
+    "EXIT_LEAKS",
+    "EXIT_QUARANTINE",
+    "EXIT_LEAKS_AND_QUARANTINE",
+    "EXIT_STATE_ERROR",
+    "EXIT_SERVICE_ERROR",
+    "exit_code_for",
+]
+
+EXIT_OK = 0
+EXIT_NO_INPUT = 1
+EXIT_USAGE = 2
+EXIT_LEAKS = 3
+EXIT_QUARANTINE = 4
+EXIT_LEAKS_AND_QUARANTINE = 5
+EXIT_STATE_ERROR = 6
+EXIT_SERVICE_ERROR = 7
+
+
+def exit_code_for(leaks: bool = False, dirty: bool = False) -> int:
+    """The exit code for a completed run.
+
+    ``leaks`` — lines were highlighted for human review; ``dirty`` — at
+    least one file's output was withheld (quarantine or write failure).
+    Both the batch CLI and the ``submit`` client reduce their outcome to
+    these two booleans so their exit codes always agree.
+    """
+    if leaks and dirty:
+        return EXIT_LEAKS_AND_QUARANTINE
+    if dirty:
+        return EXIT_QUARANTINE
+    if leaks:
+        return EXIT_LEAKS
+    return EXIT_OK

@@ -1,0 +1,21 @@
+"""Long-lived anonymization service (daemon, sessions, client, metrics).
+
+The batch pipeline pays pass-list load, rule compilation, and the
+mapping-freeze scan on every invocation; the service pays them once per
+*session* and then serves streaming anonymization requests over a local
+HTTP or Unix-socket API.  See :mod:`repro.service.server` for the API
+surface and guarantees, :mod:`repro.service.sessions` for the session
+and freeze semantics, and DESIGN.md §9 for the architecture.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.server import AnonymizationService
+from repro.service.sessions import Session, SessionManager
+
+__all__ = [
+    "AnonymizationService",
+    "ServiceClient",
+    "ServiceClientError",
+    "Session",
+    "SessionManager",
+]

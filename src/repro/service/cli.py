@@ -1,0 +1,263 @@
+"""``repro-anonymize serve`` and ``repro-anonymize submit``.
+
+``serve`` runs the daemon in the foreground until SIGTERM/SIGINT, then
+drains gracefully (in-flight requests finish) and exits 0.  ``submit`` is
+the batch CLI's service-backed twin: it collects the same input files,
+creates a session, freezes the mapping state over the whole corpus (so
+the result is byte-identical to ``repro-anonymize --jobs N``), submits
+file by file, writes outputs with the same atomic writer, and maps its
+outcome to the shared exit codes of :mod:`repro.core.status`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from pathlib import Path
+
+from repro.core.status import (
+    EXIT_NO_INPUT,
+    EXIT_OK,
+    EXIT_SERVICE_ERROR,
+    EXIT_STATE_ERROR,
+    exit_code_for,
+)
+
+__all__ = ["serve_main", "submit_main"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize serve",
+        description="Run the anonymization service daemon (stdlib HTTP "
+        "over TCP or a Unix socket).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8753,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    parser.add_argument(
+        "--unix-socket",
+        default=None,
+        metavar="PATH",
+        help="serve on a Unix domain socket instead of TCP",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="anonymization worker threads"
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="queued requests beyond the workers before 429s",
+    )
+    parser.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        help="reject request bodies larger than this with 413",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=64, help="live session cap"
+    )
+    parser.add_argument(
+        "--ready-file",
+        default=None,
+        metavar="PATH",
+        help="after binding, write the service URL here (scripts/CI poll it)",
+    )
+    return parser
+
+
+def serve_main(argv=None) -> int:
+    args = build_serve_parser().parse_args(argv)
+    if args.workers < 1 or args.queue_limit < 1:
+        build_serve_parser().error("--workers and --queue-limit must be >= 1")
+
+    from repro.service.server import AnonymizationService
+
+    service = AnonymizationService(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_request_bytes=args.max_request_bytes,
+        max_sessions=args.max_sessions,
+    )
+    print("repro-anonymize service listening on {}".format(service.base_url))
+    sys.stdout.flush()
+    if args.ready_file:
+        Path(args.ready_file).write_text(service.base_url + "\n")
+
+    def _drain(signum, frame):
+        # serve_forever() runs in this (main) thread, so the actual
+        # shutdown handshake must happen elsewhere.
+        service.begin_drain()
+        threading.Thread(target=service.httpd.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    try:
+        service.serve_forever()
+    finally:
+        # serve_forever returned: the accept loop stopped.  Join the
+        # connection threads, drain the executor, drop the sessions.
+        service.httpd.server_close()
+        service.executor.shutdown(wait=True)
+        service.sessions.close_all()
+    print("repro-anonymize service drained; exiting")
+    return EXIT_OK
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anonymize submit",
+        description="Anonymize config files through a running "
+        "repro-anonymize service.",
+    )
+    parser.add_argument("paths", nargs="+", help="config files or directories")
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="service base URL (http://host:port or unix:///path)",
+    )
+    parser.add_argument(
+        "--unix-socket", default=None, metavar="PATH", help="service socket"
+    )
+    parser.add_argument(
+        "--salt", default=None, help="owner secret (required; keep private!)"
+    )
+    parser.add_argument(
+        "--session",
+        default=None,
+        metavar="ID",
+        help="reuse an existing session instead of creating one "
+        "(it is left alive afterwards)",
+    )
+    parser.add_argument(
+        "--no-freeze",
+        action="store_true",
+        help="skip the corpus-wide mapping freeze (output then depends on "
+        "submission order, like the one-pass CLI)",
+    )
+    parser.add_argument(
+        "--out-dir", default=None, help="directory for anonymized outputs"
+    )
+    parser.add_argument(
+        "--suffix", default=".anon", help="suffix for outputs next to inputs"
+    )
+    parser.add_argument(
+        "--report", action="store_true", help="print each file's flag count"
+    )
+    return parser
+
+
+def submit_main(argv=None) -> int:
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    if args.server is None and args.unix_socket is None:
+        parser.error("pass --server URL or --unix-socket PATH")
+    if args.session is None and args.salt is None:
+        parser.error("--salt is required (unless --session reuses one)")
+
+    from repro.cli import _collect_files
+    from repro.core.runner import RunnerError, atomic_write_text, resolve_out_paths
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    configs = _collect_files(args.paths)
+    if not configs:
+        print("error: no readable config files found", file=sys.stderr)
+        return EXIT_NO_INPUT
+    try:
+        out_paths = resolve_out_paths(configs, args.out_dir, args.suffix)
+    except RunnerError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return EXIT_STATE_ERROR
+
+    client = ServiceClient(
+        base_url=args.server, unix_socket=args.unix_socket
+    )
+    created = False
+    try:
+        if args.session is not None:
+            session_id = args.session
+        else:
+            session = client.create_session(args.salt)
+            session_id = session["id"]
+            created = True
+            print(
+                "session {} (salt fingerprint {})".format(
+                    session_id, session["salt_fingerprint"]
+                )
+            )
+        if not args.no_freeze and args.session is None:
+            stats = client.freeze(session_id, configs)
+            print(
+                "froze mappings over {} files ({} addresses)".format(
+                    len(configs), stats["addresses"]
+                )
+            )
+
+        leaks = False
+        dirty = False
+        for name in sorted(configs):
+            result = client.anonymize(
+                session_id, configs[name], source=name
+            )
+            if result["status"] != "ok":
+                dirty = True
+                print(
+                    "fail-closed: {} ({} placeholder lines)".format(
+                        name, result["report"]["lines_failed_closed"]
+                    ),
+                    file=sys.stderr,
+                )
+            flags = result["report"]["flags"]
+            if flags:
+                leaks = True
+            if args.report:
+                print(
+                    "{}: {} lines, {} flags".format(
+                        name,
+                        result["report"]["lines_out"],
+                        len(flags),
+                    )
+                )
+            out_path = Path(out_paths[name])
+            try:
+                atomic_write_text(out_path, result["text"])
+            except OSError as exc:
+                dirty = True
+                print(
+                    "write failed for {} ({}): output withheld".format(
+                        name, type(exc).__name__
+                    ),
+                    file=sys.stderr,
+                )
+                continue
+            print("wrote {}".format(out_path))
+        return exit_code_for(leaks=leaks, dirty=dirty)
+    except ServiceClientError as exc:
+        print("error: service request failed: {}".format(exc), file=sys.stderr)
+        return EXIT_SERVICE_ERROR
+    except (ConnectionError, OSError) as exc:
+        print(
+            "error: cannot reach the service ({})".format(
+                type(exc).__name__
+            ),
+            file=sys.stderr,
+        )
+        return EXIT_SERVICE_ERROR
+    finally:
+        if created:
+            try:
+                client.delete_session(session_id)
+            except Exception:
+                pass

@@ -1,0 +1,214 @@
+"""Stdlib client for the anonymization daemon.
+
+Used by the ``repro-anonymize submit`` subcommand and the test suite;
+kept dependency-free (:mod:`http.client` only) so anything that can run
+the anonymizer can also talk to it.  Supports both transports:
+
+    client = ServiceClient("http://127.0.0.1:8753")
+    client = ServiceClient(unix_socket="/run/repro.sock")
+
+    session = client.create_session("owner-secret")
+    client.freeze(session["id"], {"rtr1.conf": text1, "rtr2.conf": text2})
+    result = client.anonymize(session["id"], text1, source="rtr1.conf")
+    result["text"]              # anonymized bytes
+    result["report"]["flags"]   # leak-highlight lines for human review
+    client.delete_session(session["id"])
+
+``anonymize`` can also stream: pass ``chunks=<iterable of str>`` and the
+body goes out chunked (``Transfer-Encoding: chunked``), so a corpus can
+be piped through without materializing each file twice.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Dict, Iterable, Optional
+from urllib.parse import urlparse
+
+__all__ = ["ServiceClient", "ServiceClientError", "ServiceUnavailableError"]
+
+
+class ServiceClientError(RuntimeError):
+    """The daemon answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__("HTTP {}: {}".format(status, message))
+        self.status = status
+        self.message = message
+
+
+class ServiceUnavailableError(ServiceClientError):
+    """Backpressure: the daemon answered 429 or 503 (retryable)."""
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    def __init__(self, socket_path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._socket_path = socket_path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._socket_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """A thin, connection-per-request client (thread-safe by design:
+    concurrent callers never share a connection object)."""
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        unix_socket: Optional[str] = None,
+        timeout: float = 300.0,
+    ):
+        if (base_url is None) == (unix_socket is None):
+            raise ValueError("pass exactly one of base_url or unix_socket")
+        if base_url is not None and base_url.startswith("unix://"):
+            unix_socket = base_url[len("unix://"):]
+            base_url = None
+        self._unix_socket = unix_socket
+        self.timeout = timeout
+        if base_url is not None:
+            parsed = urlparse(base_url)
+            if parsed.scheme != "http" or not parsed.hostname:
+                raise ValueError(
+                    "base_url must look like http://host:port, got "
+                    "{!r}".format(base_url)
+                )
+            self._host = parsed.hostname
+            self._port = parsed.port or 80
+        else:
+            self._host = self._port = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._unix_socket is not None:
+            return _UnixHTTPConnection(self._unix_socket, timeout=self.timeout)
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout
+        )
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body=None,
+        headers: Optional[Dict[str, str]] = None,
+        chunked: bool = False,
+    ):
+        connection = self._connection()
+        try:
+            try:
+                connection.request(
+                    method,
+                    path,
+                    body=body,
+                    headers=headers or {},
+                    encode_chunked=chunked,
+                )
+            except (BrokenPipeError, ConnectionResetError):
+                # The daemon may have rejected the body mid-stream (413)
+                # and closed its read side; its early response is usually
+                # still in our receive buffer — read it instead of losing
+                # the status code.
+                pass
+            response = connection.getresponse()
+            payload = response.read()
+        finally:
+            connection.close()
+        if response.status >= 400:
+            try:
+                message = json.loads(payload.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = payload.decode("utf-8", errors="replace")[:200]
+            if response.status in (429, 503):
+                raise ServiceUnavailableError(response.status, message)
+            raise ServiceClientError(response.status, message)
+        return response, payload
+
+    def _json(self, method: str, path: str, document=None):
+        body = None
+        headers = {}
+        if document is not None:
+            body = json.dumps(document).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        _, payload = self._request(method, path, body=body, headers=headers)
+        return json.loads(payload.decode("utf-8")) if payload else None
+
+    # -- operations ------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        _, payload = self._request("GET", "/metrics")
+        return payload.decode("utf-8")
+
+    # -- session lifecycle ----------------------------------------------
+
+    def create_session(
+        self,
+        salt: str,
+        options: Optional[Dict] = None,
+        state: Optional[Dict] = None,
+    ) -> Dict:
+        document: Dict = {"salt": salt}
+        if options:
+            document["options"] = options
+        if state is not None:
+            document["state"] = state
+        return self._json("POST", "/sessions", document)
+
+    def sessions(self) -> Dict:
+        return self._json("GET", "/sessions")
+
+    def session(self, session_id: str) -> Dict:
+        return self._json("GET", "/sessions/{}".format(session_id))
+
+    def delete_session(self, session_id: str) -> Dict:
+        return self._json("DELETE", "/sessions/{}".format(session_id))
+
+    def freeze(self, session_id: str, files: Dict[str, str]) -> Dict:
+        return self._json(
+            "POST", "/sessions/{}/freeze".format(session_id), {"files": files}
+        )
+
+    # -- anonymization ---------------------------------------------------
+
+    def anonymize(
+        self,
+        session_id: str,
+        text: Optional[str] = None,
+        source: str = "<config>",
+        chunks: Optional[Iterable[str]] = None,
+    ) -> Dict:
+        """Anonymize one file; pass *text* whole or stream it as *chunks*."""
+        if (text is None) == (chunks is None):
+            raise ValueError("pass exactly one of text or chunks")
+        path = "/sessions/{}/anonymize".format(session_id)
+        headers = {"X-Repro-Source": source, "Content-Type": "text/plain"}
+        if chunks is not None:
+            body = (chunk.encode("utf-8") for chunk in chunks)
+            headers["Transfer-Encoding"] = "chunked"
+            _, payload = self._request(
+                "POST", path, body=body, headers=headers, chunked=True
+            )
+        else:
+            _, payload = self._request(
+                "POST", path, body=text.encode("utf-8"), headers=headers
+            )
+        return json.loads(payload.decode("utf-8"))
+
+    # -- state persistence ----------------------------------------------
+
+    def export_state(self, session_id: str) -> Dict:
+        return self._json("GET", "/sessions/{}/state".format(session_id))
+
+    def import_state(self, session_id: str, state: Dict) -> Dict:
+        return self._json(
+            "PUT", "/sessions/{}/state".format(session_id), state
+        )

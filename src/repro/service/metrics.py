@@ -1,0 +1,203 @@
+"""Operational metrics for the anonymization service.
+
+The daemon's ``GET /metrics`` endpoint renders these counters in the
+Prometheus text exposition format (``# TYPE`` lines plus
+``name{label="value"} count``) using only the stdlib, so any scraper —
+Prometheus itself, a curl-based smoke test, or CI — can watch the
+service without extra dependencies:
+
+* ``repro_requests_total{endpoint,code}`` — request counts per endpoint
+  and HTTP status code.
+* ``repro_rule_family_hits_total{family}`` — anonymization rule hits
+  aggregated by rule family (see :func:`repro.core.report.rule_family`),
+  the per-family view of the paper's Section 4 rule groupings.
+* ``repro_request_seconds_bucket{endpoint,le}`` — cumulative latency
+  histogram per heavy endpoint, plus ``_sum`` and ``_count``.
+* ``repro_queue_depth`` / ``repro_requests_in_flight`` — backpressure
+  gauges sampled from the bounded executor at scrape time.
+* ``repro_sessions`` — live session count.
+
+All mutation goes through one lock; scraping renders a consistent
+snapshot.  Counters never raise: an unknown rule id lands in the
+``other`` family rather than failing a request.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.report import rule_family
+
+__all__ = ["LATENCY_BUCKETS", "ServiceMetrics"]
+
+#: Histogram bucket upper bounds in seconds (cumulative, Prometheus
+#: convention; +Inf is implicit in ``_count``).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(key, str(value).replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class ServiceMetrics:
+    """Thread-safe counter/histogram registry for one daemon process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: Dict[Tuple[str, int], int] = {}
+        self._family_hits: Dict[str, int] = {}
+        self._latency_buckets: Dict[str, List[int]] = {}
+        self._latency_sum: Dict[str, float] = {}
+        self._latency_count: Dict[str, int] = {}
+        #: Gauge callbacks sampled at scrape time, ``{name: (help, fn)}``.
+        self._gauges: Dict[str, Tuple[str, Callable[[], float]]] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def observe_request(
+        self, endpoint: str, code: int, seconds: Optional[float] = None
+    ) -> None:
+        """Count one request; *seconds* also feeds the latency histogram."""
+        with self._lock:
+            key = (endpoint, code)
+            self._requests[key] = self._requests.get(key, 0) + 1
+            if seconds is None:
+                return
+            buckets = self._latency_buckets.setdefault(
+                endpoint, [0] * len(LATENCY_BUCKETS)
+            )
+            for index, bound in enumerate(LATENCY_BUCKETS):
+                if seconds <= bound:
+                    buckets[index] += 1
+            self._latency_sum[endpoint] = (
+                self._latency_sum.get(endpoint, 0.0) + seconds
+            )
+            self._latency_count[endpoint] = (
+                self._latency_count.get(endpoint, 0) + 1
+            )
+
+    def record_rule_hits(self, rule_hits: Dict[str, int]) -> None:
+        """Fold one response's per-rule hit counters in, per family."""
+        with self._lock:
+            for rule_id, count in rule_hits.items():
+                family = rule_family(rule_id)
+                self._family_hits[family] = (
+                    self._family_hits.get(family, 0) + count
+                )
+
+    def register_gauge(
+        self, name: str, help_text: str, fn: Callable[[], float]
+    ) -> None:
+        """Register a gauge sampled (under the lock) at scrape time."""
+        with self._lock:
+            self._gauges[name] = (help_text, fn)
+
+    # -- introspection (tests) ------------------------------------------
+
+    def request_count(self, endpoint: str) -> int:
+        with self._lock:
+            return sum(
+                count
+                for (ep, _code), count in self._requests.items()
+                if ep == endpoint
+            )
+
+    def family_hit_count(self, family: str) -> int:
+        with self._lock:
+            return self._family_hits.get(family, 0)
+
+    # -- rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every metric."""
+        with self._lock:
+            lines: List[str] = []
+            lines.append("# HELP repro_requests_total Requests served, per endpoint and status code.")
+            lines.append("# TYPE repro_requests_total counter")
+            for (endpoint, code), count in sorted(self._requests.items()):
+                lines.append(
+                    "repro_requests_total{} {}".format(
+                        _format_labels({"endpoint": endpoint, "code": str(code)}),
+                        count,
+                    )
+                )
+            lines.append("# HELP repro_rule_family_hits_total Anonymization rule hits per rule family.")
+            lines.append("# TYPE repro_rule_family_hits_total counter")
+            for family, count in sorted(self._family_hits.items()):
+                lines.append(
+                    "repro_rule_family_hits_total{} {}".format(
+                        _format_labels({"family": family}), count
+                    )
+                )
+            lines.append("# HELP repro_request_seconds Request latency, per heavy endpoint.")
+            lines.append("# TYPE repro_request_seconds histogram")
+            for endpoint in sorted(self._latency_buckets):
+                buckets = self._latency_buckets[endpoint]
+                for bound, cumulative in zip(LATENCY_BUCKETS, buckets):
+                    lines.append(
+                        "repro_request_seconds_bucket{} {}".format(
+                            _format_labels(
+                                {"endpoint": endpoint, "le": _format_le(bound)}
+                            ),
+                            cumulative,
+                        )
+                    )
+                lines.append(
+                    "repro_request_seconds_bucket{} {}".format(
+                        _format_labels({"endpoint": endpoint, "le": "+Inf"}),
+                        self._latency_count.get(endpoint, 0),
+                    )
+                )
+                lines.append(
+                    "repro_request_seconds_sum{} {}".format(
+                        _format_labels({"endpoint": endpoint}),
+                        repr(self._latency_sum.get(endpoint, 0.0)),
+                    )
+                )
+                lines.append(
+                    "repro_request_seconds_count{} {}".format(
+                        _format_labels({"endpoint": endpoint}),
+                        self._latency_count.get(endpoint, 0),
+                    )
+                )
+            for name in sorted(self._gauges):
+                help_text, fn = self._gauges[name]
+                try:
+                    value = float(fn())
+                except Exception:
+                    # A gauge callback must never fail a scrape.
+                    continue
+                lines.append("# HELP {} {}".format(name, help_text))
+                lines.append("# TYPE {} gauge".format(name))
+                lines.append("{} {}".format(name, _format_value(value)))
+            return "\n".join(lines) + "\n"
+
+
+def _format_le(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return repr(bound) if not float(bound).is_integer() else "{:.1f}".format(bound)

@@ -1,0 +1,596 @@
+"""The anonymization daemon: stdlib HTTP server over TCP or Unix socket.
+
+``repro-anonymize serve`` turns the batch anonymizer into a long-lived
+service so the per-invocation setup cost (pass-list load, rule
+compilation, state load, mapping freeze) is paid once per *session* and
+amortized over many requests.  Everything here is stdlib only:
+:mod:`http.server` + :mod:`socketserver` for transport, a bounded
+thread-pool executor for work, :mod:`repro.service.metrics` for
+observability.
+
+API (all request/response bodies UTF-8; JSON unless noted):
+
+====================================  =======================================
+``GET /healthz``                      liveness + ``draining`` flag
+``GET /metrics``                      Prometheus text exposition
+``GET /sessions``                     list live sessions
+``POST /sessions``                    ``{"salt": ..., "options": {...}}``
+``GET /sessions/<id>``                session info (fingerprint, freeze...)
+``DELETE /sessions/<id>``             drain + remove the session
+``POST /sessions/<id>/freeze``        ``{"files": {name: text}}`` manifest
+``POST /sessions/<id>/anonymize``     raw config text (Content-Length or
+                                      chunked); ``X-Repro-Source`` names the
+                                      file; response carries the anonymized
+                                      text and the per-file report (flags =
+                                      the leak-highlight lines)
+``GET/PUT /sessions/<id>/state``      export / import mapping state (treat
+                                      like the salt!)
+====================================  =======================================
+
+Operational guarantees:
+
+* **Fail-closed.**  A rule exception yields the salted placeholder line
+  and a flagged report (handled in the engine / session layer); the
+  handler never answers 500 with raw input echoed back.  Unexpected
+  handler errors answer with the exception *class name* only.
+* **Bounded.**  Request bodies above ``max_request_bytes`` get 413
+  without being buffered; when the work queue is full the request gets
+  429 + ``Retry-After`` instead of piling onto the heap.
+* **Drainable.**  SIGTERM (see :mod:`repro.service.cli`) stops accepting
+  connections, lets in-flight requests finish, drains the executor, and
+  exits 0 — no request is ever dropped mid-anonymization.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import socketserver
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Callable, Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.sessions import (
+    SessionError,
+    SessionManager,
+    SessionOptionsError,
+    SessionStateError,
+    UnknownSessionError,
+)
+
+__all__ = [
+    "AnonymizationService",
+    "BoundedExecutor",
+    "QueueFullError",
+    "RequestTooLargeError",
+]
+
+#: Default cap on one request body (32 MiB — far above any single router
+#: config, far below a memory-exhaustion payload).
+DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
+
+
+class QueueFullError(RuntimeError):
+    """The bounded work queue is full (maps to 429)."""
+
+
+class RequestTooLargeError(RuntimeError):
+    """The request body exceeds ``max_request_bytes`` (maps to 413)."""
+
+
+class _Job:
+    """A unit of work submitted to :class:`BoundedExecutor`."""
+
+    __slots__ = ("fn", "_done", "_result", "_exc")
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self._done = threading.Event()
+        self._result = None
+        self._exc: Optional[BaseException] = None
+
+    def run(self) -> None:
+        try:
+            self._result = self.fn()
+        except BaseException as exc:  # re-raised in the waiting thread
+            self._exc = exc
+        finally:
+            self._done.set()
+
+    def wait(self, timeout: Optional[float] = None):
+        if not self._done.wait(timeout):
+            raise TimeoutError("request did not complete in time")
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+
+_SHUTDOWN = object()
+
+
+class BoundedExecutor:
+    """A fixed thread pool fed by a bounded queue.
+
+    ``submit`` never blocks: when the queue is full it raises
+    :class:`QueueFullError` immediately, which the handler turns into a
+    429 — backpressure is pushed to the client instead of growing an
+    unbounded backlog inside the daemon.
+    """
+
+    def __init__(self, workers: int = 4, queue_limit: int = 16):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name="repro-worker-{}".format(i)
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            with self._lock:
+                self._in_flight += 1
+            try:
+                item.run()
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+
+    def submit(self, fn: Callable) -> _Job:
+        job = _Job(fn)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise QueueFullError(
+                "work queue full ({} queued)".format(self._queue.maxsize)
+            )
+        return job
+
+    def depth(self) -> int:
+        """Jobs waiting for a worker (the backpressure gauge)."""
+        return self._queue.qsize()
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def shutdown(self, wait: bool = True) -> None:
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+
+class _ThreadingHTTPServer(socketserver.ThreadingMixIn, HTTPServer):
+    """TCP transport: one (joinable) thread per connection.
+
+    ``daemon_threads = False`` + ``block_on_close = True`` make
+    ``server_close()`` wait for in-flight connections — the heart of the
+    graceful drain.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+    service: "AnonymizationService"
+
+
+class _UnixHTTPServer(_ThreadingHTTPServer):
+    """The same server bound to a Unix domain socket."""
+
+    address_family = socket.AF_UNIX
+    allow_reuse_address = False
+
+    def server_bind(self):
+        # HTTPServer.server_bind assumes (host, port); bind directly, and
+        # replace a stale socket file left by a previous daemon.
+        import os
+
+        if os.path.exists(self.server_address):
+            os.unlink(self.server_address)
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = "localhost"
+        self.server_port = 0
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-anonymize-service/1.0"
+
+    # The access log is /metrics, not stderr chatter.
+    def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
+        pass
+
+    def address_string(self):
+        # client_address is "" over a Unix socket; the default impl
+        # indexes it as a (host, port) pair.
+        if isinstance(self.client_address, str):
+            return self.client_address or "unix"
+        return super().address_string()
+
+    # -- dispatch --------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self._route("GET")
+
+    def do_POST(self) -> None:
+        self._route("POST")
+
+    def do_PUT(self) -> None:
+        self._route("PUT")
+
+    def do_DELETE(self) -> None:
+        self._route("DELETE")
+
+    def _route(self, method: str) -> None:
+        service = self.server.service
+        path = urlparse(self.path).path
+        parts = [part for part in path.split("/") if part]
+        try:
+            if method == "GET" and parts == ["healthz"]:
+                return self._handle_healthz()
+            if method == "GET" and parts == ["metrics"]:
+                return self._handle_metrics()
+            if parts[:1] == ["sessions"]:
+                if len(parts) == 1:
+                    if method == "GET":
+                        return self._send_counted(
+                            "sessions", {"sessions": service.sessions.list()}
+                        )
+                    if method == "POST":
+                        return self._handle_create_session()
+                elif len(parts) == 2:
+                    if method == "GET":
+                        return self._send_counted(
+                            "sessions",
+                            service.sessions.get(parts[1]).describe(),
+                        )
+                    if method == "DELETE":
+                        return self._send_counted(
+                            "sessions", service.sessions.delete(parts[1])
+                        )
+                elif len(parts) == 3 and parts[2] == "freeze" and method == "POST":
+                    return self._handle_freeze(parts[1])
+                elif len(parts) == 3 and parts[2] == "anonymize" and method == "POST":
+                    return self._handle_anonymize(parts[1])
+                elif len(parts) == 3 and parts[2] == "state":
+                    if method == "GET":
+                        return self._handle_state_export(parts[1])
+                    if method in ("PUT", "POST"):
+                        return self._handle_state_import(parts[1])
+            self._send_error_json(404, "no such endpoint: {} {}".format(method, path))
+        except RequestTooLargeError:
+            self.close_connection = True
+            self._send_error_json(
+                413,
+                "request body exceeds the {} byte limit".format(
+                    service.max_request_bytes
+                ),
+            )
+        except QueueFullError:
+            self._send_error_json(
+                429, "work queue full; retry shortly", retry_after=1
+            )
+        except UnknownSessionError as exc:
+            self._send_error_json(404, str(exc))
+        except (SessionOptionsError, SessionStateError) as exc:
+            self._send_error_json(400, str(exc))
+        except SessionError as exc:
+            self._send_error_json(409, str(exc))
+        except BrokenPipeError:
+            self.close_connection = True
+        except Exception as exc:
+            # Never echo request content: class name only.
+            self.close_connection = True
+            try:
+                self._send_error_json(
+                    500, "internal error ({})".format(type(exc).__name__)
+                )
+            except Exception:
+                pass
+
+    # -- endpoint handlers ----------------------------------------------
+
+    def _handle_healthz(self) -> None:
+        service = self.server.service
+        self._send_json(
+            200,
+            {
+                "status": "draining" if service.draining else "ok",
+                "sessions": len(service.sessions),
+                "queue_depth": service.executor.depth(),
+                "in_flight": service.executor.in_flight(),
+            },
+        )
+        service.metrics.observe_request("healthz", 200)
+
+    def _handle_metrics(self) -> None:
+        service = self.server.service
+        body = service.metrics.render().encode("utf-8")
+        self._send_bytes(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        service.metrics.observe_request("metrics", 200)
+
+    def _handle_create_session(self) -> None:
+        service = self.server.service
+        if service.draining:
+            return self._send_error_json(503, "service is draining")
+        document = self._read_json()
+        session = service.sessions.create(
+            document.get("salt"), document.get("options")
+        )
+        if "state" in document:
+            try:
+                session.import_state(json.dumps(document["state"]))
+            except SessionError:
+                service.sessions.delete(session.id)
+                raise
+        service.metrics.observe_request("sessions", 201)
+        self._send_json(201, session.describe())
+
+    def _handle_freeze(self, session_id: str) -> None:
+        service = self.server.service
+        session = service.sessions.get(session_id)
+        document = self._read_json()
+        started = time.perf_counter()
+        job = service.executor.submit(
+            lambda: session.freeze(document.get("files"))
+        )
+        result = job.wait(service.request_timeout)
+        service.metrics.observe_request(
+            "freeze", 200, time.perf_counter() - started
+        )
+        self._send_json(200, result)
+
+    def _handle_anonymize(self, session_id: str) -> None:
+        service = self.server.service
+        if service.draining:
+            return self._send_error_json(503, "service is draining")
+        session = service.sessions.get(session_id)
+        source = self.headers.get("X-Repro-Source", "<config>")
+        text = self._read_body().decode("utf-8", errors="replace")
+        started = time.perf_counter()
+        job = service.executor.submit(
+            lambda: session.anonymize(text, source=source)
+        )
+        result = job.wait(service.request_timeout)
+        service.metrics.observe_request(
+            "anonymize", 200, time.perf_counter() - started
+        )
+        service.metrics.record_rule_hits(result["report"]["rule_hits"])
+        self._send_json(200, result)
+
+    def _handle_state_export(self, session_id: str) -> None:
+        service = self.server.service
+        session = service.sessions.get(session_id)
+        self._send_bytes(
+            200, session.export_state().encode("utf-8"), "application/json"
+        )
+        service.metrics.observe_request("state", 200)
+
+    def _handle_state_import(self, session_id: str) -> None:
+        service = self.server.service
+        session = service.sessions.get(session_id)
+        session.import_state(self._read_body().decode("utf-8", errors="replace"))
+        service.metrics.observe_request("state", 200)
+        self._send_json(200, {"imported": True})
+
+    def _send_counted(self, endpoint: str, document) -> None:
+        self._send_json(200, document)
+        self.server.service.metrics.observe_request(endpoint, 200)
+
+    # -- body / response plumbing ---------------------------------------
+
+    def _read_body(self) -> bytes:
+        limit = self.server.service.max_request_bytes
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            return self._read_chunked(limit)
+        length_header = self.headers.get("Content-Length")
+        length = int(length_header) if length_header else 0
+        if length > limit:
+            raise RequestTooLargeError()
+        if length <= 0:
+            return b""
+        return self.rfile.read(length)
+
+    def _read_chunked(self, limit: int) -> bytes:
+        """Decode a chunked request body (``http.server`` does not)."""
+        data = bytearray()
+        while True:
+            size_line = self.rfile.readline(66)
+            if b";" in size_line:  # chunk extensions
+                size_line = size_line.split(b";", 1)[0]
+            try:
+                size = int(size_line.strip() or b"0", 16)
+            except ValueError:
+                raise SessionOptionsError("malformed chunked request body")
+            if size == 0:
+                while True:  # trailers, then the final blank line
+                    line = self.rfile.readline(1024)
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                return bytes(data)
+            if len(data) + size > limit:
+                raise RequestTooLargeError()
+            chunk = self.rfile.read(size)
+            if len(chunk) != size:
+                raise SessionOptionsError("truncated chunked request body")
+            data += chunk
+            self.rfile.read(2)  # the CRLF after each chunk
+
+    def _read_json(self) -> dict:
+        body = self._read_body()
+        try:
+            document = json.loads(body.decode("utf-8", errors="replace") or "{}")
+        except ValueError:
+            raise SessionOptionsError("request body is not valid JSON")
+        if not isinstance(document, dict):
+            raise SessionOptionsError("request body must be a JSON object")
+        return document
+
+    def _send_json(self, code: int, document) -> None:
+        self._send_bytes(
+            code,
+            json.dumps(document, sort_keys=True).encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_error_json(
+        self, code: int, message: str, retry_after: Optional[int] = None
+    ) -> None:
+        # The request body may be partly unread on an error path; closing
+        # the connection keeps HTTP/1.1 keep-alive framing honest.
+        self.close_connection = True
+        extra = {}
+        if retry_after is not None:
+            extra["Retry-After"] = str(retry_after)
+        self._send_bytes(
+            code,
+            json.dumps({"error": message}).encode("utf-8"),
+            "application/json",
+            extra_headers=extra,
+        )
+        endpoint = urlparse(self.path).path.split("/")
+        name = endpoint[1] if len(endpoint) > 1 and endpoint[1] else "unknown"
+        self.server.service.metrics.observe_request(name, code)
+
+    def _send_bytes(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class AnonymizationService:
+    """One daemon: transport + sessions + executor + metrics.
+
+    Construct, then either :meth:`serve_forever` (the CLI) or
+    :meth:`start_background` (tests).  :meth:`shutdown` performs the
+    graceful drain in either case.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_socket: Optional[str] = None,
+        workers: int = 4,
+        queue_limit: int = 16,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        max_sessions: int = 64,
+        request_timeout: float = 300.0,
+    ):
+        self.sessions = SessionManager(max_sessions=max_sessions)
+        self.metrics = ServiceMetrics()
+        self.executor = BoundedExecutor(workers=workers, queue_limit=queue_limit)
+        self.max_request_bytes = max_request_bytes
+        self.request_timeout = request_timeout
+        self.draining = False
+        self.unix_socket = unix_socket
+        if unix_socket is not None:
+            self.httpd: _ThreadingHTTPServer = _UnixHTTPServer(
+                unix_socket, ServiceRequestHandler
+            )
+        else:
+            self.httpd = _ThreadingHTTPServer(
+                (host, port), ServiceRequestHandler
+            )
+        self.httpd.service = self
+        self.metrics.register_gauge(
+            "repro_queue_depth",
+            "Anonymization jobs waiting for a worker.",
+            self.executor.depth,
+        )
+        self.metrics.register_gauge(
+            "repro_requests_in_flight",
+            "Anonymization jobs currently running.",
+            self.executor.in_flight,
+        )
+        self.metrics.register_gauge(
+            "repro_sessions",
+            "Live anonymization sessions.",
+            lambda: len(self.sessions),
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    # -- addressing ------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` for TCP, ``(socket path, 0)`` for Unix."""
+        if self.unix_socket is not None:
+            return (self.unix_socket, 0)
+        return self.httpd.server_address[:2]
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.address
+        if self.unix_socket is not None:
+            return "unix://{}".format(host)
+        return "http://{}:{}".format(host, port)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def start_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-service", daemon=True
+        )
+        thread.start()
+        self._thread = thread
+        return thread
+
+    def begin_drain(self) -> None:
+        """Flag the drain (healthz reports it; new work gets 503)."""
+        self.draining = True
+
+    def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, tear down.
+
+        Ordering matters: the accept loop stops first, then connection
+        threads are joined (their queued jobs still complete because the
+        executor is drained *after*), then the executor and sessions go.
+        """
+        self.begin_drain()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.executor.shutdown(wait=True)
+        self.sessions.close_all()
+        if self.unix_socket is not None:
+            import os
+
+            try:
+                os.unlink(self.unix_socket)
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)

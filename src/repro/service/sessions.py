@@ -1,0 +1,309 @@
+"""Service sessions: long-lived anonymizers keyed by id + salt fingerprint.
+
+A *session* is the daemon-resident analogue of one batch CLI run: an
+:class:`~repro.core.engine.Anonymizer` constructed once (pass-list load,
+rule compilation) and then reused for every request, which is the whole
+point of running a daemon — the per-invocation setup cost the batch CLI
+pays on every run is paid once per session.
+
+Sessions follow the same determinism contract as the batch pipeline:
+
+* An **unfrozen** session maps lazily; output depends on request order
+  (exactly like the one-pass CLI).  Fine for exploration.
+* A **frozen** session ran :meth:`Anonymizer.freeze_mappings` over an
+  uploaded corpus manifest.  After the freeze every mapping is a pure
+  function of (salt, input), so files may be submitted in any order, over
+  any number of connections, and the output is byte-identical to the
+  batch ``--jobs N`` run over the same corpus — the service's headline
+  invariant.
+
+The anonymizer's shared maps are not thread-safe, so each session owns a
+lock and requests against one session serialize; different sessions
+proceed in parallel.  Determinism never depends on that lock — it comes
+from the freeze — the lock only protects the report accumulators and
+lazy cache fills from torn updates.
+
+Every request is fail-closed end to end: per-line rule exceptions are
+already absorbed by the engine (salted placeholder line + flag), and a
+file-level failure (e.g. a crashing comment stripper) replaces *every*
+line with the salted placeholder and flags the file — the raw input is
+never echoed back, and the handler never turns it into a 500.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from typing import Dict, List, Optional
+
+from repro.core import Anonymizer, AnonymizerConfig
+from repro.core.report import AnonymizationReport
+from repro.core.runner import salt_fingerprint
+from repro.core.state import export_state_json, import_state_json
+
+__all__ = [
+    "SESSION_OPTION_KEYS",
+    "Session",
+    "SessionError",
+    "SessionManager",
+    "SessionOptionsError",
+    "SessionStateError",
+    "UnknownSessionError",
+]
+
+#: AnonymizerConfig knobs a client may set at session creation.  Anything
+#: else (notably ``jobs``/``two_pass``, which are batch-pipeline shape
+#: knobs, not per-session policy) is rejected with a clear error.
+SESSION_OPTION_KEYS = frozenset(
+    {
+        "hash_length",
+        "regex_style",
+        "subnet_shaping",
+        "class_preserving",
+        "preserve_specials",
+        "ip_collision_policy",
+        "strip_comments",
+        "anonymize_private_asns",
+        "syntax",
+        "fault_plan",  # test seam: deterministic fault injection
+    }
+)
+
+
+class SessionError(ValueError):
+    """A session request cannot be served (maps to a 4xx, never a 500)."""
+
+
+class UnknownSessionError(SessionError):
+    """No session with that id (expired, drained, or never created)."""
+
+
+class SessionOptionsError(SessionError):
+    """The session-creation options are invalid."""
+
+
+class SessionStateError(SessionError):
+    """A state import/export failed (corrupt or incompatible document)."""
+
+
+class Session:
+    """One live anonymizer plus its serialization lock and counters."""
+
+    def __init__(self, session_id: str, anonymizer: Anonymizer):
+        self.id = session_id
+        self.anonymizer = anonymizer
+        self.fingerprint = salt_fingerprint(anonymizer.config.salt)
+        self.lock = threading.Lock()
+        self.requests_served = 0
+        self.lines_served = 0
+        self.files_failed_closed = 0
+
+    # -- info ------------------------------------------------------------
+
+    def describe(self) -> Dict:
+        """JSON-able session info (never the salt or any mapped value)."""
+        with self.lock:
+            stats = self.anonymizer.last_freeze_stats
+            return {
+                "id": self.id,
+                "salt_fingerprint": self.fingerprint,
+                "frozen": self.anonymizer.frozen,
+                "requests_served": self.requests_served,
+                "lines_served": self.lines_served,
+                "files_failed_closed": self.files_failed_closed,
+                "freeze_stats": None
+                if stats is None
+                else {
+                    "addresses": stats.addresses,
+                    "system_ids": stats.system_ids,
+                    "words_warmed": stats.words_warmed,
+                    "asns_warmed": stats.asns_warmed,
+                    "communities_warmed": stats.communities_warmed,
+                },
+            }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def freeze(self, files: Dict[str, str]) -> Dict:
+        """Freeze all mapping state over an uploaded corpus manifest."""
+        if not isinstance(files, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in files.items()
+        ):
+            raise SessionOptionsError(
+                "freeze body must be a JSON object {name: text, ...}"
+            )
+        with self.lock:
+            if self.anonymizer.frozen:
+                raise SessionError(
+                    "session {} is already frozen; create a new session to "
+                    "freeze over a different corpus".format(self.id)
+                )
+            stats = self.anonymizer.freeze_mappings(files)
+        return {
+            "frozen": True,
+            "addresses": stats.addresses,
+            "system_ids": stats.system_ids,
+            "words_warmed": stats.words_warmed,
+            "asns_warmed": stats.asns_warmed,
+            "communities_warmed": stats.communities_warmed,
+        }
+
+    # -- anonymization ---------------------------------------------------
+
+    def anonymize(self, text: str, source: str = "<config>") -> Dict:
+        """Anonymize one file's text; always returns, never re-raises.
+
+        Returns ``{"status", "source", "text", "report"}`` where status is
+        ``"ok"`` or ``"fail_closed"`` (file-level failure: every line is
+        the salted placeholder).  The report is the per-file report dict —
+        counters, rule hits, and the leak-highlight ``flags`` — which by
+        construction never contains raw input.
+        """
+        with self.lock:
+            try:
+                out, file_report = self.anonymizer.anonymize_file(
+                    text, source=source
+                )
+                status = "ok"
+            except Exception as exc:
+                out, file_report = self._fail_closed_file(text, source, exc)
+                status = "fail_closed"
+                self.files_failed_closed += 1
+            self.anonymizer.report.merge(file_report)
+            self.requests_served += 1
+            self.lines_served += file_report.lines_in
+        return {
+            "status": status,
+            "source": source,
+            "text": out,
+            "report": file_report.to_dict(),
+        }
+
+    def _fail_closed_file(self, text: str, source: str, exc: Exception):
+        """Whole-file fail-closed replacement (mirrors the engine's
+        per-line guarantee at file granularity): every input line becomes
+        the salted placeholder, and the report flags the event with the
+        exception class only — its message may quote raw input."""
+        lines = text.splitlines()
+        placeholder = self.anonymizer.fail_closed_placeholder
+        out_lines = [placeholder(line) for line in lines]
+        report = AnonymizationReport()
+        report.lines_in = len(lines)
+        report.lines_out = len(out_lines)
+        report.lines_failed_closed = len(lines)
+        report.record_rule_hit("FAIL-CLOSED", max(len(lines), 1))
+        report.flag(
+            source,
+            0,
+            "FAIL-CLOSED",
+            "entire file replaced by fail-closed placeholders after "
+            "{}".format(type(exc).__name__),
+        )
+        out = "\n".join(out_lines)
+        if text.endswith("\n"):
+            out += "\n"
+        return out, report
+
+    # -- state persistence ----------------------------------------------
+
+    def export_state(self) -> str:
+        with self.lock:
+            return export_state_json(self.anonymizer)
+
+    def import_state(self, text: str) -> None:
+        from repro.core.state import StateError
+
+        with self.lock:
+            try:
+                import_state_json(self.anonymizer, text)
+            except StateError as exc:
+                raise SessionStateError(str(exc)) from exc
+
+
+class SessionManager:
+    """Registry of live sessions; all operations are thread-safe."""
+
+    def __init__(self, max_sessions: int = 64):
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def create(self, salt: str, options: Optional[Dict] = None) -> Session:
+        """Create a session for *salt* with the given config options."""
+        if not isinstance(salt, str) or not salt:
+            raise SessionOptionsError("a non-empty string salt is required")
+        options = dict(options or {})
+        unknown = set(options) - SESSION_OPTION_KEYS
+        if unknown:
+            raise SessionOptionsError(
+                "unknown session options: {} (allowed: {})".format(
+                    ", ".join(sorted(unknown)),
+                    ", ".join(sorted(SESSION_OPTION_KEYS)),
+                )
+            )
+        try:
+            config = AnonymizerConfig(salt=salt.encode("utf-8"), **options)
+            anonymizer = Anonymizer(config)
+        except (TypeError, ValueError) as exc:
+            raise SessionOptionsError(
+                "invalid session options: {}".format(exc)
+            ) from exc
+        session = Session(uuid.uuid4().hex[:12], anonymizer)
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionError(
+                    "session limit reached ({}); delete a session "
+                    "first".format(self.max_sessions)
+                )
+            self._sessions[session.id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(
+                "no session {!r} (expired, drained, or never "
+                "created)".format(session_id)
+            )
+        return session
+
+    def delete(self, session_id: str) -> Dict:
+        """Drain and remove a session.
+
+        The session is unregistered first (new requests get 404), then the
+        session lock is taken so any in-flight request finishes before the
+        mapping state is dropped.
+        """
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise UnknownSessionError(
+                "no session {!r} (expired, drained, or never "
+                "created)".format(session_id)
+            )
+        with session.lock:  # wait out in-flight requests
+            info = {
+                "id": session.id,
+                "requests_served": session.requests_served,
+                "lines_served": session.lines_served,
+            }
+        return info
+
+    def list(self) -> List[Dict]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [session.describe() for session in sessions]
+
+    def close_all(self) -> None:
+        """Drain every session (used by graceful shutdown)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            with session.lock:
+                pass

@@ -168,6 +168,99 @@ class TestReportJson:
         assert "1111" not in json.dumps(report["rule_hits"])
 
 
+class TestOutPathCollision:
+    def test_duplicate_basenames_mirror_relative_paths(self, tmp_path, capsys):
+        """siteA/rtr1.conf and siteB/rtr1.conf must not overwrite each
+        other under --out-dir (they used to collapse onto one output)."""
+        for site in ("siteA", "siteB"):
+            site_dir = tmp_path / site
+            site_dir.mkdir()
+            (site_dir / "rtr1.conf").write_text(
+                "hostname rtr1.{}.foo.com\nrouter bgp 1111\n".format(site)
+            )
+        out_dir = tmp_path / "out"
+        assert main(
+            [
+                str(tmp_path / "siteA"),
+                str(tmp_path / "siteB"),
+                "--salt",
+                "s",
+                "--out-dir",
+                str(out_dir),
+            ]
+        ) == 0
+        assert (out_dir / "siteA" / "rtr1.conf.anon").is_file()
+        assert (out_dir / "siteB" / "rtr1.conf.anon").is_file()
+        site_a = (out_dir / "siteA" / "rtr1.conf.anon").read_text()
+        site_b = (out_dir / "siteB" / "rtr1.conf.anon").read_text()
+        assert site_a != site_b  # distinct inputs kept distinct outputs
+
+    def test_unique_basenames_stay_flat(self, tmp_path, figure1_text):
+        (tmp_path / "a.cfg").write_text(figure1_text)
+        (tmp_path / "b.cfg").write_text("router bgp 1111\n")
+        out_dir = tmp_path / "out"
+        assert main(
+            [
+                str(tmp_path / "a.cfg"),
+                str(tmp_path / "b.cfg"),
+                "--salt",
+                "s",
+                "--out-dir",
+                str(out_dir),
+            ]
+        ) == 0
+        assert (out_dir / "a.cfg.anon").is_file()
+        assert (out_dir / "b.cfg.anon").is_file()
+
+    def test_resolve_out_paths_refuses_true_collisions(self, tmp_path):
+        from repro.core.runner import RunnerError, resolve_out_paths
+
+        (tmp_path / "rtr1.conf").write_text("x\n")
+        (tmp_path / "siteA").mkdir()
+        name = str(tmp_path / "rtr1.conf")
+        alias = str(tmp_path / "siteA" / ".." / "rtr1.conf")  # same file
+        with pytest.raises(RunnerError):
+            resolve_out_paths([name, alias], str(tmp_path / "out"), ".anon")
+
+
+class TestExitCodes:
+    def test_no_readable_inputs_exit_code(self, tmp_path, capsys):
+        """An input set with nothing anonymizable exits EXIT_NO_INPUT, not
+        a bare 1-that-means-nothing."""
+        from repro.core.status import EXIT_NO_INPUT
+
+        empty = tmp_path / "net"
+        empty.mkdir()
+        (empty / "image.bin").write_bytes(b"\x00\x01\x02")
+        assert main([str(empty), "--salt", "s"]) == EXIT_NO_INPUT
+        assert "no readable config files" in capsys.readouterr().err
+
+    def test_cli_reexports_shared_exit_codes(self):
+        """CLI constants are the shared module's constants (one source of
+        truth for CLI and service status mapping)."""
+        from repro import cli
+        from repro.core import status
+
+        assert cli.EXIT_OK is status.EXIT_OK
+        assert cli.EXIT_LEAKS == status.EXIT_LEAKS == 3
+        assert cli.EXIT_QUARANTINE == status.EXIT_QUARANTINE == 4
+        assert (
+            cli.EXIT_LEAKS_AND_QUARANTINE
+            == status.EXIT_LEAKS_AND_QUARANTINE
+            == 5
+        )
+        assert cli.EXIT_STATE_ERROR == status.EXIT_STATE_ERROR == 6
+        assert status.EXIT_NO_INPUT == 1
+        assert status.EXIT_SERVICE_ERROR == 7
+        assert status.exit_code_for() == status.EXIT_OK
+        assert status.exit_code_for(leaks=True) == status.EXIT_LEAKS
+        assert status.exit_code_for(dirty=True) == status.EXIT_QUARANTINE
+        assert (
+            status.exit_code_for(leaks=True, dirty=True)
+            == status.EXIT_LEAKS_AND_QUARANTINE
+        )
+
+
 class TestCollectFiles:
     def test_binary_file_skipped_with_warning(self, tmp_path, capsys):
         net = tmp_path / "net"
