@@ -12,6 +12,13 @@ operational surface end to end:
    and the queue-depth gauge are present,
 5. SIGTERM the daemon and require a graceful exit 0.
 
+With ``--chaos`` it instead runs the crash-safety drill: a durable
+daemon (``--state-dir``) is killed *mid-journal-write* by an injected
+fault halfway through a corpus, a fresh daemon recovers the state dir,
+and the retrying client resumes the session and finishes — the final
+outputs must be byte-identical to an uninterrupted batch ``--jobs 2``
+run, and the journal/recovery metrics must account for every event.
+
 Runs under a hard deadline so a wedged daemon fails loudly instead of
 hanging CI.  Exits 0 on success, 1 with a message on any failure.
 """
@@ -41,9 +48,206 @@ access-list 143 permit ip 1.1.1.0 0.0.0.255 2.0.0.0 0.255.255.255
 """
 
 
+SAMPLE2 = """\
+hostname cr2.lax.foo.com
+interface Loopback0
+ ip address 1.2.3.4 255.255.255.255
+router bgp 1111
+ neighbor 2.3.4.5 remote-as 701
+"""
+
+SAMPLE3 = """\
+hostname edge.sfo.foo.com
+router bgp 701
+ neighbor 1.2.3.4 remote-as 1111
+access-list 10 permit 1.1.1.0 0.0.0.255
+"""
+
+
 def fail(message: str) -> "NoReturn":  # noqa: F821 (py3.10 compat)
     print("SMOKE FAIL: {}".format(message), file=sys.stderr)
     sys.exit(1)
+
+
+def spawn_daemon(env, workdir, name, extra_args=(), extra_env=None):
+    """Start ``repro-anonymize serve`` and wait for its ready file."""
+    ready = workdir / (name + ".ready")
+    daemon_env = dict(env)
+    daemon_env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--ready-file",
+            str(ready),
+            *extra_args,
+        ],
+        env=daemon_env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.time() + 30
+    while not ready.exists():
+        if proc.poll() is not None:
+            fail(
+                "{} exited early:\n".format(name) + (proc.stdout.read() or "")
+            )
+        if time.time() > deadline:
+            fail("{} never wrote the ready file".format(name))
+        time.sleep(0.05)
+    return proc, ready.read_text().strip()
+
+
+def chaos_main() -> int:
+    """Kill the daemon mid-journal-write, restart, and finish the corpus."""
+    started = time.time()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    state_dir = workdir / "state"
+    corpus = {"cr1.cfg": SAMPLE, "cr2.cfg": SAMPLE2, "cr3.cfg": SAMPLE3}
+    (workdir / "in").mkdir()
+    for name, text in corpus.items():
+        (workdir / "in" / name).write_text(text)
+
+    # The uninterrupted reference: the batch --jobs 2 pipeline.
+    batch_dir = workdir / "via-batch"
+    code = subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            str(workdir / "in"),
+            "--salt",
+            "chaos-secret",
+            "--jobs",
+            "2",
+            "--out-dir",
+            str(batch_dir),
+        ],
+        env=env,
+        timeout=DEADLINE_SECONDS,
+    )
+    if code != 0:
+        fail("batch reference run exited {}".format(code))
+    reference = {
+        name: (batch_dir / (name + ".anon")).read_bytes() for name in corpus
+    }
+
+    sys.path.insert(0, SRC)
+    import http.client as httplib
+
+    from repro.service.client import (
+        RetryingServiceClient,
+        RetryPolicy,
+        ServiceClient,
+    )
+
+    policy = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.3)
+
+    # Round 1: the daemon dies mid-journal-append while handling cr2.cfg
+    # (half a record on disk, no response sent).
+    daemon1, url1 = spawn_daemon(
+        env,
+        workdir,
+        "daemon1",
+        extra_args=("--state-dir", str(state_dir)),
+        extra_env={"REPRO_FAULT_PLAN": "journal-kill:cr2.cfg"},
+    )
+    try:
+        client1 = RetryingServiceClient(
+            url1, timeout=60, salt="chaos-secret", policy=policy
+        )
+        session_id = client1.create_session("chaos-secret")["id"]
+        client1.freeze(session_id, corpus)
+        outputs = {
+            "cr1.cfg": client1.anonymize(
+                session_id, corpus["cr1.cfg"], source="cr1.cfg"
+            )["text"].encode()
+        }
+        print("round 1: froze + anonymized cr1.cfg on {}".format(url1))
+        try:
+            client1.anonymize(session_id, corpus["cr2.cfg"], source="cr2.cfg")
+            fail("the journal-kill fault never fired")
+        except (OSError, httplib.HTTPException):
+            pass
+        daemon1.wait(timeout=15)
+        if daemon1.returncode != 3:
+            fail(
+                "daemon1 exited {} (expected the injected crash code "
+                "3)".format(daemon1.returncode)
+            )
+        print("round 1: daemon killed mid-journal-write (exit 3)")
+    finally:
+        if daemon1.poll() is None:
+            daemon1.kill()
+            daemon1.communicate(timeout=10)
+
+    # Round 2: a fresh daemon recovers the state dir; the retrying
+    # client auto-resumes the session and finishes the corpus.
+    daemon2, url2 = spawn_daemon(
+        env, workdir, "daemon2", extra_args=("--state-dir", str(state_dir))
+    )
+    try:
+        client2 = RetryingServiceClient(
+            url2, timeout=60, salt="chaos-secret", policy=policy
+        )
+        for name in sorted(corpus):
+            outputs[name] = client2.anonymize(
+                session_id, corpus[name], source=name
+            )["text"].encode()
+        if outputs != reference:
+            diff = [n for n in corpus if outputs.get(n) != reference[n]]
+            fail(
+                "post-recovery outputs differ from the uninterrupted "
+                "batch run: {}".format(diff)
+            )
+        print("round 2: resumed session; outputs byte-identical to batch")
+
+        metrics = ServiceClient(url2, timeout=60).metrics_text()
+
+        def counter(name):
+            for line in metrics.splitlines():
+                if line.startswith(name + " "):
+                    return int(float(line.split()[1]))
+            fail("metrics missing {!r}".format(name))
+
+        if counter("repro_session_recoveries_total") != 1:
+            fail("expected exactly one session recovery")
+        if counter("repro_service_journal_torn_discarded_total") != 1:
+            fail("expected exactly one torn journal record discarded")
+        # Only the files actually re-run on daemon2 append records —
+        # the idempotent replay is answered without touching the journal.
+        if counter("repro_service_journal_records_total") < 1:
+            fail("journal records counter did not grow")
+        if counter("repro_idempotent_replays_total") < 1:
+            fail("resubmitted committed file was not replayed")
+        print(
+            "metrics ok: recoveries=1 torn_discarded=1 records={} "
+            "replays={}".format(
+                counter("repro_service_journal_records_total"),
+                counter("repro_idempotent_replays_total"),
+            )
+        )
+
+        daemon2.send_signal(signal.SIGTERM)
+        out, _ = daemon2.communicate(timeout=30)
+        if daemon2.returncode != 0:
+            fail("daemon2 exited {} after SIGTERM:\n{}".format(daemon2.returncode, out))
+        print("graceful drain ok")
+        print("CHAOS SMOKE PASS in {:.1f}s".format(time.time() - started))
+        return 0
+    finally:
+        if daemon2.poll() is None:
+            daemon2.kill()
+            daemon2.communicate(timeout=10)
 
 
 def main() -> int:
@@ -180,4 +384,6 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    if "--chaos" in sys.argv[1:]:
+        sys.exit(chaos_main())
     sys.exit(main())

@@ -1,0 +1,46 @@
+"""Content digests shared by the runner manifest and the service journal.
+
+One module owns the digest format so the batch runner's ``--resume``
+manifest (which skips files whose recorded digest still matches the
+output on disk) and the service's idempotency keys (which let a client
+resubmit a file after an ambiguous failure without it being anonymized
+twice) can never drift apart.  The format is pinned by a test
+(``tests/test_recovery.py``): changing it silently would break every
+existing run manifest's resume path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["DIGEST_ALGORITHM", "digest_text", "idempotency_key_for"]
+
+#: The algorithm behind every content digest (manifest + idempotency).
+DIGEST_ALGORITHM = "sha256"
+
+
+def digest_text(text: str) -> str:
+    """The canonical content digest of one file's text.
+
+    UTF-8 with backslashreplace so any str — including one decoded with
+    U+FFFD replacement from a half-binary config — digests stably.
+    """
+    return hashlib.sha256(text.encode("utf-8", "backslashreplace")).hexdigest()
+
+
+def idempotency_key_for(source: str, text: str) -> str:
+    """The idempotency key for submitting one file to the service.
+
+    Derived from the per-file content digest *and* the source name (two
+    distinct files with identical content must still commit separately),
+    with a domain separator so a key can never collide with a bare
+    :func:`digest_text` value.  A client that resubmits the same
+    (source, text) after an ambiguous failure — connection dropped after
+    the server committed — presents the same key and gets the journaled
+    result back instead of a second anonymization.
+    """
+    hasher = hashlib.sha256(b"repro-idempotency\x00")
+    hasher.update(source.encode("utf-8", "backslashreplace"))
+    hasher.update(b"\x00")
+    hasher.update(text.encode("utf-8", "backslashreplace"))
+    return hasher.hexdigest()[:32]

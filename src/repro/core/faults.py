@@ -17,6 +17,24 @@ this module injects faults at three seams, deterministically:
   first time it writes a file whose name contains *match*.  No partial
   output file may remain observable.
 
+Four service-scoped faults exercise the daemon's crash-safety seams
+(``tests/test_recovery.py``):
+
+* ``journal-kill:<match>`` — the daemon process dies (``os._exit``)
+  *mid*-journal-append for a source containing *match*: half the record
+  is on disk, no response was sent.  Restart recovery must discard the
+  torn tail, and the retrying client's resubmission must converge.
+* ``journal-torn:<match>`` — same torn append, but the process survives:
+  the handler fails that one request with the journal exception.  The
+  next recovery must treat the torn trailing record as unacknowledged.
+* ``drop-pre-commit:<match>`` — the handler drops the connection before
+  the session commits anything.  A retry re-runs the work (no journaled
+  result exists).
+* ``drop-post-commit:<match>`` — the handler commits the journal record
+  and *then* drops the connection without responding — the ambiguous
+  failure.  A retry presenting the same idempotency key must get the
+  journaled result back, not a second anonymization.
+
 A plan is a ``;``-separated list of specs, taken from
 ``AnonymizerConfig.fault_plan`` or the ``REPRO_FAULT_PLAN`` environment
 variable (config wins).  Hit counters live on the plan instance, so each
@@ -40,7 +58,15 @@ __all__ = [
 
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
-_KINDS = ("rule", "worker-exit", "write-fail")
+_KINDS = (
+    "rule",
+    "worker-exit",
+    "write-fail",
+    "journal-kill",
+    "journal-torn",
+    "drop-pre-commit",
+    "drop-post-commit",
+)
 
 
 class FaultInjected(RuntimeError):
@@ -69,6 +95,7 @@ class FaultPlan:
         self._rule_hits: Dict[str, int] = {}
         self._rules_fired: Set[str] = set()
         self._writes_failed: Set[str] = set()
+        self._once_fired: Set[str] = set()
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
@@ -128,6 +155,40 @@ class FaultPlan:
             spec.kind == "worker-exit" and spec.target in source
             for spec in self.specs
         )
+
+    def _fire_once(self, kind: str, name: str) -> bool:
+        """True exactly once per (matching spec, name) for *kind*."""
+        for spec in self.specs:
+            if spec.kind != kind or spec.target not in name:
+                continue
+            key = "{}\x00{}\x00{}".format(kind, spec.target, name)
+            if key not in self._once_fired:
+                self._once_fired.add(key)
+                return True
+        return False
+
+    def should_kill_journal(self, source: str) -> bool:
+        """True if the process must die mid-journal-append for *source*.
+
+        No one-shot bookkeeping: the process does not survive to count.
+        """
+        return any(
+            spec.kind == "journal-kill" and spec.target in source
+            for spec in self.specs
+        )
+
+    def torn_append_once(self, source: str) -> bool:
+        """True exactly once: the journal append for *source* must be
+        torn (half the record written, then the append fails)."""
+        return self._fire_once("journal-torn", source)
+
+    def drop_connection_once(self, stage: str, source: str) -> bool:
+        """True exactly once per (stage, source): the service handler
+        must drop the connection without responding.  *stage* is
+        ``"pre-commit"`` or ``"post-commit"``."""
+        if stage not in ("pre-commit", "post-commit"):
+            raise ValueError("unknown drop stage {!r}".format(stage))
+        return self._fire_once("drop-{}".format(stage), source)
 
     def fail_write_once(self, name: str) -> bool:
         """True exactly once per matching *name*: the write must fail now."""

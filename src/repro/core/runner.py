@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from repro.core.digests import digest_text
 from repro.core.engine import Anonymizer
 from repro.core.faults import FaultPlan
 from repro.core.parallel import anonymize_files
@@ -62,8 +63,10 @@ class RunnerError(RuntimeError):
     """A run cannot proceed safely (corrupt manifest, salt mismatch...)."""
 
 
-def _digest_text(text: str) -> str:
-    return hashlib.sha256(text.encode("utf-8", "backslashreplace")).hexdigest()
+# The manifest digest is the shared content digest of repro.core.digests
+# (also the basis of the service's idempotency keys); kept under the old
+# private name for the handful of in-module callers.
+_digest_text = digest_text
 
 
 def salt_fingerprint(salt: bytes) -> str:

@@ -26,7 +26,7 @@ pairs for everything mapped so far.
 from __future__ import annotations
 
 import json
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.engine import Anonymizer
 
@@ -169,6 +169,101 @@ def load_state(anonymizer: Anonymizer, path: str) -> None:
         import_state(anonymizer, state)
     except StateError as exc:
         raise StateError("state file {}: {}".format(path, exc)) from exc
+
+
+class StateCursor:
+    """A position in an anonymizer's (append-only) mapping state.
+
+    The IP-trie flip dict and the token-hash cache only ever *gain*
+    entries (a flip bit or a hash is never rewritten), and CPython dicts
+    preserve insertion order — so "everything mapped since cursor" is
+    simply the entries past the recorded lengths.  ``seen_asns`` is a
+    set (no stable order), so the cursor keeps a frozen copy instead.
+    The service journal uses cursors to write per-request state *deltas*
+    rather than full state documents.
+    """
+
+    __slots__ = ("flips_len", "cache_len", "seen_asns")
+
+    def __init__(self, anonymizer: Anonymizer):
+        self.flips_len = len(anonymizer.ip_map._flips)
+        self.cache_len = len(anonymizer.hasher._cache)
+        self.seen_asns = frozenset(anonymizer.report.seen_asns)
+
+
+def state_delta_since(anonymizer: Anonymizer, cursor: StateCursor) -> Dict:
+    """Mapping-state changes since *cursor*, as a JSON-able dict.
+
+    Mirrors :func:`export_state` field for field, but carries only new
+    trie flips / hash-cache entries / ASNs.  The RNG state is included
+    only while the trie is unfrozen (after a freeze, flip bits are a
+    pure function of the salt and the RNG is never consulted again), and
+    the small absolute counters always travel.  Applying every delta in
+    order on top of a snapshot reproduces :func:`export_state` exactly.
+    """
+    from itertools import islice
+
+    ip_map = anonymizer.ip_map
+    flip_items = islice(ip_map._flips.items(), cursor.flips_len, None)
+    cache_items = islice(
+        anonymizer.hasher._cache.items(), cursor.cache_len, None
+    )
+    delta: Dict = {
+        "ip_trie": {
+            "{}:{}".format(depth, prefix): flip
+            for (depth, prefix), flip in flip_items
+        },
+        "hash_cache": dict(cache_items),
+        "seen_asns": sorted(anonymizer.report.seen_asns - cursor.seen_asns),
+        "ip_counters": {
+            "collision_walks": ip_map.collision_walks,
+            "addresses_mapped": ip_map.addresses_mapped,
+        },
+    }
+    if not ip_map.frozen:
+        delta["ip_rng_state"] = _encode_rng_state(ip_map._rng.getstate())
+    return delta
+
+
+def apply_state_delta(anonymizer: Anonymizer, delta: Dict) -> None:
+    """Apply one :func:`state_delta_since` document (journal replay).
+
+    Like :func:`import_state`, everything is decoded and validated
+    before any mutation, so a malformed delta raises :class:`StateError`
+    without leaving the anonymizer half-updated.
+    """
+    if not isinstance(delta, dict):
+        raise StateError(
+            "state delta must be a JSON object, not {}".format(
+                type(delta).__name__
+            )
+        )
+    try:
+        flips = {
+            (int(key.split(":")[0]), int(key.split(":")[1])): int(flip)
+            for key, flip in delta["ip_trie"].items()
+        }
+        hash_cache = dict(delta["hash_cache"])
+        seen_asns = {int(a) for a in delta.get("seen_asns", [])}
+        counters = delta["ip_counters"]
+        collision_walks = int(counters["collision_walks"])
+        addresses_mapped = int(counters["addresses_mapped"])
+        rng_state: Optional[tuple] = None
+        if "ip_rng_state" in delta:
+            rng_state = _decode_rng_state(delta["ip_rng_state"])
+    except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
+        raise StateError(
+            "state delta is malformed ({}: {}); was the journal record "
+            "truncated or edited?".format(type(exc).__name__, exc)
+        ) from exc
+    ip_map = anonymizer.ip_map
+    ip_map._flips.update(flips)
+    if rng_state is not None:
+        ip_map._rng.setstate(rng_state)
+    ip_map.collision_walks = collision_walks
+    ip_map.addresses_mapped = addresses_mapped
+    anonymizer.hasher._cache.update(hash_cache)
+    anonymizer.report.seen_asns.update(seen_asns)
 
 
 def _encode_rng_state(state):

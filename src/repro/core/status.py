@@ -19,6 +19,14 @@ failures) so a wrapper can branch on the *kind* of dirtiness:
   salt).
 * ``EXIT_SERVICE_ERROR`` (7) — the anonymization service could not be
   reached or answered with a protocol-level error.
+* ``EXIT_RECOVERY_FAILED`` (8) — the service's durable state directory
+  could not be read or recovered at startup (``repro-anonymize serve
+  --state-dir``); the daemon refuses to start rather than serve sessions
+  whose mapping history it cannot trust.
+* ``EXIT_JOURNAL_CORRUPT`` (9) — startup recovery found corrupt session
+  journals and quarantined them, and ``--strict-recovery`` was set:
+  fail-closed, the operator must inspect the quarantined directories
+  before serving resumes.
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ __all__ = [
     "EXIT_LEAKS_AND_QUARANTINE",
     "EXIT_STATE_ERROR",
     "EXIT_SERVICE_ERROR",
+    "EXIT_RECOVERY_FAILED",
+    "EXIT_JOURNAL_CORRUPT",
     "exit_code_for",
 ]
 
@@ -43,6 +53,8 @@ EXIT_QUARANTINE = 4
 EXIT_LEAKS_AND_QUARANTINE = 5
 EXIT_STATE_ERROR = 6
 EXIT_SERVICE_ERROR = 7
+EXIT_RECOVERY_FAILED = 8
+EXIT_JOURNAL_CORRUPT = 9
 
 
 def exit_code_for(leaks: bool = False, dirty: bool = False) -> int:

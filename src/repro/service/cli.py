@@ -18,8 +18,10 @@ import threading
 from pathlib import Path
 
 from repro.core.status import (
+    EXIT_JOURNAL_CORRUPT,
     EXIT_NO_INPUT,
     EXIT_OK,
+    EXIT_RECOVERY_FAILED,
     EXIT_SERVICE_ERROR,
     EXIT_STATE_ERROR,
     exit_code_for,
@@ -66,6 +68,35 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--max-sessions", type=int, default=64, help="live session cap"
     )
     parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="abandon a request that has not completed after this long "
+        "(the client gets 503 + Retry-After)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="make sessions durable: write-ahead journal + snapshots "
+        "here, and recover them after a crash or restart",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=64,
+        metavar="N",
+        help="rotate a session's journal into a full snapshot every N "
+        "records",
+    )
+    parser.add_argument(
+        "--strict-recovery",
+        action="store_true",
+        help="refuse to start if recovery quarantined any session "
+        "(exit {})".format(EXIT_JOURNAL_CORRUPT),
+    )
+    parser.add_argument(
         "--ready-file",
         default=None,
         metavar="PATH",
@@ -79,17 +110,50 @@ def serve_main(argv=None) -> int:
     if args.workers < 1 or args.queue_limit < 1:
         build_serve_parser().error("--workers and --queue-limit must be >= 1")
 
+    from repro.service.journal import JournalError
     from repro.service.server import AnonymizationService
 
-    service = AnonymizationService(
-        host=args.host,
-        port=args.port,
-        unix_socket=args.unix_socket,
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        max_request_bytes=args.max_request_bytes,
-        max_sessions=args.max_sessions,
-    )
+    try:
+        service = AnonymizationService(
+            host=args.host,
+            port=args.port,
+            unix_socket=args.unix_socket,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            max_request_bytes=args.max_request_bytes,
+            max_sessions=args.max_sessions,
+            request_timeout=args.request_timeout,
+            state_dir=args.state_dir,
+            snapshot_every=args.snapshot_every,
+        )
+    except JournalError as exc:
+        print(
+            "error: state recovery failed: {}".format(exc), file=sys.stderr
+        )
+        return EXIT_RECOVERY_FAILED
+    summary = service.recovery_summary
+    if summary is not None:
+        print("state recovery: {}".format(summary.describe()))
+        for session_id, reason in sorted(summary.quarantined.items()):
+            print(
+                "quarantined session {}: {}".format(session_id, reason),
+                file=sys.stderr,
+            )
+        if args.strict_recovery and summary.quarantined:
+            print(
+                "error: --strict-recovery set and {} session(s) were "
+                "quarantined; inspect the *.quarantined directories under "
+                "{} before serving".format(
+                    len(summary.quarantined), args.state_dir
+                ),
+                file=sys.stderr,
+            )
+            # serve_forever never ran, so httpd.shutdown() would block
+            # on its never-set event: close the pieces directly.
+            service.httpd.server_close()
+            service.executor.shutdown(wait=True)
+            service.sessions.close_all()
+            return EXIT_JOURNAL_CORRUPT
     print("repro-anonymize service listening on {}".format(service.base_url))
     sys.stdout.flush()
     if args.ready_file:
@@ -156,6 +220,28 @@ def build_submit_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--report", action="store_true", help="print each file's flag count"
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=5,
+        metavar="N",
+        help="attempts per request before giving up (transient failures "
+        "back off exponentially with jitter; 1 disables retrying)",
+    )
+    parser.add_argument(
+        "--retry-base-delay",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="first backoff delay; doubles per attempt up to 5s",
+    )
+    parser.add_argument(
+        "--retry-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="cap the total time spent retrying any one request",
+    )
     return parser
 
 
@@ -169,7 +255,11 @@ def submit_main(argv=None) -> int:
 
     from repro.cli import _collect_files
     from repro.core.runner import RunnerError, atomic_write_text, resolve_out_paths
-    from repro.service.client import ServiceClient, ServiceClientError
+    from repro.service.client import (
+        RetryingServiceClient,
+        RetryPolicy,
+        ServiceClientError,
+    )
 
     configs = _collect_files(args.paths)
     if not configs:
@@ -181,8 +271,17 @@ def submit_main(argv=None) -> int:
         print("error: {}".format(exc), file=sys.stderr)
         return EXIT_STATE_ERROR
 
-    client = ServiceClient(
-        base_url=args.server, unix_socket=args.unix_socket
+    if args.retries < 1:
+        parser.error("--retries must be >= 1")
+    client = RetryingServiceClient(
+        base_url=args.server,
+        unix_socket=args.unix_socket,
+        salt=args.salt,
+        policy=RetryPolicy(
+            max_attempts=args.retries,
+            base_delay=args.retry_base_delay,
+            deadline=args.retry_deadline,
+        ),
     )
     created = False
     try:

@@ -17,26 +17,59 @@ the anonymizer can also talk to it.  Supports both transports:
 ``anonymize`` can also stream: pass ``chunks=<iterable of str>`` and the
 body goes out chunked (``Transfer-Encoding: chunked``), so a corpus can
 be piped through without materializing each file twice.
+
+:class:`RetryingServiceClient` layers crash-safety on top: bounded
+exponential backoff with jitter for transient failures (backpressure,
+dropped connections, a daemon mid-restart), ``Retry-After`` honored,
+an optional per-request deadline, idempotency keys derived from each
+file's content digest (:mod:`repro.core.digests`) so a resubmission
+after an ambiguous failure returns the daemon's journaled result, and
+automatic session resume when a restarted daemon answers 404 with
+``"recoverable": true``.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
-from typing import Dict, Iterable, Optional
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
 from urllib.parse import urlparse
 
-__all__ = ["ServiceClient", "ServiceClientError", "ServiceUnavailableError"]
+from repro.core.digests import idempotency_key_for
+
+__all__ = [
+    "RetryPolicy",
+    "RetryingServiceClient",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceUnavailableError",
+]
 
 
 class ServiceClientError(RuntimeError):
-    """The daemon answered with an error status."""
+    """The daemon answered with an error status.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` carries the daemon's ``Retry-After`` header (seconds,
+    or None); ``recoverable`` is True when a 404 body flagged the session
+    as resumable from durable state.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+        recoverable: bool = False,
+    ):
         super().__init__("HTTP {}: {}".format(status, message))
         self.status = status
         self.message = message
+        self.retry_after = retry_after
+        self.recoverable = recoverable
 
 
 class ServiceUnavailableError(ServiceClientError):
@@ -121,13 +154,32 @@ class ServiceClient:
         finally:
             connection.close()
         if response.status >= 400:
+            document: Dict = {}
             try:
-                message = json.loads(payload.decode("utf-8"))["error"]
+                document = json.loads(payload.decode("utf-8"))
+                message = document["error"]
             except (ValueError, KeyError, UnicodeDecodeError):
                 message = payload.decode("utf-8", errors="replace")[:200]
-            if response.status in (429, 503):
-                raise ServiceUnavailableError(response.status, message)
-            raise ServiceClientError(response.status, message)
+            if not isinstance(document, dict):
+                document = {}
+            retry_after: Optional[float] = None
+            header = response.getheader("Retry-After")
+            if header:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass
+            cls = (
+                ServiceUnavailableError
+                if response.status in (429, 503)
+                else ServiceClientError
+            )
+            raise cls(
+                response.status,
+                message,
+                retry_after=retry_after,
+                recoverable=bool(document.get("recoverable", False)),
+            )
         return response, payload
 
     def _json(self, method: str, path: str, document=None):
@@ -172,6 +224,16 @@ class ServiceClient:
     def delete_session(self, session_id: str) -> Dict:
         return self._json("DELETE", "/sessions/{}".format(session_id))
 
+    def resume_session(self, salt: str, session_id: str) -> Dict:
+        """Resume a recovered session on a restarted daemon.
+
+        The daemon verifies the salt against the stored fingerprint and
+        replays the session's journal; idempotent if already live.
+        """
+        return self._json(
+            "POST", "/sessions", {"salt": salt, "resume": session_id}
+        )
+
     def freeze(self, session_id: str, files: Dict[str, str]) -> Dict:
         return self._json(
             "POST", "/sessions/{}/freeze".format(session_id), {"files": files}
@@ -185,12 +247,15 @@ class ServiceClient:
         text: Optional[str] = None,
         source: str = "<config>",
         chunks: Optional[Iterable[str]] = None,
+        idempotency_key: Optional[str] = None,
     ) -> Dict:
         """Anonymize one file; pass *text* whole or stream it as *chunks*."""
         if (text is None) == (chunks is None):
             raise ValueError("pass exactly one of text or chunks")
         path = "/sessions/{}/anonymize".format(session_id)
         headers = {"X-Repro-Source": source, "Content-Type": "text/plain"}
+        if idempotency_key:
+            headers["X-Repro-Idempotency-Key"] = idempotency_key
         if chunks is not None:
             body = (chunk.encode("utf-8") for chunk in chunks)
             headers["Transfer-Encoding"] = "chunked"
@@ -212,3 +277,196 @@ class ServiceClient:
         return self._json(
             "PUT", "/sessions/{}/state".format(session_id), state
         )
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with jitter.
+
+    ``deadline`` (seconds, measured per request from the first attempt)
+    caps the total time spent retrying one operation — a retry whose
+    backoff would overrun the deadline is not attempted.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    deadline: Optional[float] = None
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The sleep before retry *attempt* (1-based), jittered."""
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+class RetryingServiceClient(ServiceClient):
+    """A :class:`ServiceClient` that survives daemon restarts.
+
+    Three mechanisms compose into exactly-once *effects* over an
+    at-least-once wire:
+
+    * transient failures (429/503 backpressure, dropped connections,
+      connection-refused while the daemon restarts) are retried under
+      :class:`RetryPolicy`, honoring ``Retry-After``;
+    * every ``anonymize`` carries an idempotency key derived from the
+      file's content digest, so a resubmission after an *ambiguous*
+      failure (connection dropped after the daemon committed) returns
+      the journaled result instead of re-running the request;
+    * a 404 flagged ``"recoverable": true`` triggers an automatic
+      session resume (re-presenting *salt*) and the operation repeats
+      against the restored session.
+
+    ``sleep``/``rng``/``clock`` are injectable so tests can drive the
+    backoff schedule deterministically without real waiting.
+    """
+
+    #: Transient failures worth retrying: backpressure responses plus
+    #: any transport-level breakage (refused, reset, torn response).
+    RETRYABLE = (ServiceUnavailableError, OSError, http.client.HTTPException)
+
+    def __init__(
+        self,
+        base_url: Optional[str] = None,
+        unix_socket: Optional[str] = None,
+        timeout: float = 300.0,
+        salt: Optional[str] = None,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        super().__init__(
+            base_url=base_url, unix_socket=unix_socket, timeout=timeout
+        )
+        self.salt = salt
+        self.policy = policy or RetryPolicy()
+        self._sleep = sleep
+        self._rng = rng or random.Random()
+        self._clock = clock
+
+    # -- the retry loop --------------------------------------------------
+
+    def _with_retries(self, fn: Callable[[], Dict]) -> Dict:
+        policy = self.policy
+        deadline = (
+            None if policy.deadline is None else self._clock() + policy.deadline
+        )
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except self.RETRYABLE as exc:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.backoff(attempt, self._rng)
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    delay = max(delay, float(retry_after))
+                if deadline is not None and self._clock() + delay > deadline:
+                    raise
+                self._sleep(delay)
+
+    def _resumable(self, session_id: str, fn: Callable[[], Dict]) -> Dict:
+        """Run *fn* with retries, auto-resuming a recovered session."""
+
+        def attempt() -> Dict:
+            try:
+                return fn()
+            except ServiceClientError as exc:
+                if (
+                    exc.status == 404
+                    and exc.recoverable
+                    and self.salt is not None
+                ):
+                    # The daemon restarted and holds this session's
+                    # durable history: re-present the salt, replay, redo.
+                    self.resume_session(self.salt, session_id)
+                    return fn()
+                raise
+
+        return self._with_retries(attempt)
+
+    # -- retried operations ----------------------------------------------
+
+    def create_session(
+        self,
+        salt: str,
+        options: Optional[Dict] = None,
+        state: Optional[Dict] = None,
+    ) -> Dict:
+        return self._with_retries(
+            lambda: ServiceClient.create_session(self, salt, options, state)
+        )
+
+    def resume(self, session_id: str) -> Dict:
+        if self.salt is None:
+            raise ValueError("construct RetryingServiceClient with salt=...")
+        return self._with_retries(
+            lambda: self.resume_session(self.salt, session_id)
+        )
+
+    def freeze(self, session_id: str, files: Dict[str, str]) -> Dict:
+        def call() -> Dict:
+            try:
+                return ServiceClient.freeze(self, session_id, files)
+            except ServiceClientError as exc:
+                if exc.status == 409 and "already frozen" in exc.message:
+                    # The freeze committed before an ambiguous failure
+                    # (or survived a restart via the journal): converge.
+                    info = ServiceClient.session(self, session_id)
+                    stats = info.get("freeze_stats") or {}
+                    return dict(stats, frozen=True, already_frozen=True)
+                raise
+
+        return self._resumable(session_id, call)
+
+    def anonymize(
+        self,
+        session_id: str,
+        text: Optional[str] = None,
+        source: str = "<config>",
+        chunks: Optional[Iterable[str]] = None,
+        idempotency_key: Optional[str] = None,
+    ) -> Dict:
+        if chunks is not None:
+            if text is not None:
+                raise ValueError("pass exactly one of text or chunks")
+            # A retry must be able to send the same bytes again, and the
+            # idempotency key must cover them: materialize the stream.
+            text = "".join(chunks)
+        if idempotency_key is None and text is not None:
+            idempotency_key = idempotency_key_for(source, text)
+        return self._resumable(
+            session_id,
+            lambda: ServiceClient.anonymize(
+                self,
+                session_id,
+                text=text,
+                source=source,
+                idempotency_key=idempotency_key,
+            ),
+        )
+
+    def session(self, session_id: str) -> Dict:
+        return self._resumable(
+            session_id, lambda: ServiceClient.session(self, session_id)
+        )
+
+    def delete_session(self, session_id: str) -> Dict:
+        def call() -> Dict:
+            try:
+                return ServiceClient.delete_session(self, session_id)
+            except ServiceClientError as exc:
+                if exc.status == 404 and not exc.recoverable:
+                    # The delete committed before the response was lost.
+                    return {"id": session_id, "already_deleted": True}
+                raise
+
+        return self._resumable(session_id, call)

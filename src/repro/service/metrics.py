@@ -16,6 +16,15 @@ service without extra dependencies:
 * ``repro_queue_depth`` / ``repro_requests_in_flight`` — backpressure
   gauges sampled from the bounded executor at scrape time.
 * ``repro_sessions`` — live session count.
+* Named counters registered at runtime — the durability suite
+  (``repro_service_journal_records_total``,
+  ``repro_service_journal_snapshots_total``,
+  ``repro_service_journal_torn_discarded_total``,
+  ``repro_service_journal_quarantined_total``,
+  ``repro_session_recoveries_total``,
+  ``repro_idempotent_replays_total``) and the backpressure timeout
+  counter ``repro_requests_timed_out_total``.  They are pre-registered
+  at 0 so dashboards and CI assertions see them before the first event.
 
 All mutation goes through one lock; scraping renders a consistent
 snapshot.  Counters never raise: an unknown rule id lands in the
@@ -73,6 +82,8 @@ class ServiceMetrics:
         self._latency_buckets: Dict[str, List[int]] = {}
         self._latency_sum: Dict[str, float] = {}
         self._latency_count: Dict[str, int] = {}
+        #: Named monotonic counters, ``{name: (help, value)}``.
+        self._counters: Dict[str, Tuple[str, int]] = {}
         #: Gauge callbacks sampled at scrape time, ``{name: (help, fn)}``.
         self._gauges: Dict[str, Tuple[str, Callable[[], float]]] = {}
 
@@ -108,6 +119,27 @@ class ServiceMetrics:
                 self._family_hits[family] = (
                     self._family_hits.get(family, 0) + count
                 )
+
+    def register_counter(self, name: str, help_text: str) -> None:
+        """Pre-register a named counter at 0 (so it renders before the
+        first increment — CI asserts on presence, not just growth)."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = (help_text, 0)
+
+    def inc_counter(self, name: str, amount: int = 1, help_text: str = "") -> None:
+        """Increment a named monotonic counter (creating it at need)."""
+        with self._lock:
+            existing = self._counters.get(name)
+            if existing is None:
+                self._counters[name] = (help_text, amount)
+            else:
+                self._counters[name] = (existing[0] or help_text, existing[1] + amount)
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            entry = self._counters.get(name)
+            return entry[1] if entry is not None else 0
 
     def register_gauge(
         self, name: str, help_text: str, fn: Callable[[], float]
@@ -153,6 +185,11 @@ class ServiceMetrics:
                         _format_labels({"family": family}), count
                     )
                 )
+            for name in sorted(self._counters):
+                help_text, value = self._counters[name]
+                lines.append("# HELP {} {}".format(name, help_text or name))
+                lines.append("# TYPE {} counter".format(name))
+                lines.append("{} {}".format(name, value))
             lines.append("# HELP repro_request_seconds Request latency, per heavy endpoint.")
             lines.append("# TYPE repro_request_seconds histogram")
             for endpoint in sorted(self._latency_buckets):

@@ -53,6 +53,7 @@ from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Callable, Optional, Tuple
 from urllib.parse import urlparse
 
+from repro.service.journal import RecoveryError, SessionStore
 from repro.service.metrics import ServiceMetrics
 from repro.service.sessions import (
     SessionError,
@@ -73,6 +74,40 @@ __all__ = [
 #: config, far below a memory-exhaustion payload).
 DEFAULT_MAX_REQUEST_BYTES = 32 * 1024 * 1024
 
+#: Durability counters, pre-registered at 0 so scrapers and CI see the
+#: full set before the first journal event.
+DURABILITY_COUNTERS = (
+    (
+        "repro_service_journal_records_total",
+        "Journal records durably appended (fsync'd before the response).",
+    ),
+    (
+        "repro_service_journal_snapshots_total",
+        "Full-state snapshots written (journal rotations).",
+    ),
+    (
+        "repro_service_journal_torn_discarded_total",
+        "Torn trailing journal records discarded at recovery "
+        "(unacknowledged requests).",
+    ),
+    (
+        "repro_service_journal_quarantined_total",
+        "Session directories quarantined at recovery (corrupt history).",
+    ),
+    (
+        "repro_session_recoveries_total",
+        "Sessions resumed from durable state after a restart.",
+    ),
+    (
+        "repro_idempotent_replays_total",
+        "Anonymize requests answered from the journal by idempotency key.",
+    ),
+    (
+        "repro_requests_timed_out_total",
+        "Requests abandoned after exceeding the request timeout (503).",
+    ),
+)
+
 
 class QueueFullError(RuntimeError):
     """The bounded work queue is full (maps to 429)."""
@@ -85,10 +120,16 @@ class RequestTooLargeError(RuntimeError):
 class _Job:
     """A unit of work submitted to :class:`BoundedExecutor`."""
 
-    __slots__ = ("fn", "_done", "_result", "_exc")
+    __slots__ = ("fn", "abandoned", "_done", "_result", "_exc")
 
     def __init__(self, fn: Callable):
         self.fn = fn
+        #: Set when the waiting handler gave up (timeout).  A worker that
+        #: has not started the job yet skips it entirely; one that has
+        #: finishes normally — the session's journal commit still happens,
+        #: only the response is lost, which is exactly the ambiguous
+        #: failure the idempotency key exists for.
+        self.abandoned = False
         self._done = threading.Event()
         self._result = None
         self._exc: Optional[BaseException] = None
@@ -100,6 +141,9 @@ class _Job:
             self._exc = exc
         finally:
             self._done.set()
+
+    def abandon(self) -> None:
+        self.abandoned = True
 
     def wait(self, timeout: Optional[float] = None):
         if not self._done.wait(timeout):
@@ -143,6 +187,11 @@ class BoundedExecutor:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
+            if item.abandoned:
+                # The handler already answered 503; running the job now
+                # would do work nobody will read and skew the gauges.
+                item._done.set()
+                continue
             with self._lock:
                 self._in_flight += 1
             try:
@@ -288,10 +337,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 429, "work queue full; retry shortly", retry_after=1
             )
         except UnknownSessionError as exc:
-            self._send_error_json(404, str(exc))
+            # "recoverable": the session's durable history survived a
+            # restart; POST /sessions {"salt", "resume"} brings it back.
+            self._send_error_json(
+                404,
+                str(exc),
+                body_extra={
+                    "recoverable": bool(getattr(exc, "recoverable", False))
+                },
+            )
         except (SessionOptionsError, SessionStateError) as exc:
             self._send_error_json(400, str(exc))
         except SessionError as exc:
+            self._send_error_json(409, str(exc))
+        except RecoveryError as exc:
+            # Resume refused (wrong salt / quarantined history): the
+            # client must not retry blindly — fail-closed, not a 500.
             self._send_error_json(409, str(exc))
         except BrokenPipeError:
             self.close_connection = True
@@ -309,15 +370,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_healthz(self) -> None:
         service = self.server.service
-        self._send_json(
-            200,
-            {
-                "status": "draining" if service.draining else "ok",
-                "sessions": len(service.sessions),
-                "queue_depth": service.executor.depth(),
-                "in_flight": service.executor.in_flight(),
-            },
-        )
+        document = {
+            "status": "draining" if service.draining else "ok",
+            "sessions": len(service.sessions),
+            "queue_depth": service.executor.depth(),
+            "in_flight": service.executor.in_flight(),
+        }
+        if service.store is not None:
+            document["durable"] = True
+            document["recoverable_sessions"] = len(
+                service.store.summary.recoverable
+            )
+            document["quarantined_sessions"] = len(
+                service.store.summary.quarantined
+            )
+        self._send_json(200, document)
         service.metrics.observe_request("healthz", 200)
 
     def _handle_metrics(self) -> None:
@@ -331,6 +398,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if service.draining:
             return self._send_error_json(503, "service is draining")
         document = self._read_json()
+        if document.get("resume"):
+            session = service.sessions.resume(
+                document.get("salt"), document["resume"]
+            )
+            service.metrics.observe_request("sessions", 200)
+            return self._send_json(200, session.describe())
         session = service.sessions.create(
             document.get("salt"), document.get("options")
         )
@@ -351,7 +424,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         job = service.executor.submit(
             lambda: session.freeze(document.get("files"))
         )
-        result = job.wait(service.request_timeout)
+        result = self._wait_or_503("freeze", job)
+        if result is None:
+            return
         service.metrics.observe_request(
             "freeze", 200, time.perf_counter() - started
         )
@@ -363,17 +438,63 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return self._send_error_json(503, "service is draining")
         session = service.sessions.get(session_id)
         source = self.headers.get("X-Repro-Source", "<config>")
+        idempotency_key = self.headers.get("X-Repro-Idempotency-Key") or None
         text = self._read_body().decode("utf-8", errors="replace")
+        fault_plan = session.anonymizer.fault_plan
+        if fault_plan is not None and fault_plan.drop_connection_once(
+            "pre-commit", source
+        ):
+            # Injected ambiguous failure: nothing was committed, so a
+            # retry re-runs the work from scratch.
+            self.close_connection = True
+            return
         started = time.perf_counter()
         job = service.executor.submit(
-            lambda: session.anonymize(text, source=source)
+            lambda: session.anonymize(
+                text, source=source, idempotency_key=idempotency_key
+            )
         )
-        result = job.wait(service.request_timeout)
+        result = self._wait_or_503("anonymize", job)
+        if result is None:
+            return
+        if fault_plan is not None and fault_plan.drop_connection_once(
+            "post-commit", source
+        ):
+            # Injected ambiguous failure: the journal record is durably
+            # committed but the response is lost.  A retry presenting the
+            # same idempotency key gets the journaled result back.
+            self.close_connection = True
+            return
         service.metrics.observe_request(
             "anonymize", 200, time.perf_counter() - started
         )
         service.metrics.record_rule_hits(result["report"]["rule_hits"])
         self._send_json(200, result)
+
+    def _wait_or_503(self, endpoint: str, job: _Job):
+        """Wait out a job; on timeout abandon it and answer 503.
+
+        The abandoned job may still complete inside a worker — its
+        journal commit happens (making the retry idempotent) but its
+        response is discarded, and the executor's gauges stay honest
+        because the worker's in-flight accounting runs regardless.
+        Returns ``None`` after answering the 503.
+        """
+        service = self.server.service
+        try:
+            return job.wait(service.request_timeout)
+        except TimeoutError:
+            job.abandon()
+            service.metrics.inc_counter("repro_requests_timed_out_total")
+            self._send_error_json(
+                503,
+                "{} did not complete within {:g}s; retry with the same "
+                "idempotency key to pick up the committed result".format(
+                    endpoint, service.request_timeout
+                ),
+                retry_after=1,
+            )
+            return None
 
     def _handle_state_export(self, session_id: str) -> None:
         service = self.server.service
@@ -452,7 +573,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         )
 
     def _send_error_json(
-        self, code: int, message: str, retry_after: Optional[int] = None
+        self,
+        code: int,
+        message: str,
+        retry_after: Optional[int] = None,
+        body_extra: Optional[dict] = None,
     ) -> None:
         # The request body may be partly unread on an error path; closing
         # the connection keeps HTTP/1.1 keep-alive framing honest.
@@ -460,9 +585,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         extra = {}
         if retry_after is not None:
             extra["Retry-After"] = str(retry_after)
+        body = dict(body_extra or {}, error=message)
         self._send_bytes(
             code,
-            json.dumps({"error": message}).encode("utf-8"),
+            json.dumps(body, sort_keys=True).encode("utf-8"),
             "application/json",
             extra_headers=extra,
         )
@@ -506,9 +632,36 @@ class AnonymizationService:
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         max_sessions: int = 64,
         request_timeout: float = 300.0,
+        state_dir: Optional[str] = None,
+        snapshot_every: int = 64,
     ):
-        self.sessions = SessionManager(max_sessions=max_sessions)
         self.metrics = ServiceMetrics()
+        for name, help_text in DURABILITY_COUNTERS:
+            self.metrics.register_counter(name, help_text)
+        self.store: Optional[SessionStore] = None
+        self.recovery_summary = None
+        if state_dir is not None:
+            # Recovery runs before the listener exists: a state dir the
+            # daemon cannot trust must abort startup (JournalError
+            # propagates to the CLI → EXIT_RECOVERY_FAILED), never serve.
+            self.store = SessionStore(state_dir, snapshot_every=snapshot_every)
+            self.recovery_summary = self.store.recover()
+            if self.recovery_summary.torn_discarded:
+                self.metrics.inc_counter(
+                    "repro_service_journal_torn_discarded_total",
+                    self.recovery_summary.torn_discarded,
+                )
+            if self.recovery_summary.quarantined:
+                self.metrics.inc_counter(
+                    "repro_service_journal_quarantined_total",
+                    len(self.recovery_summary.quarantined),
+                )
+        self.sessions = SessionManager(
+            max_sessions=max_sessions,
+            store=self.store,
+            metrics=self.metrics,
+            snapshot_every=snapshot_every,
+        )
         self.executor = BoundedExecutor(workers=workers, queue_limit=queue_limit)
         self.max_request_bytes = max_request_bytes
         self.request_timeout = request_timeout

@@ -32,14 +32,22 @@ never echoed back, and the handler never turns it into a 500.
 
 from __future__ import annotations
 
+import json
 import threading
 import uuid
 from typing import Dict, List, Optional
 
 from repro.core import Anonymizer, AnonymizerConfig
+from repro.core.engine import FreezeStats
 from repro.core.report import AnonymizationReport
 from repro.core.runner import salt_fingerprint
-from repro.core.state import export_state_json, import_state_json
+from repro.core.state import (
+    StateCursor,
+    export_state,
+    export_state_json,
+    import_state_json,
+    state_delta_since,
+)
 
 __all__ = [
     "SESSION_OPTION_KEYS",
@@ -87,9 +95,19 @@ class SessionStateError(SessionError):
 
 
 class Session:
-    """One live anonymizer plus its serialization lock and counters."""
+    """One live anonymizer plus its serialization lock and counters.
 
-    def __init__(self, session_id: str, anonymizer: Anonymizer):
+    With a *journal* attached (daemon started with ``--state-dir``),
+    every mutating operation appends a fsync'd journal record — the
+    mapping-state delta plus the request result — *before* returning, so
+    an acknowledged request always survives a crash.  The per-request
+    results are also indexed by idempotency key: a resubmission of an
+    already-committed (source, content) pair returns the journaled
+    result without touching the engine.
+    """
+
+    def __init__(self, session_id: str, anonymizer: Anonymizer, journal=None,
+                 metrics=None):
         self.id = session_id
         self.anonymizer = anonymizer
         self.fingerprint = salt_fingerprint(anonymizer.config.salt)
@@ -97,6 +115,53 @@ class Session:
         self.requests_served = 0
         self.lines_served = 0
         self.files_failed_closed = 0
+        self.idempotent_replays = 0
+        self.requests_replayed = 0
+        self.journal = journal
+        self.snapshot_every = 64
+        self._metrics = metrics
+        self._committed: Dict[str, Dict] = {}
+        self._cursor = StateCursor(anonymizer)
+
+    # -- journal plumbing -------------------------------------------------
+
+    def _inc_metric(self, name: str, amount: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.inc_counter(name, amount)
+
+    def _journal_append(self, record: Dict, source: str) -> None:
+        """Durably commit one operation (call with the lock held)."""
+        self.journal.append(
+            record,
+            fault_plan=self.anonymizer.fault_plan,
+            fault_source=source,
+        )
+        self._cursor = StateCursor(self.anonymizer)
+        self._inc_metric("repro_service_journal_records_total")
+        if self.journal.appended_since_snapshot >= self.snapshot_every:
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        stats = self.anonymizer.last_freeze_stats
+        self.journal.write_snapshot(
+            {
+                "salt_fingerprint": self.fingerprint,
+                "state": export_state(self.anonymizer),
+                "frozen": self.anonymizer.frozen,
+                "freeze_stats": None if stats is None else _stats_dict(stats),
+                "committed": self._committed,
+            }
+        )
+        self._inc_metric("repro_service_journal_snapshots_total")
+
+    def restore_replay(self, replay: Dict) -> None:
+        """Adopt the outcome of a journal replay (resume path)."""
+        self._committed = dict(replay.get("committed") or {})
+        self.requests_replayed = int(replay.get("requests_replayed", 0))
+        stats = replay.get("freeze_stats")
+        if replay.get("frozen") and stats is not None:
+            self.anonymizer.last_freeze_stats = FreezeStats(**stats)
+        self._cursor = StateCursor(self.anonymizer)
 
     # -- info ------------------------------------------------------------
 
@@ -108,18 +173,13 @@ class Session:
                 "id": self.id,
                 "salt_fingerprint": self.fingerprint,
                 "frozen": self.anonymizer.frozen,
+                "durable": self.journal is not None,
                 "requests_served": self.requests_served,
+                "requests_replayed": self.requests_replayed,
+                "idempotent_replays": self.idempotent_replays,
                 "lines_served": self.lines_served,
                 "files_failed_closed": self.files_failed_closed,
-                "freeze_stats": None
-                if stats is None
-                else {
-                    "addresses": stats.addresses,
-                    "system_ids": stats.system_ids,
-                    "words_warmed": stats.words_warmed,
-                    "asns_warmed": stats.asns_warmed,
-                    "communities_warmed": stats.communities_warmed,
-                },
+                "freeze_stats": None if stats is None else _stats_dict(stats),
             }
 
     # -- lifecycle -------------------------------------------------------
@@ -139,18 +199,25 @@ class Session:
                     "freeze over a different corpus".format(self.id)
                 )
             stats = self.anonymizer.freeze_mappings(files)
-        return {
-            "frozen": True,
-            "addresses": stats.addresses,
-            "system_ids": stats.system_ids,
-            "words_warmed": stats.words_warmed,
-            "asns_warmed": stats.asns_warmed,
-            "communities_warmed": stats.communities_warmed,
-        }
+            if self.journal is not None:
+                self._journal_append(
+                    {
+                        "op": "freeze",
+                        "delta": state_delta_since(self.anonymizer, self._cursor),
+                        "stats": _stats_dict(stats),
+                    },
+                    source="<freeze>",
+                )
+        return dict(_stats_dict(stats), frozen=True)
 
     # -- anonymization ---------------------------------------------------
 
-    def anonymize(self, text: str, source: str = "<config>") -> Dict:
+    def anonymize(
+        self,
+        text: str,
+        source: str = "<config>",
+        idempotency_key: Optional[str] = None,
+    ) -> Dict:
         """Anonymize one file's text; always returns, never re-raises.
 
         Returns ``{"status", "source", "text", "report"}`` where status is
@@ -158,8 +225,22 @@ class Session:
         the salted placeholder).  The report is the per-file report dict —
         counters, rule hits, and the leak-highlight ``flags`` — which by
         construction never contains raw input.
+
+        With a journal attached and an *idempotency_key* the daemon has
+        already committed, the journaled result is returned verbatim
+        (plus ``"replayed": true``) and the engine is not touched — a
+        client retrying after an ambiguous failure never double-maps.
         """
         with self.lock:
+            if (
+                self.journal is not None
+                and idempotency_key
+                and idempotency_key in self._committed
+            ):
+                self.idempotent_replays += 1
+                self.requests_served += 1
+                self._inc_metric("repro_idempotent_replays_total")
+                return dict(self._committed[idempotency_key], replayed=True)
             try:
                 out, file_report = self.anonymizer.anonymize_file(
                     text, source=source
@@ -169,15 +250,32 @@ class Session:
                 out, file_report = self._fail_closed_file(text, source, exc)
                 status = "fail_closed"
                 self.files_failed_closed += 1
+            result = {
+                "status": status,
+                "source": source,
+                "text": out,
+                "report": file_report.to_dict(),
+            }
+            if self.journal is not None:
+                # Commit before acknowledging: the response is only sent
+                # after this record is on disk (fsync), so a crash can
+                # lose at most an *unacknowledged* request.
+                self._journal_append(
+                    {
+                        "op": "anonymize",
+                        "key": idempotency_key,
+                        "source": source,
+                        "delta": state_delta_since(self.anonymizer, self._cursor),
+                        "result": result,
+                    },
+                    source=source,
+                )
+                if idempotency_key:
+                    self._committed[idempotency_key] = result
             self.anonymizer.report.merge(file_report)
             self.requests_served += 1
             self.lines_served += file_report.lines_in
-        return {
-            "status": status,
-            "source": source,
-            "text": out,
-            "report": file_report.to_dict(),
-        }
+        return result
 
     def _fail_closed_file(self, text: str, source: str, exc: Exception):
         """Whole-file fail-closed replacement (mirrors the engine's
@@ -218,25 +316,49 @@ class Session:
                 import_state_json(self.anonymizer, text)
             except StateError as exc:
                 raise SessionStateError(str(exc)) from exc
+            if self.journal is not None:
+                self._journal_append(
+                    {"op": "import", "state": json.loads(text)},
+                    source="<import>",
+                )
+
+
+def _stats_dict(stats: FreezeStats) -> Dict:
+    return {
+        "addresses": stats.addresses,
+        "system_ids": stats.system_ids,
+        "words_warmed": stats.words_warmed,
+        "asns_warmed": stats.asns_warmed,
+        "communities_warmed": stats.communities_warmed,
+    }
 
 
 class SessionManager:
-    """Registry of live sessions; all operations are thread-safe."""
+    """Registry of live sessions; all operations are thread-safe.
 
-    def __init__(self, max_sessions: int = 64):
+    With a :class:`~repro.service.journal.SessionStore` attached, new
+    sessions get a write-ahead journal, ``delete`` removes the durable
+    history (the owner is done with it), and :meth:`resume` brings a
+    recovered session back to life after the owner re-presents the salt.
+    """
+
+    def __init__(self, max_sessions: int = 64, store=None, metrics=None,
+                 snapshot_every: int = 64):
         self.max_sessions = max_sessions
+        self.store = store
+        self.metrics = metrics
+        self.snapshot_every = snapshot_every
         self._lock = threading.Lock()
+        self._resume_lock = threading.Lock()
         self._sessions: Dict[str, Session] = {}
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._sessions)
 
-    def create(self, salt: str, options: Optional[Dict] = None) -> Session:
-        """Create a session for *salt* with the given config options."""
+    def _build_anonymizer(self, salt: str, options: Dict) -> Anonymizer:
         if not isinstance(salt, str) or not salt:
             raise SessionOptionsError("a non-empty string salt is required")
-        options = dict(options or {})
         unknown = set(options) - SESSION_OPTION_KEYS
         if unknown:
             raise SessionOptionsError(
@@ -247,33 +369,121 @@ class SessionManager:
             )
         try:
             config = AnonymizerConfig(salt=salt.encode("utf-8"), **options)
-            anonymizer = Anonymizer(config)
+            return Anonymizer(config)
         except (TypeError, ValueError) as exc:
             raise SessionOptionsError(
                 "invalid session options: {}".format(exc)
             ) from exc
-        session = Session(uuid.uuid4().hex[:12], anonymizer)
+
+    def _register(self, session: Session) -> None:
         with self._lock:
             if len(self._sessions) >= self.max_sessions:
+                if session.journal is not None and self.store is not None:
+                    session.journal.close()
+                    self.store.discard(session.id)
                 raise SessionError(
                     "session limit reached ({}); delete a session "
                     "first".format(self.max_sessions)
                 )
             self._sessions[session.id] = session
+
+    def create(self, salt: str, options: Optional[Dict] = None) -> Session:
+        """Create a session for *salt* with the given config options."""
+        options = dict(options or {})
+        anonymizer = self._build_anonymizer(salt, options)
+        session_id = uuid.uuid4().hex[:12]
+        journal = None
+        if self.store is not None:
+            # The fault plan is a test seam, not session policy: persisting
+            # it would re-inject the fault on every resume of the session.
+            persisted = {k: v for k, v in options.items() if k != "fault_plan"}
+            journal = self.store.create_journal(
+                session_id,
+                salt_fingerprint(anonymizer.config.salt),
+                persisted,
+            )
+        session = Session(
+            session_id, anonymizer, journal=journal, metrics=self.metrics
+        )
+        session.snapshot_every = self.snapshot_every
+        self._register(session)
         return session
+
+    def resume(self, salt: str, session_id: str) -> Session:
+        """Resume a recovered session: verify the salt, replay history.
+
+        Idempotent: resuming an already-live session with the right salt
+        returns it (so a retrying client that crossed a daemon restart
+        can blindly re-send its resume).  Every failure is fail-closed —
+        wrong salt, quarantined or unknown history — and leaves nothing
+        half-registered.
+        """
+        from repro.service.journal import RecoveryError, replay_into
+
+        with self._resume_lock:
+            with self._lock:
+                live = self._sessions.get(session_id)
+            if live is not None:
+                if live.fingerprint != salt_fingerprint(
+                    salt.encode("utf-8") if isinstance(salt, str) else salt
+                ):
+                    raise RecoveryError(
+                        "session {} is live under a different salt".format(
+                            session_id
+                        )
+                    )
+                return live
+            if self.store is None:
+                raise UnknownSessionError(
+                    "no session {!r} and this daemon has no --state-dir to "
+                    "resume from".format(session_id)
+                )
+            reason = self.store.quarantine_reason(session_id)
+            if reason is not None:
+                raise RecoveryError(
+                    "session {} was quarantined at recovery ({}); refusing "
+                    "to guess its state".format(session_id, reason)
+                )
+            recovered = self.store.recoverable(session_id)
+            if recovered is None:
+                raise UnknownSessionError(
+                    "no session {!r} (expired, deleted, or never "
+                    "created)".format(session_id)
+                )
+            anonymizer = self._build_anonymizer(salt, recovered.options)
+            replay = replay_into(anonymizer, recovered)
+            from repro.service.journal import SessionJournal
+
+            journal = SessionJournal(recovered.directory)
+            journal.resume_appending(recovered.valid_length, replay["seq"])
+            session = Session(
+                session_id, anonymizer, journal=journal, metrics=self.metrics
+            )
+            session.snapshot_every = self.snapshot_every
+            session.restore_replay(replay)
+            self._register(session)
+            self.store.summary.recoverable.pop(session_id, None)
+            if self.metrics is not None:
+                self.metrics.inc_counter("repro_session_recoveries_total")
+            return session
+
+    def is_recoverable(self, session_id: str) -> bool:
+        return self.store is not None and self.store.is_recoverable(session_id)
 
     def get(self, session_id: str) -> Session:
         with self._lock:
             session = self._sessions.get(session_id)
         if session is None:
-            raise UnknownSessionError(
+            error = UnknownSessionError(
                 "no session {!r} (expired, drained, or never "
                 "created)".format(session_id)
             )
+            error.recoverable = self.is_recoverable(session_id)
+            raise error
         return session
 
     def delete(self, session_id: str) -> Dict:
-        """Drain and remove a session.
+        """Drain and remove a session (and its durable history).
 
         The session is unregistered first (new requests get 404), then the
         session lock is taken so any in-flight request finishes before the
@@ -292,6 +502,10 @@ class SessionManager:
                 "requests_served": session.requests_served,
                 "lines_served": session.lines_served,
             }
+            if session.journal is not None:
+                session.journal.close()
+                if self.store is not None:
+                    self.store.discard(session_id)
         return info
 
     def list(self) -> List[Dict]:
@@ -300,10 +514,15 @@ class SessionManager:
         return [session.describe() for session in sessions]
 
     def close_all(self) -> None:
-        """Drain every session (used by graceful shutdown)."""
+        """Drain every session (used by graceful shutdown).
+
+        Journals are closed but *kept*: a drained daemon's sessions stay
+        resumable after the next start — that is the durability contract.
+        """
         with self._lock:
             sessions = list(self._sessions.values())
             self._sessions.clear()
         for session in sessions:
             with session.lock:
-                pass
+                if session.journal is not None:
+                    session.journal.close()
