@@ -314,7 +314,13 @@ def _scan_journal(path: Path) -> Tuple[List[Dict], int, int]:
     """
     if not path.exists():
         return [], 0, 0
-    data = path.read_bytes()
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise JournalCorruptError(
+            "journal {} is unreadable ({}) — history cannot be "
+            "verified".format(path, type(exc).__name__)
+        ) from exc
     records: List[Dict] = []
     offset = 0
     torn = 0

@@ -259,19 +259,28 @@ class Session:
             if self.journal is not None:
                 # Commit before acknowledging: the response is only sent
                 # after this record is on disk (fsync), so a crash can
-                # lose at most an *unacknowledged* request.
-                self._journal_append(
-                    {
-                        "op": "anonymize",
-                        "key": idempotency_key,
-                        "source": source,
-                        "delta": state_delta_since(self.anonymizer, self._cursor),
-                        "result": result,
-                    },
-                    source=source,
-                )
+                # lose at most an *unacknowledged* request.  The key goes
+                # into the committed map first so a snapshot triggered by
+                # this very append (which truncates the journal record
+                # carrying the key) still covers it; a failed append
+                # rolls the entry back out.
                 if idempotency_key:
                     self._committed[idempotency_key] = result
+                try:
+                    self._journal_append(
+                        {
+                            "op": "anonymize",
+                            "key": idempotency_key,
+                            "source": source,
+                            "delta": state_delta_since(self.anonymizer, self._cursor),
+                            "result": result,
+                        },
+                        source=source,
+                    )
+                except Exception:
+                    if idempotency_key:
+                        self._committed.pop(idempotency_key, None)
+                    raise
             self.anonymizer.report.merge(file_report)
             self.requests_served += 1
             self.lines_served += file_report.lines_in
@@ -375,12 +384,21 @@ class SessionManager:
                 "invalid session options: {}".format(exc)
             ) from exc
 
-    def _register(self, session: Session) -> None:
+    def _register(self, session: Session, discard_on_limit: bool = False) -> None:
+        """Publish *session*; on a full registry, fail without data loss.
+
+        *discard_on_limit* is True only for brand-new sessions, whose
+        just-created durable directory holds no history worth keeping.
+        A *resumed* session's directory is the owner's only copy of its
+        mapping history, so it is closed but kept — the resume can be
+        retried after the client deletes another session.
+        """
         with self._lock:
             if len(self._sessions) >= self.max_sessions:
-                if session.journal is not None and self.store is not None:
+                if session.journal is not None:
                     session.journal.close()
-                    self.store.discard(session.id)
+                    if discard_on_limit and self.store is not None:
+                        self.store.discard(session.id)
                 raise SessionError(
                     "session limit reached ({}); delete a session "
                     "first".format(self.max_sessions)
@@ -406,7 +424,7 @@ class SessionManager:
             session_id, anonymizer, journal=journal, metrics=self.metrics
         )
         session.snapshot_every = self.snapshot_every
-        self._register(session)
+        self._register(session, discard_on_limit=True)
         return session
 
     def resume(self, salt: str, session_id: str) -> Session:
@@ -420,12 +438,14 @@ class SessionManager:
         """
         from repro.service.journal import RecoveryError, replay_into
 
+        if not isinstance(salt, str) or not salt:
+            raise SessionOptionsError("a non-empty string salt is required")
         with self._resume_lock:
             with self._lock:
                 live = self._sessions.get(session_id)
             if live is not None:
                 if live.fingerprint != salt_fingerprint(
-                    salt.encode("utf-8") if isinstance(salt, str) else salt
+                    salt.encode("utf-8")
                 ):
                     raise RecoveryError(
                         "session {} is live under a different salt".format(

@@ -51,7 +51,11 @@ from repro.service.journal import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.server import AnonymizationService
-from repro.service.sessions import SessionManager
+from repro.service.sessions import (
+    SessionError,
+    SessionManager,
+    SessionOptionsError,
+)
 
 SALT = "recovery-test-secret"
 
@@ -308,6 +312,68 @@ class TestRecovery:
         assert outputs3 == expected
         manager3.close_all()
 
+    def test_resume_at_session_limit_keeps_history(
+        self, tmp_path, figure1_text
+    ):
+        """A resume refused by the session limit must not destroy the
+        session's durable history: the client deletes a session and
+        retries, and the full replay is still there."""
+        manager, store, _ = _durable_manager(tmp_path / "state")
+        session = manager.create(SALT)
+        reference = session.anonymize(figure1_text, source="a.cfg")
+        manager.close_all()
+
+        store2 = SessionStore(tmp_path / "state")
+        store2.recover()
+        manager2 = SessionManager(
+            max_sessions=1, store=store2, metrics=ServiceMetrics()
+        )
+        blocker = manager2.create(SALT)
+        with pytest.raises(SessionError, match="session limit"):
+            manager2.resume(SALT, session.id)
+        # Refused, but nothing lost: directory and resumability intact.
+        assert (store2.sessions_dir / session.id / "journal.jsonl").exists()
+        assert store2.is_recoverable(session.id)
+        manager2.delete(blocker.id)
+        restored = manager2.resume(SALT, session.id)
+        assert restored.describe()["requests_replayed"] == 1
+        again = restored.anonymize(figure1_text, source="a.cfg")
+        assert again["text"] == reference["text"]
+        manager2.close_all()
+
+    def test_resume_live_session_with_bad_salt_is_options_error(
+        self, tmp_path
+    ):
+        """A missing/non-string salt on resume of a *live* session must
+        be a 4xx options error, not a TypeError-turned-500."""
+        manager, _, _ = _durable_manager(tmp_path / "state")
+        session = manager.create(SALT)
+        with pytest.raises(SessionOptionsError):
+            manager.resume(None, session.id)
+        with pytest.raises(SessionOptionsError):
+            manager.resume("", session.id)
+        # The owner's salt still resumes idempotently afterwards.
+        assert manager.resume(SALT, session.id) is session
+        manager.close_all()
+
+    def test_unreadable_journal_quarantines_not_crashes(
+        self, tmp_path, figure1_text
+    ):
+        """An I/O error reading one session's journal quarantines that
+        session; it must not escape recover() and kill the daemon."""
+        manager, store, _ = _durable_manager(tmp_path / "state")
+        session = manager.create(SALT)
+        session.anonymize(figure1_text, source="a.cfg")
+        manager.close_all()
+        journal_path = store.sessions_dir / session.id / "journal.jsonl"
+        journal_path.unlink()
+        journal_path.mkdir()  # read_bytes() raises IsADirectoryError
+
+        manager2, store2, _ = _durable_manager(tmp_path / "state")
+        assert session.id in store2.summary.quarantined
+        assert not store2.is_recoverable(session.id)
+        manager2.close_all()
+
     def test_delete_removes_durable_history(self, tmp_path, figure1_text):
         manager, store, _ = _durable_manager(tmp_path / "state")
         session = manager.create(SALT)
@@ -338,6 +404,34 @@ class TestIdempotency:
         assert session.idempotent_replays == 1
         assert metrics.counter_value("repro_idempotent_replays_total") == 1
         manager.close_all()
+
+    def test_rotation_snapshot_covers_its_own_key(
+        self, tmp_path, figure1_text
+    ):
+        """snapshot_every=1 makes every append trigger a snapshot that
+        truncates the very record carrying the idempotency key — the
+        snapshot's committed map must still include that key, so a
+        post-restart resubmission replays instead of re-anonymizing."""
+        manager, _, _ = _durable_manager(tmp_path / "state", snapshot_every=1)
+        session = manager.create(SALT)
+        key = idempotency_key_for("a.cfg", figure1_text)
+        first = session.anonymize(
+            figure1_text, source="a.cfg", idempotency_key=key
+        )
+        manager.close_all()
+
+        manager2, _, metrics2 = _durable_manager(
+            tmp_path / "state", snapshot_every=1
+        )
+        restored = manager2.resume(SALT, session.id)
+        again = restored.anonymize(
+            "hostname should-not-be-seen\n", source="a.cfg",
+            idempotency_key=key,
+        )
+        assert again["replayed"] is True
+        assert again["text"] == first["text"]
+        assert metrics2.counter_value("repro_idempotent_replays_total") == 1
+        manager2.close_all()
 
     def test_torn_append_fails_the_request_not_the_history(
         self, tmp_path, figure1_text
