@@ -81,6 +81,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "mapping-freeze phase, output is byte-identical for any N)",
     )
     parser.add_argument(
+        "--snapshot-transport",
+        choices=("auto", "fork", "shm", "pickle"),
+        default="auto",
+        help="how the frozen mapping snapshot reaches parallel workers: "
+        "fork (copy-on-write, zero serialization), shm (pickled once "
+        "into shared memory), pickle (legacy per-pool copy), or auto "
+        "(fork where available, else shm); output is byte-identical "
+        "across all of them",
+    )
+    parser.add_argument(
+        "--chunk-files",
+        type=int,
+        default=0,
+        metavar="K",
+        help="files per parallel worker task (0 = size automatically; "
+        "chunking amortizes task overhead over small files)",
+    )
+    parser.add_argument(
         "--two-pass",
         dest="two_pass",
         action="store_true",
@@ -211,6 +229,8 @@ def main(argv=None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.chunk_files < 0:
+        parser.error("--chunk-files must be >= 0")
     # --jobs > 1 requires the freeze phase (it is what makes parallel
     # output order-independent); an explicit --no-two-pass contradicts it.
     if args.jobs > 1 and args.two_pass is False:
@@ -238,6 +258,8 @@ def main(argv=None) -> int:
         strip_comments=not args.keep_comments,
         jobs=args.jobs,
         two_pass=two_pass,
+        snapshot_transport=args.snapshot_transport,
+        chunk_files=args.chunk_files,
     )
     anonymizer = Anonymizer(config)
     if anonymizer.fault_plan is not None:

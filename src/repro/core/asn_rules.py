@@ -17,7 +17,6 @@ import re
 from typing import List, Match, Optional, Sequence, Tuple
 
 from repro.core.context import RuleContext
-from repro.core.regexlang import rewrite_aspath_regex, rewrite_community_regex
 from repro.core.rulebase import Rule
 
 Piece = Tuple[str, bool]
@@ -65,12 +64,10 @@ def _map_community_tokens(ctx: RuleContext, prefix: str, rest: str) -> Sequence[
 
 
 def _rewrite_aspath(ctx: RuleContext, rule_id: str, pattern_text: str) -> str:
-    outcome = rewrite_aspath_regex(
-        pattern_text,
-        ctx.asn_map.map_asn,
-        style=ctx.config.regex_style,
-        max_language=ctx.config.max_regex_language,
-    )
+    # Memoized per anonymizer: the outcome is a pure function of
+    # (salt, config, pattern), and the report bookkeeping below replays
+    # identically for every repeat of the same regexp.
+    outcome = ctx.rewrite_aspath_cached(pattern_text)
     ctx.report.seen_asns.update(outcome.asns_seen)
     if outcome.changed:
         ctx.report.regexps_rewritten += 1
@@ -80,13 +77,7 @@ def _rewrite_aspath(ctx: RuleContext, rule_id: str, pattern_text: str) -> str:
 
 
 def _rewrite_community(ctx: RuleContext, rule_id: str, pattern_text: str) -> str:
-    outcome = rewrite_community_regex(
-        pattern_text,
-        ctx.asn_map.map_asn,
-        ctx.community.map_value,
-        style=ctx.config.regex_style,
-        max_language=ctx.config.max_regex_language,
-    )
+    outcome = ctx.rewrite_community_cached(pattern_text)
     ctx.report.seen_asns.update(outcome.asns_seen)
     if outcome.changed:
         ctx.report.regexps_rewritten += 1

@@ -78,6 +78,19 @@ class AnonymizerConfig:
     #: paper implements IOS and notes direct applicability to JunOS; the
     #: JunOS rule extensions (J1-J9) realize that claim.
     syntax: str = "auto"
+    #: How the frozen mapping snapshot reaches pool workers: "fork"
+    #: (copy-on-write inheritance, zero serialization), "shm" (pickled
+    #: once into a shared-memory segment every worker attaches to),
+    #: "pickle" (legacy: a copy rides in each pool's initargs), or
+    #: "auto" (fork where the platform supports it, else shm).  Output
+    #: is byte-identical across all of them.
+    snapshot_transport: str = "auto"
+    #: Files per worker task when ``jobs > 1``.  ``0`` (default) sizes
+    #: chunks automatically (~4 chunks per worker, at most 32 files);
+    #: ``1`` restores one-file-per-task.  Chunking amortizes task
+    #: submit/result overhead over small files without weakening
+    #: per-file failure isolation.
+    chunk_files: int = 0
     #: Deterministic fault-injection plan (see :mod:`repro.core.faults`);
     #: ``None`` falls back to the ``REPRO_FAULT_PLAN`` environment
     #: variable.  Test-only: never set on a run whose output you publish.
@@ -100,3 +113,12 @@ class AnonymizerConfig:
             self.salt = self.salt.encode("utf-8")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, not {!r}".format(self.jobs))
+        if self.snapshot_transport not in ("auto", "fork", "shm", "pickle"):
+            raise ValueError(
+                "snapshot_transport must be 'auto', 'fork', 'shm', or "
+                "'pickle', not {!r}".format(self.snapshot_transport)
+            )
+        if self.chunk_files < 0:
+            raise ValueError(
+                "chunk_files must be >= 0, not {!r}".format(self.chunk_files)
+            )

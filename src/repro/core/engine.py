@@ -46,9 +46,10 @@ from repro.core.context import RuleContext
 from repro.core.faults import build_fault_plan
 from repro.core.ipanon import PrefixPreservingMap
 from repro.core.line import SegmentedLine
+from repro.core.dispatch import CompiledDispatch
 from repro.core.report import AnonymizationReport
 from repro.core.junos_rules import build_junos_rules
-from repro.core.rulebase import Rule, compile_gate
+from repro.core.rulebase import Rule
 from repro.core.rules import build_line_rules
 from repro.configmodel.junos_parser import looks_like_junos
 from repro.core.strings import StringHasher
@@ -70,6 +71,7 @@ _ASN_CONTEXT_RE = re.compile(
 
 #: Community-shaped tokens warmed by the freeze phase.
 _COMMUNITY_TOKEN_RE = re.compile(r"\b\d{1,5}:\d{1,5}\b")
+
 
 
 @dataclass
@@ -128,19 +130,26 @@ class Anonymizer:
         ]
         self.rules: List[Rule] = ios_rules
         self._junos_rules: List[Rule] = junos_extra + ios_rules
-        self._gated_ios = self._compile_gates(ios_rules)
-        self._gated_junos = self._compile_gates(self._junos_rules)
+        # The compiled dispatch layer: all rule triggers combined into one
+        # scanner per syntax, so each line is classified into its
+        # candidate-rule tuple in a single C-level pass (see
+        # :mod:`repro.core.dispatch`).  ``rule_prefilter=False`` keeps the
+        # objects but makes them classify every line to the full rule set.
+        self._dispatch_ios = CompiledDispatch(
+            ios_rules, enabled=config.rule_prefilter
+        )
+        self._dispatch_junos = CompiledDispatch(
+            self._junos_rules, enabled=config.rule_prefilter
+        )
+        #: Memo for AS-path / community regexp rewriting outcomes; a pure
+        #: function of (salt, config, pattern), so one rewrite serves
+        #: every repeat of the same policy regexp across the corpus.
+        self._regex_memo: Dict = {}
         self.report = AnonymizationReport()
         self.fault_plan = build_fault_plan(config)
         #: Stats of the last :meth:`freeze_mappings` call (``None`` until
         #: a freeze runs); the service's session-info endpoint reports it.
         self.last_freeze_stats: Optional[FreezeStats] = None
-
-    def _compile_gates(self, rules: List[Rule]):
-        """Pair each rule with its compiled prefilter gate (or None)."""
-        if not self.config.rule_prefilter:
-            return [(rule, None) for rule in rules]
-        return [(rule, compile_gate(rule.trigger)) for rule in rules]
 
     def _syntax_for(self, text: str) -> str:
         if self.config.syntax != "auto":
@@ -158,6 +167,7 @@ class Anonymizer:
             token_anon=self.token_anon,
             report=AnonymizationReport(),
             source=source,
+            regex_memo=self._regex_memo,
         )
 
     # -- public API ------------------------------------------------------
@@ -180,7 +190,7 @@ class Anonymizer:
         """
         lines = text.splitlines()
         syntax = self._syntax_for(text)
-        gated_rules = self._gated_junos if syntax == "junos" else self._gated_ios
+        dispatch = self._dispatch_junos if syntax == "junos" else self._dispatch_ios
         stripper = self._junos_stripper if syntax == "junos" else self._ios_stripper
         file_report = AnonymizationReport()
         file_report.lines_in = len(lines)
@@ -193,6 +203,7 @@ class Anonymizer:
             token_anon=self.token_anon,
             report=file_report,
             source=source,
+            regex_memo=self._regex_memo,
         )
 
         if self.config.strip_comments:
@@ -210,27 +221,35 @@ class Anonymizer:
 
         out_lines: List[str] = []
         token_anon = self.token_anon
+        anonymize_text = token_anon.anonymize_text
         hashed_before = token_anon.tokens_hashed
         seen_before = token_anon.tokens_seen
         fault_plan = self.fault_plan
+        classify = dispatch.classify
+        record_rule_hit = file_report.record_rule_hit
         for line_number, raw_line in enumerate(lines, start=1):
             ctx.line_number = line_number
             # Fail-closed guarantee: if anything below raises, the whole
             # line is replaced by a salted-hash placeholder.  The raw line
             # never reaches the output, and the report records the event.
             try:
-                lowered = raw_line.lower()
-                line = SegmentedLine(raw_line)
-                for rule, gate in gated_rules:
-                    if gate is not None and not gate(lowered):
-                        continue
-                    hits = rule.apply(line, ctx)
-                    if hits:
-                        file_report.record_rule_hit(rule.rule_id, hits)
-                        if fault_plan is not None:
-                            fault_plan.on_rule_hits(rule.rule_id, hits)
-                line.map_live_tokens(token_anon.anonymize_word)
-                rendered = line.render()
+                candidates = classify(raw_line.lower())
+                if candidates:
+                    line = SegmentedLine(raw_line)
+                    for rule in candidates:
+                        hits = rule.apply(line, ctx)
+                        if hits:
+                            record_rule_hit(rule.rule_id, hits)
+                            if fault_plan is not None:
+                                fault_plan.on_rule_hits(rule.rule_id, hits)
+                    line.map_live_text(anonymize_text)
+                    rendered = line.render()
+                else:
+                    # No rule can match this line: only the token pass
+                    # applies — one memo hit for the whole line in the
+                    # common (repeated-line) case, byte-identical to the
+                    # segmented path, without building segment objects.
+                    rendered = anonymize_text(raw_line)
             except Exception as exc:
                 rendered = self.fail_closed_placeholder(raw_line)
                 file_report.lines_failed_closed += 1
@@ -287,13 +306,18 @@ class Anonymizer:
 
     def _scan_addresses(self, configs: Dict[str, str]) -> set:
         """Every distinct valid dotted-quad value in the corpus."""
-        from repro.netutil import is_ipv4
-
-        seen = set()
+        # Dedupe the *texts* first: the same handful of addresses repeats
+        # thousands of times per corpus, and parsing each occurrence was
+        # the bulk of the scan's cost.
+        texts = set()
         for text in configs.values():
-            for match in DOTTED_QUAD_RE.finditer(text):
-                if is_ipv4(match.group(1)):
-                    seen.add(ip_to_int(match.group(1)))
+            texts.update(DOTTED_QUAD_RE.findall(text))
+        seen = set()
+        for quad in texts:
+            try:
+                seen.add(ip_to_int(quad))
+            except ValueError:
+                continue  # octet out of range: not an address
         return seen
 
     def _scan_system_ids(self, configs: Dict[str, str]) -> set:

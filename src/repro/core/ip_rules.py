@@ -19,7 +19,6 @@ from repro.netutil import (
     classful_prefix_len,
     int_to_ip,
     ip_to_int,
-    is_ipv4,
     network_address,
     wildcard_to_len,
 )
@@ -61,7 +60,9 @@ def build_ip_rules() -> List[Rule]:
 
     def apply_addr_mask(line, ctx):
         def handler(match):
-            if not (is_ipv4(match.group(2)) and is_ipv4(match.group(4))):
+            # Both quads must be valid before either is mapped (mapping
+            # eagerly would skew counters when the other one is bogus).
+            if not (ctx.quad_valid(match.group(2)) and ctx.quad_valid(match.group(4))):
                 return None
             return [
                 (match.group(1), False),
@@ -88,10 +89,13 @@ def build_ip_rules() -> List[Rule]:
 
     def apply_prefix(line, ctx):
         def handler(match):
-            if not is_ipv4(match.group(1)) or int(match.group(2)) > 32:
+            if int(match.group(2)) > 32:
+                return None
+            mapped = ctx.map_ip_text_or_none(match.group(1))
+            if mapped is None:
                 return None
             return [
-                (ctx.map_ip_text(match.group(1)), True),
+                (mapped, True),
                 ("/" + match.group(2), True),
             ]
 
@@ -112,9 +116,9 @@ def build_ip_rules() -> List[Rule]:
 
     def apply_network(line, ctx):
         def handler(match):
-            if not is_ipv4(match.group(2)):
+            mapped = ctx.map_ip_text_or_none(match.group(2))
+            if mapped is None:
                 return None
-            mapped = ctx.map_ip_text(match.group(2))
             if not match.group(3):
                 # A bare `network <addr>` (RIP/IGRP/EIGRP classful form):
                 # IOS canonicalizes these to the classful network address,
@@ -148,16 +152,20 @@ def build_ip_rules() -> List[Rule]:
 
     def apply_bare(line, ctx):
         def pair_handler(match):
-            base_text, wildcard_text = match.group(1), match.group(3)
-            if not (is_ipv4(base_text) and is_ipv4(wildcard_text)):
+            wildcard_text = match.group(3)
+            try:
+                wildcard = ip_to_int(wildcard_text)
+            except ValueError:
                 return None
-            wildcard = ip_to_int(wildcard_text)
             if wildcard_to_len(wildcard) is None or wildcard == 0:
                 return None  # not an address + contiguous-wildcard pair
+            pair = ctx.map_ip_text_value(match.group(1))
+            if pair is None:
+                return None
             # Clear the wildcard (don't-care) bits of the mapped base: the
             # ACL semantics are identical and the output reads like the
             # canonical form operators write.
-            mapped = ip_to_int(ctx.map_ip_text(base_text)) & ~wildcard & 0xFFFFFFFF
+            mapped = pair[1] & ~wildcard & 0xFFFFFFFF
             return [
                 (int_to_ip(mapped), True),
                 (match.group(2), False),
@@ -165,9 +173,10 @@ def build_ip_rules() -> List[Rule]:
             ]
 
         def handler(match):
-            if not is_ipv4(match.group(1)):
+            mapped = ctx.map_ip_text_or_none(match.group(1))
+            if mapped is None:
                 return None
-            return [(ctx.map_ip_text(match.group(1)), True)]
+            return [(mapped, True)]
 
         hits = line.apply_rule(pair_re, pair_handler)
         return hits + line.apply_rule(bare_re, handler)

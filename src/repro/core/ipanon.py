@@ -54,7 +54,13 @@ import random
 from typing import Optional, Union
 
 from repro.core.secrets import derive_key, derive_seed_int, normalize_salt
-from repro.netutil import IPV4_MAX, int_to_ip, ip_to_int, mask_for_len
+from repro.netutil import (
+    IPV4_MAX,
+    int_to_ip,
+    ip_to_int,
+    mask_for_len,
+    trailing_zero_bits,
+)
 
 
 class SpecialAddresses:
@@ -154,6 +160,18 @@ class PrefixPreservingMap:
         salt = normalize_salt(salt)
         self._rng = random.Random(derive_seed_int(salt, "ip-trie-flip-bits"))
         self._flips = {}
+        # value -> raw_map(value) memo.  A trie node's flip bit never
+        # changes once created, so the mapping of a given value is stable
+        # for the life of the trie and the 32-level walk (32 dict probes
+        # plus a keyed hash per fresh node) collapses to one dict hit for
+        # every repeat — the common case, since the freeze phase preloads
+        # every corpus address before the rewrite starts.  Invalidated
+        # only when `_flips` is *replaced* wholesale (state import).
+        self._raw_cache = {}
+        # dotted-quad text -> rule-level outcome memo, owned by
+        # RuleContext.map_ip_text (stored here so it shares this trie's
+        # lifecycle: same stability argument, same invalidation).
+        self._text_cache = {}
         self._frozen = False
         self._frozen_flip_key = derive_key(salt, "ip-trie-frozen-flip-bits")
         self.class_preserving = class_preserving
@@ -169,19 +187,32 @@ class PrefixPreservingMap:
 
     def raw_map(self, value: int) -> int:
         """The pure trie permutation (no special handling)."""
+        cached = self._raw_cache.get(value)
+        if cached is not None:
+            return cached
         if not 0 <= value <= IPV4_MAX:
             raise ValueError("not a 32-bit address: {!r}".format(value))
         output = 0
+        flips = self._flips
+        shapeable = -1  # lazily computed, shared by every node of this walk
         for depth in range(32):
             prefix = value >> (32 - depth)
             key = (depth, prefix)
-            flip = self._flips.get(key)
+            flip = flips.get(key)
             if flip is None:
-                flip = self._new_flip(depth, prefix, value)
-                self._flips[key] = flip
+                if shapeable < 0:
+                    shapeable = self._shapeable_zeros(value)
+                flip = self._new_flip(depth, prefix, value, shapeable)
+                flips[key] = flip
             bit = (value >> (31 - depth)) & 1
             output = (output << 1) | (bit ^ flip)
+        self._raw_cache[value] = output
         return output
+
+    def invalidate_cache(self) -> None:
+        """Drop the mapping memos (call after replacing ``_flips``)."""
+        self._raw_cache.clear()
+        self._text_cache.clear()
 
     def freeze(self) -> None:
         """Detach any *future* flip bits from the RNG stream.
@@ -206,7 +237,9 @@ class PrefixPreservingMap:
     def frozen(self) -> bool:
         return self._frozen
 
-    def _new_flip(self, depth: int, prefix: int, value: int) -> int:
+    def _new_flip(
+        self, depth: int, prefix: int, value: int, shapeable: int = -1
+    ) -> int:
         if self._frozen:
             # Post-freeze flip bits are a pure function of (secret, depth,
             # prefix) — never of `value` or of RNG position — so a node
@@ -230,14 +263,15 @@ class PrefixPreservingMap:
         if self.subnet_shaping:
             remaining = value & ((1 << (32 - depth)) - 1)
             zero_suffix_len = 32 - depth
-            if remaining == 0 and zero_suffix_len <= self._shapeable_zeros(value):
-                return 0
+            if remaining == 0:
+                if shapeable < 0:
+                    shapeable = self._shapeable_zeros(value)
+                if zero_suffix_len <= shapeable:
+                    return 0
         return drawn
 
     def _shapeable_zeros(self, value: int) -> int:
         """How many trailing zeros of *value* qualify for shaping."""
-        from repro.netutil import trailing_zero_bits
-
         zeros = trailing_zero_bits(value)
         if zeros >= self.subnet_shaping_min_zeros:
             return zeros

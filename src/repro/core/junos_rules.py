@@ -17,7 +17,6 @@ import re
 from typing import List
 
 from repro.core.asn_rules import _map_community_tokens, _map_number_group, _map_number_list
-from repro.core.regexlang import rewrite_aspath_regex, rewrite_community_regex
 from repro.core.rulebase import Rule
 
 
@@ -70,13 +69,9 @@ def build_junos_rules() -> List[Rule]:
 
     def apply_aspath(line, ctx):
         def handler(match):
-            outcome = rewrite_aspath_regex(
-                match.group(3),
-                ctx.asn_map.map_asn,
-                style=ctx.config.regex_style,
-                max_language=ctx.config.max_regex_language,
-                anchored=True,  # JunOS as-path regexps match the whole path
-            )
+            # JunOS as-path regexps match the whole path (anchored);
+            # memoized per anonymizer like the IOS R14 rewrite.
+            outcome = ctx.rewrite_aspath_cached(match.group(3), anchored=True)
             ctx.report.seen_asns.update(outcome.asns_seen)
             if outcome.changed:
                 ctx.report.regexps_rewritten += 1
@@ -111,14 +106,8 @@ def build_junos_rules() -> List[Rule]:
 
     def apply_community(line, ctx):
         def regex_handler(match):
-            outcome = rewrite_community_regex(
-                match.group(3),
-                ctx.asn_map.map_asn,
-                ctx.community.map_value,
-                style=ctx.config.regex_style,
-                max_language=ctx.config.max_regex_language,
-                anchored=True,  # JunOS community regexps are anchored
-            )
+            # JunOS community regexps are anchored; memoized rewrite.
+            outcome = ctx.rewrite_community_cached(match.group(3), anchored=True)
             ctx.report.seen_asns.update(outcome.asns_seen)
             if outcome.changed:
                 ctx.report.regexps_rewritten += 1

@@ -89,3 +89,16 @@ class SegmentedLine:
             segment.text = "".join(
                 part if part.isspace() or not part else mapper(part) for part in parts
             )
+
+    def map_live_text(self, text_mapper: Callable[[str], str]) -> None:
+        """Like :meth:`map_live_tokens`, but hands each live segment's
+        whole text to *text_mapper* (which must preserve whitespace).
+
+        Lets :meth:`repro.core.tokens.TokenAnonymizer.anonymize_text`
+        memoize at segment granularity — the inter-match residue of
+        rewritten lines ("  neighbor ", " remote-as ") repeats heavily.
+        """
+        for segment in self.segments:
+            if segment.frozen or not segment.text:
+                continue
+            segment.text = text_mapper(segment.text)

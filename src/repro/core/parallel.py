@@ -18,12 +18,27 @@ The pipeline:
    the vocabulary, pre-maps ASNs/communities, and freezes the trie (any
    address the scan missed maps through a pure keyed hash instead of the
    RNG stream, so even a scanner gap cannot introduce order dependence).
-2. **Snapshot** — the frozen shared maps are captured in a picklable
-   :class:`FrozenSnapshot` and shipped to each worker exactly once (via
-   the pool initializer, not per task).
-3. **Rewrite** — each worker reconstructs an :class:`Anonymizer` from the
-   snapshot (rules are rebuilt in-process; compiled regexes and closures
-   never cross the process boundary) and rewrites whole files.
+2. **Snapshot** — the frozen shared maps are captured in a
+   :class:`FrozenSnapshot` and made visible to every worker **once**, via
+   a *snapshot transport*:
+
+   - ``fork`` (the default where available) — the snapshot is published
+     in a module global and worker processes are forked, inheriting it
+     through copy-on-write pages: zero serialization, zero copies.
+   - ``shm`` — the snapshot is pickled **once** into a
+     :mod:`multiprocessing.shared_memory` segment; each worker attaches
+     to the segment by name and deserializes from the shared buffer (one
+     parent-side pickle total, instead of one per worker).
+   - ``pickle`` — the legacy path: the snapshot travels in the pool
+     initializer's arguments.
+
+3. **Rewrite** — each worker builds an :class:`Anonymizer` *around* the
+   snapshot's dicts (``restore(share=True)``: rules and compiled regexes
+   are rebuilt in-process, the frozen dicts are adopted, not copied) and
+   rewrites whole files.  Files are batched into **chunked tasks** so
+   submit/result overhead is amortized over many small configs; failure
+   isolation stays per-file (a chunk catches each file's exceptions
+   individually).
 4. **Merge** — per-file :class:`AnonymizationReport`\\ s and hash-cache
    deltas are folded into the parent in sorted-file-name order — the same
    order the sequential pipeline uses — so the combined report equals the
@@ -36,8 +51,9 @@ compare against.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import AnonymizerConfig
 from repro.core.engine import AnonymizedNetwork, Anonymizer
@@ -45,9 +61,14 @@ from repro.core.report import AnonymizationReport
 
 __all__ = [
     "FrozenSnapshot",
+    "SNAPSHOT_TRANSPORTS",
     "anonymize_files",
     "anonymize_network_parallel",
+    "resolve_transport",
 ]
+
+#: Recognized snapshot transports (``auto`` resolves at run time).
+SNAPSHOT_TRANSPORTS = ("auto", "fork", "shm", "pickle")
 
 
 @dataclass
@@ -80,32 +101,181 @@ class FrozenSnapshot:
             community_cache=dict(anonymizer.community._cache),
         )
 
-    def restore(self) -> Anonymizer:
-        """Build a worker-local Anonymizer over this frozen state."""
+    def restore(self, share: bool = False) -> Anonymizer:
+        """Build a worker-local Anonymizer over this frozen state.
+
+        ``share=False`` (the default, for arbitrary callers) copies every
+        dict so the snapshot stays pristine.  ``share=True`` adopts the
+        snapshot's dicts directly — the right choice whenever the
+        snapshot exists solely to back one restore: a forked worker
+        (adopting touches copy-on-write pages, never the parent), a
+        worker that just unpickled its own private snapshot, or the
+        in-process retry tail (one local anonymizer for the whole tail).
+        Restores sharing one snapshot see each other's cache *additions*;
+        every addition is a pure function of the salt, so outputs are
+        unaffected — only ``share=False`` guarantees the snapshot's dicts
+        never grow.
+        """
         anonymizer = Anonymizer(self.config)
-        anonymizer.ip_map._flips = dict(self.ip_flips)
+        if share:
+            anonymizer.ip_map._flips = self.ip_flips
+            anonymizer.hasher._cache = self.hash_cache
+            anonymizer.token_anon._word_cache = self.word_cache
+            anonymizer.asn_map._seen = self.asn_cache
+            anonymizer.community._cache = self.community_cache
+        else:
+            anonymizer.ip_map._flips = dict(self.ip_flips)
+            anonymizer.hasher._cache = dict(self.hash_cache)
+            anonymizer.token_anon._word_cache = dict(self.word_cache)
+            anonymizer.asn_map._seen = dict(self.asn_cache)
+            anonymizer.community._cache = dict(self.community_cache)
         if self.ip_frozen:
             anonymizer.ip_map.freeze()
-        anonymizer.hasher._cache = dict(self.hash_cache)
-        anonymizer.token_anon._word_cache = dict(self.word_cache)
-        anonymizer.asn_map._seen = dict(self.asn_cache)
-        anonymizer.community._cache = dict(self.community_cache)
         return anonymizer
 
 
-#: One worker's Anonymizer, built once per process by :func:`_init_worker`.
+def resolve_transport(requested: str = "auto") -> str:
+    """Resolve a snapshot transport name to a concrete strategy."""
+    if requested not in SNAPSHOT_TRANSPORTS:
+        raise ValueError(
+            "snapshot transport must be one of {}, not {!r}".format(
+                "/".join(SNAPSHOT_TRANSPORTS), requested
+            )
+        )
+    if requested != "auto":
+        return requested
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "shm"
+
+
+#: One worker's Anonymizer, built once per process by the initializers.
 _WORKER_ANONYMIZER: Optional[Anonymizer] = None
 
-#: True only in pool worker processes (set by the initializer).  The
+#: True only in pool worker processes (set by the initializers).  The
 #: ``worker-exit`` fault consults it so an injected crash can never kill
 #: the parent when a task falls back to in-process rewriting.
 _IN_WORKER = False
 
+#: The snapshot published for fork-transport workers; children inherit it
+#: through copy-on-write, so it is never serialized at all.
+_FORK_SNAPSHOT: Optional[FrozenSnapshot] = None
+
+
+def _adopt_snapshot(snapshot: FrozenSnapshot) -> None:
+    global _WORKER_ANONYMIZER, _IN_WORKER
+    _WORKER_ANONYMIZER = snapshot.restore(share=True)
+    _IN_WORKER = True
+
 
 def _init_worker(snapshot: FrozenSnapshot) -> None:
-    global _WORKER_ANONYMIZER, _IN_WORKER
-    _WORKER_ANONYMIZER = snapshot.restore()
-    _IN_WORKER = True
+    """Legacy ``pickle`` transport: the snapshot rode in the initargs."""
+    _adopt_snapshot(snapshot)
+
+
+def _init_worker_fork() -> None:
+    """``fork`` transport: the snapshot was inherited copy-on-write."""
+    _adopt_snapshot(_FORK_SNAPSHOT)
+
+
+def _init_worker_shm(segment_name: str, payload_size: int) -> None:
+    """``shm`` transport: deserialize from the shared-memory segment."""
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=segment_name)
+    try:
+        snapshot = pickle.loads(bytes(segment.buf[:payload_size]))
+    finally:
+        segment.close()
+        _untrack_shm(segment_name)
+    _adopt_snapshot(snapshot)
+
+
+def _untrack_shm(name: str) -> None:
+    """Undo the attach-side resource-tracker registration (< 3.13).
+
+    Before Python 3.13 every ``SharedMemory`` attach registers the
+    segment with the process's resource tracker, which would then try to
+    unlink it again when the worker exits; the parent owns the segment's
+    lifecycle, so the duplicate registration is dropped.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+class _SnapshotPools:
+    """Process-pool factory whose workers attach to one shared snapshot.
+
+    Publishes the snapshot once according to the transport (module global
+    for ``fork``, a single pickle into shared memory for ``shm``, nothing
+    for ``pickle``), builds any number of pools against it, and tears the
+    shared resources down on exit.
+    """
+
+    def __init__(self, snapshot: FrozenSnapshot, transport: str):
+        self.transport = transport
+        self._snapshot = snapshot
+        self._shm = None
+        self._payload_size = 0
+
+    def __enter__(self) -> "_SnapshotPools":
+        if self.transport == "fork":
+            global _FORK_SNAPSHOT
+            _FORK_SNAPSHOT = self._snapshot
+        elif self.transport == "shm":
+            from multiprocessing import shared_memory
+
+            payload = pickle.dumps(
+                self._snapshot, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._payload_size = len(payload)
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload))
+            )
+            self._shm.buf[: len(payload)] = payload
+        return self
+
+    def make_pool(self, max_workers: int):
+        from concurrent.futures import ProcessPoolExecutor
+
+        if self.transport == "fork":
+            import multiprocessing
+
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_init_worker_fork,
+            )
+        if self.transport == "shm":
+            return ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker_shm,
+                initargs=(self._shm.name, self._payload_size),
+            )
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(self._snapshot,),
+        )
+
+    def __exit__(self, *exc_info) -> bool:
+        if self.transport == "fork":
+            global _FORK_SNAPSHOT
+            _FORK_SNAPSHOT = None
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+        return False
 
 
 def _rewrite_with(anonymizer: Anonymizer, name: str, text: str):
@@ -115,30 +285,51 @@ def _rewrite_with(anonymizer: Anonymizer, name: str, text: str):
     The hash-cache delta (tokens first hashed while rewriting this file)
     rides back so the parent's ``hashed_inputs`` record — the leak
     scanner's ground truth — stays as complete as a sequential run's.
-    New entries append to the end of the dict (insertion order), so the
-    delta is a cheap slice.
+    The hasher tracks new keys incrementally, so extracting the delta is
+    O(new tokens) rather than O(cache): at corpus scale the cache holds
+    the whole warmed vocabulary, and materializing it per file was the
+    dominant per-task cost.
     """
-    cache = anonymizer.hasher._cache
-    cache_size_before = len(cache)
+    hasher = anonymizer.hasher
+    hasher.begin_cache_delta()
     out, file_report = anonymizer.anonymize_file(text, source=name)
-    if len(cache) > cache_size_before:
-        items = list(cache.items())
-        hashed_delta = dict(items[cache_size_before:])
-    else:
-        hashed_delta = {}
-    return name, out, file_report, hashed_delta
+    return name, out, file_report, hasher.take_cache_delta()
+
+
+def _maybe_kill_worker(anonymizer: Anonymizer, name: str) -> None:
+    plan = anonymizer.fault_plan
+    if plan is not None and _IN_WORKER and plan.should_kill_worker(name):
+        import os
+
+        os._exit(87)  # simulate a hard worker death (segfault / OOM-kill)
 
 
 def _rewrite_one(task: Tuple[str, str]):
     """Worker task: anonymize one file against the frozen snapshot."""
     name, text = task
     anonymizer = _WORKER_ANONYMIZER
-    plan = anonymizer.fault_plan
-    if plan is not None and _IN_WORKER and plan.should_kill_worker(name):
-        import os
-
-        os._exit(87)  # simulate a hard worker death (segfault / OOM-kill)
+    _maybe_kill_worker(anonymizer, name)
     return _rewrite_with(anonymizer, name, text)
+
+
+def _rewrite_chunk(tasks: Sequence[Tuple[str, str]]):
+    """Worker task: anonymize a batch of files against the snapshot.
+
+    Chunking amortizes submit/result/pickling overhead over many small
+    files while keeping failure isolation per-file: each file's
+    exceptions are caught individually, so one poisoned file quarantines
+    itself, not its chunk-mates.  (A hard worker death still takes the
+    whole chunk down; the caller's retry pass settles those per-file.)
+    """
+    anonymizer = _WORKER_ANONYMIZER
+    outcomes = []
+    for name, text in tasks:
+        _maybe_kill_worker(anonymizer, name)
+        try:
+            outcomes.append(("ok", _rewrite_with(anonymizer, name, text)))
+        except Exception as exc:
+            outcomes.append(("err", (name, _quarantine_reason(exc))))
+    return outcomes
 
 
 def _quarantine_reason(exc: BaseException) -> str:
@@ -147,8 +338,27 @@ def _quarantine_reason(exc: BaseException) -> str:
     return type(exc).__name__
 
 
+def _chunk_names(names: List[str], jobs: int, chunk_files: int) -> List[List[str]]:
+    """Batch sorted file names into chunked tasks.
+
+    ``chunk_files <= 0`` picks a size automatically: about four chunks
+    per worker (so a slow chunk cannot serialize the pool) capped at 32
+    files (so one chunk's results never balloon a single IPC message).
+    """
+    if chunk_files <= 0:
+        chunk_files = max(1, min(32, -(-len(names) // (jobs * 4))))
+    return [
+        names[index : index + chunk_files]
+        for index in range(0, len(names), chunk_files)
+    ]
+
+
 def anonymize_files(
-    anonymizer: Anonymizer, configs: Dict[str, str], jobs: int = 1
+    anonymizer: Anonymizer,
+    configs: Dict[str, str],
+    jobs: int = 1,
+    transport: Optional[str] = None,
+    chunk_files: Optional[int] = None,
 ) -> Dict[str, str]:
     """Rewrite every file of an already-frozen corpus, possibly in parallel.
 
@@ -158,6 +368,12 @@ def anonymize_files(
     responsible for having run :meth:`Anonymizer.freeze_mappings` when
     ``jobs > 1`` — without the freeze, parallel output would depend on
     which worker first saw each address.
+
+    ``transport`` picks how the frozen snapshot reaches the workers (one
+    of :data:`SNAPSHOT_TRANSPORTS`) and ``chunk_files`` how many files
+    ride in one worker task; both default to the anonymizer's config.
+    Output is byte-identical across every transport, chunk size, and
+    worker count.
 
     Failure isolation is per file and fail-closed: a file whose rewrite
     raises — or whose worker process dies, surfacing as
@@ -183,67 +399,89 @@ def anonymize_files(
             outputs[name] = out
         return outputs
 
-    from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
+
+    config = anonymizer.config
+    if transport is None:
+        transport = config.snapshot_transport
+    transport = resolve_transport(transport)
+    if chunk_files is None:
+        chunk_files = config.chunk_files
 
     snapshot = FrozenSnapshot.capture(anonymizer)
     results: Dict[str, Tuple[str, AnonymizationReport, Dict[str, str]]] = {}
     quarantined: Dict[str, str] = {}
     unfinished: List[str] = []
+    chunks = _chunk_names(names, jobs, chunk_files)
 
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(names)),
-        initializer=_init_worker,
-        initargs=(snapshot,),
-    ) as pool:
-        futures = [
-            (name, pool.submit(_rewrite_one, (name, configs[name])))
-            for name in names
-        ]
-        for name, future in futures:
-            try:
-                _, out, file_report, hashed_delta = future.result()
-            except BrokenProcessPool:
-                # The dying worker poisons every unfinished future; which
-                # file actually killed it is settled by the retry below.
-                unfinished.append(name)
-            except Exception as exc:
-                quarantined[name] = _quarantine_reason(exc)
-            else:
-                results[name] = (out, file_report, hashed_delta)
-
-    if unfinished:
-        # Respawn the pool once and retry with a single task in flight at
-        # a time: if the pool breaks again, the in-flight file *is* the
-        # poisoned one.  Files after it finish in-process (the snapshot
-        # restore is exactly what a worker would have run).
-        in_process_from = len(unfinished)
-        with ProcessPoolExecutor(
-            max_workers=1, initializer=_init_worker, initargs=(snapshot,)
-        ) as retry_pool:
-            for index, name in enumerate(unfinished):
-                try:
-                    _, out, file_report, hashed_delta = retry_pool.submit(
-                        _rewrite_one, (name, configs[name])
-                    ).result()
-                except BrokenProcessPool as exc:
-                    quarantined[name] = _quarantine_reason(exc)
-                    in_process_from = index + 1
-                    break
-                except Exception as exc:
-                    quarantined[name] = _quarantine_reason(exc)
-                else:
-                    results[name] = (out, file_report, hashed_delta)
-        for name in unfinished[in_process_from:]:
-            local = snapshot.restore()
-            try:
-                _, out, file_report, hashed_delta = _rewrite_with(
-                    local, name, configs[name]
+    with _SnapshotPools(snapshot, transport) as pools:
+        with pools.make_pool(min(jobs, len(chunks))) as pool:
+            futures = [
+                (
+                    chunk,
+                    pool.submit(
+                        _rewrite_chunk, [(name, configs[name]) for name in chunk]
+                    ),
                 )
-            except Exception as exc:
-                quarantined[name] = _quarantine_reason(exc)
-            else:
-                results[name] = (out, file_report, hashed_delta)
+                for chunk in chunks
+            ]
+            for chunk, future in futures:
+                try:
+                    outcomes = future.result()
+                except BrokenProcessPool:
+                    # The dying worker poisons every unfinished future;
+                    # which file actually killed it is settled by the
+                    # per-file retry below.
+                    unfinished.extend(chunk)
+                except Exception as exc:
+                    for name in chunk:
+                        quarantined[name] = _quarantine_reason(exc)
+                else:
+                    for status, payload in outcomes:
+                        if status == "ok":
+                            name, out, file_report, hashed_delta = payload
+                            results[name] = (out, file_report, hashed_delta)
+                        else:
+                            name, reason = payload
+                            quarantined[name] = reason
+
+        if unfinished:
+            # Respawn the pool once and retry with a single file in
+            # flight at a time: if the pool breaks again, the in-flight
+            # file *is* the poisoned one.  Files after it finish
+            # in-process (the snapshot restore is exactly what a worker
+            # would have run).
+            in_process_from = len(unfinished)
+            with pools.make_pool(1) as retry_pool:
+                for index, name in enumerate(unfinished):
+                    try:
+                        _, out, file_report, hashed_delta = retry_pool.submit(
+                            _rewrite_one, (name, configs[name])
+                        ).result()
+                    except BrokenProcessPool as exc:
+                        quarantined[name] = _quarantine_reason(exc)
+                        in_process_from = index + 1
+                        break
+                    except Exception as exc:
+                        quarantined[name] = _quarantine_reason(exc)
+                    else:
+                        results[name] = (out, file_report, hashed_delta)
+            remaining = unfinished[in_process_from:]
+            if remaining:
+                # One worker-equivalent anonymizer finishes the whole
+                # tail, adopting the snapshot's dicts instead of copying
+                # them per file (a pool worker reuses its anonymizer
+                # across files the same way).
+                local = snapshot.restore(share=True)
+                for name in remaining:
+                    try:
+                        _, out, file_report, hashed_delta = _rewrite_with(
+                            local, name, configs[name]
+                        )
+                    except Exception as exc:
+                        quarantined[name] = _quarantine_reason(exc)
+                    else:
+                        results[name] = (out, file_report, hashed_delta)
 
     for name in names:  # merge in the sequential pipeline's order
         if name in quarantined:

@@ -60,6 +60,13 @@ from repro.core.asn import is_public_asn
 #: The full 16-bit ASN universe as strings (computed once).
 _UNIVERSE: Tuple[str, ...] = tuple(str(n) for n in range(65536))
 
+#: Language-computation memos.  A branch's language is a pure function of
+#: its pattern text (and matching mode) — never of any salt — so one
+#: brute-force enumeration serves every anonymizer in the process.  Keys
+#: are ``(pattern_text, anchored)`` / ``(pattern_text, side, anchored)``.
+_NODE_LANG_MEMO: dict = {}
+_SIDE_LANG_MEMO: dict = {}
+
 #: A pattern that can never match any subject (used when anonymity forces
 #: us to discard a regexp we cannot safely rewrite).
 NEVER_MATCH_PATTERN = "^never-match$"
@@ -94,11 +101,62 @@ def asn_language(pattern: str, anchored: bool = False) -> Set[int]:
 
 def _node_language(node: RegexNode, anchored: bool = False) -> Set[int]:
     body = to_python_regex(node)
+    key = (body, anchored)
+    cached = _NODE_LANG_MEMO.get(key)
+    if cached is not None:
+        return cached
     if anchored:
         compiled = re.compile("^(?:" + body + ")$")
-        return {n for n in range(65536) if compiled.match(_UNIVERSE[n])}
-    compiled = re.compile(body)
-    return {n for n in range(65536) if compiled.search(_UNIVERSE[n])}
+        language = {n for n in range(65536) if compiled.match(_UNIVERSE[n])}
+    else:
+        compiled = re.compile(body)
+        language = {n for n in range(65536) if compiled.search(_UNIVERSE[n])}
+    _NODE_LANG_MEMO[key] = language
+    return language
+
+
+def _digit_literal_text(node: RegexNode) -> Optional[str]:
+    """The digit string of a branch built only from digit literals
+    (``701`` as Concat(Literal('7'), ...)), or ``None``."""
+    parts = _flatten_concat(node)
+    if not parts or not all(
+        isinstance(p, Literal) and p.char.isdigit() for p in parts
+    ):
+        return None
+    return "".join(p.char for p in parts)
+
+
+def _suffix_language(digits: str) -> Set[int]:
+    """``{n in [0, 65535] : str(n).endswith(digits)}`` without regexes.
+
+    Every such n is ``d * 10^len(digits) + int(digits)`` for some leading
+    part d >= 1, plus ``int(digits)`` itself when the digit string has no
+    leading zero (canonical decimals never do).
+    """
+    width = len(digits)
+    value = int(digits)
+    out: Set[int] = set()
+    if value <= 65535 and str(value) == digits:
+        out.add(value)
+    step = 10 ** width
+    lead = 1
+    while lead * step + value <= 65535:
+        out.add(lead * step + value)
+        lead += 1
+    return out
+
+
+def _prefix_language(digits: str) -> Set[int]:
+    """``{n in [0, 65535] : str(n).startswith(digits)}`` without regexes."""
+    if digits.startswith("0"):
+        # Canonical decimals start with 0 only for 0 itself.
+        return {0} if "0".startswith(digits) else set()
+    out: Set[int] = set()
+    for extra in range(6 - len(digits)):
+        low = int(digits + "0" * extra)
+        high = low + 10 ** extra
+        out.update(range(low, min(high, 65536)))
+    return out
 
 
 def _mentions_digit(node: RegexNode) -> bool:
@@ -289,19 +347,43 @@ def _side_language(node: RegexNode, side: str, anchored: bool = False) -> Set[in
     the right side ``:<pattern>`` against ``":<value>"``.  With
     ``anchored`` (JunOS) the side must additionally reach the subject edge.
     """
+    # Pure digit-literal sides (by far the common case: `_701:1234_`)
+    # have closed-form languages — no 2^16 regex probes needed.  The
+    # subject for the left side is "<value>:", so an unanchored literal
+    # matches exactly the values whose decimal *ends with* it; for the
+    # right side ":<value>" it is the values *starting with* it (digits
+    # cannot match the colon).  Anchored (JunOS) sides must consume the
+    # whole value, so only the exact decimal qualifies.
+    digits = _digit_literal_text(node)
+    if digits is not None:
+        if anchored:
+            value = int(digits)
+            return {value} if value <= 65535 and str(value) == digits else set()
+        return _suffix_language(digits) if side == "left" else _prefix_language(digits)
+
+    pattern_text = to_python_regex(node)
+    key = (pattern_text, side, anchored)
+    cached = _SIDE_LANG_MEMO.get(key)
+    if cached is not None:
+        return cached
     if side == "left":
-        body = to_python_regex(node) + ":"
+        body = pattern_text + ":"
         if anchored:
             compiled = re.compile("^(?:" + body + ")")
-            return {n for n in range(65536) if compiled.match(_UNIVERSE[n] + ":")}
-        compiled = re.compile(body)
-        return {n for n in range(65536) if compiled.search(_UNIVERSE[n] + ":")}
-    body = ":" + to_python_regex(node)
-    if anchored:
-        compiled = re.compile("(?:" + body + ")$")
-        return {n for n in range(65536) if compiled.search(":" + _UNIVERSE[n])}
-    compiled = re.compile(body)
-    return {n for n in range(65536) if compiled.search(":" + _UNIVERSE[n])}
+            language = {n for n in range(65536) if compiled.match(_UNIVERSE[n] + ":")}
+        else:
+            compiled = re.compile(body)
+            language = {n for n in range(65536) if compiled.search(_UNIVERSE[n] + ":")}
+    else:
+        body = ":" + pattern_text
+        if anchored:
+            compiled = re.compile("(?:" + body + ")$")
+            language = {n for n in range(65536) if compiled.search(":" + _UNIVERSE[n])}
+        else:
+            compiled = re.compile(body)
+            language = {n for n in range(65536) if compiled.search(":" + _UNIVERSE[n])}
+    _SIDE_LANG_MEMO[key] = language
+    return language
 
 
 def _values_to_node(values: Sequence[int], style: str) -> Optional[RegexNode]:

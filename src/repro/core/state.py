@@ -108,6 +108,7 @@ def import_state(anonymizer: Anonymizer, state: Dict) -> None:
     # document can never leave the anonymizer half-restored.
     ip_map = anonymizer.ip_map
     ip_map._flips = flips
+    ip_map.invalidate_cache()  # the trie was replaced wholesale
     ip_map._rng.setstate(rng_state)
     ip_map.collision_walks = collision_walks
     ip_map.addresses_mapped = addresses_mapped
@@ -258,6 +259,11 @@ def apply_state_delta(anonymizer: Anonymizer, delta: Dict) -> None:
         ) from exc
     ip_map = anonymizer.ip_map
     ip_map._flips.update(flips)
+    # Deltas only ever append nodes the journaling session created, but a
+    # replayed key could in principle collide with a locally-created node
+    # (pre-freeze RNG draws are position-dependent); drop the raw-map memo
+    # so replay can never serve a mapping computed from stale flips.
+    ip_map.invalidate_cache()
     if rng_state is not None:
         ip_map._rng.setstate(rng_state)
     ip_map.collision_walks = collision_walks

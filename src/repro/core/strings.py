@@ -38,6 +38,11 @@ class StringHasher:
         # identical key/value pairs when kept separately, which doubled
         # memory on large corpora.)
         self._cache: Dict[str, str] = {}
+        # When delta tracking is on (parallel workers), every *new* cache
+        # key is appended here so "tokens first hashed since X" is O(new
+        # tokens), not O(cache) — at corpus scale the cache holds the
+        # whole vocabulary and slicing it per file was quadratic.
+        self._delta_keys = None
 
     def hash_token(self, token: str) -> str:
         """Return the anonymized form of *token*.
@@ -54,7 +59,25 @@ class StringHasher:
         if out.isdigit():
             out = "h" + out[:-1]
         self._cache[token] = out
+        if self._delta_keys is not None:
+            self._delta_keys.append(token)
         return out
+
+    def begin_cache_delta(self) -> None:
+        """Start (or restart) tracking newly-hashed tokens incrementally."""
+        self._delta_keys = []
+
+    def take_cache_delta(self) -> Dict[str, str]:
+        """The tokens first hashed since :meth:`begin_cache_delta`.
+
+        Returns them as a ``{token: digest}`` dict and resets the
+        tracker, so consecutive calls partition the new entries.  Safe to
+        call only while tracking is active.
+        """
+        cache = self._cache
+        delta = {token: cache[token] for token in self._delta_keys}
+        self._delta_keys = []
+        return delta
 
     @property
     def hashed_inputs(self) -> Mapping[str, str]:

@@ -28,6 +28,14 @@ from repro.core.strings import StringHasher
 
 _ALPHA_RUN = re.compile(r"[A-Za-z]+|[^A-Za-z]+")
 
+#: Whitespace splitter shared with the engine's token pass (must mirror
+#: :meth:`repro.core.line.SegmentedLine.map_live_tokens` exactly).
+_WS_SPLIT = re.compile(r"(\s+)")
+
+#: Bound on the text-span memo (entries).  Keys are whole line/segment
+#: texts, so unlike the word cache this one is explicitly capped.
+_TEXT_CACHE_MAX = 1 << 16
+
 
 def segment_word(word: str) -> List[Tuple[str, bool]]:
     """Split *word* into runs; each item is ``(run, is_alphabetic)``."""
@@ -52,6 +60,12 @@ class TokenAnonymizer:
         self.tokens_hashed = 0
         #: word -> (anonymized word, tokens_seen delta, tokens_hashed delta)
         self._word_cache = {}
+        #: text span -> (anonymized span, seen delta, hashed delta); spans
+        #: are whole lines / live segments, which repeat heavily in config
+        #: corpora ("!", " exit", " no ip directed-broadcast", the
+        #: inter-match residue of rewritten lines).  Bounded; derived
+        #: purely from the word cache, so it needs no separate snapshot.
+        self._text_cache = {}
 
     def _compute_word(self, word: str):
         out = []
@@ -79,6 +93,35 @@ class TokenAnonymizer:
         self.tokens_seen += seen
         self.tokens_hashed += hashed
         return result
+
+    def anonymize_text(self, text: str) -> str:
+        """Anonymize every word of a text span, whitespace preserved.
+
+        Byte-identical to mapping :meth:`anonymize_word` over a
+        ``(\\s+)``-captured split (the counters replay exactly, as with the
+        word cache), collapsed to one dict hit for repeated spans.
+        """
+        entry = self._text_cache.get(text)
+        if entry is None:
+            out = []
+            seen = hashed = 0
+            word_cache = self._word_cache
+            for part in _WS_SPLIT.split(text):
+                if not part or part[0].isspace():
+                    out.append(part)
+                    continue
+                wentry = word_cache.get(part)
+                if wentry is None:
+                    wentry = self._compute_word(part)
+                out.append(wentry[0])
+                seen += wentry[1]
+                hashed += wentry[2]
+            entry = ("".join(out), seen, hashed)
+            if len(self._text_cache) < _TEXT_CACHE_MAX:
+                self._text_cache[text] = entry
+        self.tokens_seen += entry[1]
+        self.tokens_hashed += entry[2]
+        return entry[0]
 
     def warm(self, word: str) -> None:
         """Pre-compute *word*'s anonymization without counting it.

@@ -70,12 +70,15 @@ def mask_for_len(prefix_len: int) -> int:
     return (IPV4_MAX << (32 - prefix_len)) & IPV4_MAX
 
 
+#: The 33 contiguous netmasks, inverted (mask -> prefix length).
+_MASK_TO_LEN = {
+    ((IPV4_MAX << (32 - n)) & IPV4_MAX if n else 0): n for n in range(33)
+}
+
+
 def mask_to_len(mask: int) -> Optional[int]:
     """Prefix length of a contiguous netmask, or None if non-contiguous."""
-    for prefix_len in range(33):
-        if mask == mask_for_len(prefix_len):
-            return prefix_len
-    return None
+    return _MASK_TO_LEN.get(mask)
 
 
 def wildcard_to_len(wildcard: int) -> Optional[int]:
@@ -87,11 +90,8 @@ def trailing_zero_bits(value: int) -> int:
     """Number of trailing zero bits in a 32-bit value (32 for zero)."""
     if value == 0:
         return 32
-    count = 0
-    while value & 1 == 0:
-        value >>= 1
-        count += 1
-    return count
+    # The lowest set bit isolated; its bit position is the zero count.
+    return (value & -value).bit_length() - 1
 
 
 def address_class(value: int) -> str:

@@ -327,3 +327,83 @@ class TestCliFlags:
         assert anon_files  # the run manifest is not an output file
         for path in anon_files:
             assert (out_par / path.name).read_text() == path.read_text()
+
+
+class TestSnapshotTransports:
+    """Byte-identity across every snapshot transport, worker count, and
+    chunk size — the tentpole guarantee of the compiled-dispatch PR."""
+
+    def _expected_by_original_name(self, sequential_run):
+        _, expected = sequential_run
+        return {
+            original: expected.configs[renamed]
+            for original, renamed in expected.name_map.items()
+        }
+
+    @pytest.mark.parametrize("transport", ["fork", "shm", "pickle"])
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_byte_identity_per_transport(
+        self, network_configs, sequential_run, transport, jobs
+    ):
+        import multiprocessing
+
+        if (
+            transport == "fork"
+            and "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("fork start method unavailable on this platform")
+        anonymizer = Anonymizer(salt=b"parallel-secret")
+        anonymizer.freeze_mappings(dict(network_configs))
+        outputs = anonymize_files(
+            anonymizer, dict(network_configs), jobs=jobs, transport=transport
+        )
+        assert outputs == self._expected_by_original_name(sequential_run)
+
+    @pytest.mark.parametrize("chunk_files", [1, 3, 1000])
+    def test_byte_identity_per_chunk_size(
+        self, network_configs, sequential_run, chunk_files
+    ):
+        anonymizer = Anonymizer(salt=b"parallel-secret")
+        anonymizer.freeze_mappings(dict(network_configs))
+        outputs = anonymize_files(
+            anonymizer,
+            dict(network_configs),
+            jobs=2,
+            chunk_files=chunk_files,
+        )
+        assert outputs == self._expected_by_original_name(sequential_run)
+
+    def test_transport_report_counters_match_sequential(
+        self, network_configs, sequential_run
+    ):
+        sequential_anon, _ = sequential_run
+        anonymizer = Anonymizer(salt=b"parallel-secret")
+        anonymizer.freeze_mappings(dict(network_configs))
+        anonymize_files(
+            anonymizer, dict(network_configs), jobs=2, transport="shm"
+        )
+        assert anonymizer.report.to_dict() == sequential_anon.report.to_dict()
+
+    def test_resolve_transport_rejects_unknown(self):
+        from repro.core.parallel import resolve_transport
+
+        with pytest.raises(ValueError):
+            resolve_transport("carrier-pigeon")
+        assert resolve_transport("shm") == "shm"
+        assert resolve_transport("auto") in ("fork", "shm")
+
+    def test_config_validates_transport_and_chunk(self):
+        with pytest.raises(ValueError):
+            AnonymizerConfig(salt=b"x", snapshot_transport="nope")
+        with pytest.raises(ValueError):
+            AnonymizerConfig(salt=b"x", chunk_files=-1)
+
+    def test_chunk_names_covers_every_file_once(self):
+        from repro.core.parallel import _chunk_names
+
+        names = ["f{:02d}".format(i) for i in range(17)]
+        for jobs in (1, 2, 4):
+            for chunk_files in (0, 1, 5, 100):
+                chunks = _chunk_names(list(names), jobs, chunk_files)
+                flat = [name for chunk in chunks for name in chunk]
+                assert flat == names

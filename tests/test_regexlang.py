@@ -172,3 +172,45 @@ class TestCommunityRewrite:
         )
         assert out.flagged
         assert out.rewritten == NEVER_MATCH_PATTERN
+
+
+class TestClosedFormSideLanguages:
+    """The digit-literal fast paths must agree exactly with the brute
+    enumeration they replace (they feed the community-regexp rewriter,
+    where a wrong language silently changes rewritten policies)."""
+
+    DIGITS = [
+        "0", "1", "5", "9", "00", "01", "12", "99", "100", "001",
+        "120", "655", "6551", "65535", "65536", "70100", "99999",
+    ]
+
+    def test_suffix_language_matches_enumeration(self):
+        from repro.core.regexlang import _suffix_language
+
+        for digits in self.DIGITS:
+            brute = {
+                n for n in range(65536) if str(n).endswith(digits)
+            }
+            assert _suffix_language(digits) == brute, digits
+
+    def test_prefix_language_matches_enumeration(self):
+        from repro.core.regexlang import _prefix_language
+
+        for digits in self.DIGITS:
+            brute = {
+                n for n in range(65536) if str(n).startswith(digits)
+            }
+            assert _prefix_language(digits) == brute, digits
+
+    def test_anchored_literal_side_is_exact_singleton(self, perm, community):
+        # JunOS members are anchored: `_701:120_`-style patterns rewrite
+        # to exactly the mapped pair, which only works if the anchored
+        # side language is the singleton {701} / {120}.
+        outcome = rewrite_community_regex(
+            "701:120",
+            perm.map_asn,
+            community.map_value,
+            anchored=True,
+        )
+        expected = "{}:{}".format(perm.map_asn(701), community.map_value(120))
+        assert outcome.rewritten == expected
