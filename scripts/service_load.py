@@ -1,0 +1,357 @@
+#!/usr/bin/env python
+"""Load-test the service tier and publish ``BENCH_service.json``.
+
+For each point in the worker sweep (default 1, 2, 4) this harness starts
+a fresh daemon (``repro-anonymize serve --workers N``), creates one
+session per shard — via each shard's direct listener, so every worker
+owns work — and hammers them from a pool of keep-alive client threads
+for a fixed duration.  It records req/s and latency percentiles per
+point and writes the machine-readable result to
+``benchmarks/results/BENCH_service.json``.
+
+CPU topology is recorded honestly, in the same shape as
+``BENCH_parallel.json``: ``cpu_count`` is what the machine has,
+``cpus_usable`` what this process may schedule on, and sweep points
+with more workers than usable cores are flagged ``cpus_limited`` and
+exempt from speedup assertions — pre-forking on a one-core container
+can only add overhead, and pretending otherwise would be a lie in CI.
+On a machine with >= 2 usable cores, workers=2 must clear 1.3x the
+single-worker throughput.
+
+Opt-in regression gate (mirrors ``bench_parallel.py``): with
+``REPRO_BENCH_BASELINE=1`` the single-worker req/s is compared against
+``benchmarks/baselines/BENCH_service_baseline.json`` and the run fails
+if it regresses more than the tolerance.  Stdlib only.
+"""
+
+import argparse
+import json
+import os
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+RESULTS_PATH = os.path.join(
+    REPO_ROOT, "benchmarks", "results", "BENCH_service.json"
+)
+BASELINE_PATH = os.path.join(
+    REPO_ROOT, "benchmarks", "baselines", "BENCH_service_baseline.json"
+)
+#: Opt-in gate tolerance.  Wider than the batch benchmark's 20%: a
+#: short-duration service measurement (scheduler noise, TCP, GC) is
+#: noisier than a minutes-long batch run.
+BASELINE_TOLERANCE = 0.30
+
+SALT = "load-harness-salt"
+
+
+def _usable_cpus() -> int:
+    """Cores this process may schedule on (affinity/cgroup-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _synthetic_config(lines: int) -> str:
+    """A realistic-enough router config: the engine does real work."""
+    out = [
+        "hostname load-rtr-1",
+        "ip domain-name load.example.net",
+        "snmp-server community s3cr3tRW rw",
+    ]
+    index = 0
+    while len(out) < lines:
+        index += 1
+        out.extend(
+            [
+                "interface Ethernet{}".format(index),
+                " description uplink to core-{}".format(index),
+                " ip address 10.{}.{}.1 255.255.255.0".format(
+                    index % 200, (index * 7) % 250
+                ),
+                " no shutdown",
+            ]
+        )
+    out.append("end")
+    return "\n".join(out[:max(lines, 8)]) + "\n"
+
+
+def _start_daemon(workers: int, threads: int, tmpdir: str):
+    """Launch the daemon, wait for the ready file, return (proc, url)."""
+    ready = os.path.join(tmpdir, "ready-{}.txt".format(workers))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            str(workers),
+            "--threads",
+            str(threads),
+            "--queue-limit",
+            "64",
+            "--ready-file",
+            ready,
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+        env=env,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if os.path.exists(ready):
+            with open(ready) as handle:
+                url = handle.read().strip()
+            if url:
+                return proc, url
+        if proc.poll() is not None:
+            raise RuntimeError(
+                "daemon (workers={}) exited {} before becoming "
+                "ready".format(workers, proc.returncode)
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("daemon (workers={}) never became ready".format(workers))
+
+
+def _stop_daemon(proc) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+
+
+def _create_shard_sessions(base_url: str):
+    """One session per shard, created via each shard's direct listener.
+
+    Session ids are rejection-sampled to the creating worker, so a
+    session created over shard *i*'s direct address is owned by shard
+    *i* — every worker gets a slice of the load, which is the whole
+    point of measuring the fan-out.
+    """
+    probe = ServiceClient(base_url=base_url)
+    try:
+        health = probe.healthz()
+    finally:
+        probe.close()
+    shard_urls = list((health.get("shards") or {"0": base_url}).values())
+    sessions = []
+    for url in shard_urls:
+        client = ServiceClient(base_url=url)
+        try:
+            sessions.append((url, client.create_session(SALT)["id"]))
+        finally:
+            client.close()
+    return sessions
+
+
+def _run_point(workers, args, tmpdir):
+    proc, base_url = _start_daemon(workers, args.threads, tmpdir)
+    try:
+        sessions = _create_shard_sessions(base_url)
+        payload = _synthetic_config(args.config_lines)
+        latencies = [[] for _ in range(args.client_threads)]
+        errors = [0] * args.client_threads
+        stop = threading.Event()
+        barrier = threading.Barrier(args.client_threads + 1)
+
+        def client_loop(slot: int) -> None:
+            url, session_id = sessions[slot % len(sessions)]
+            client = ServiceClient(base_url=url)
+            source = "load-{}.conf".format(slot)
+            try:
+                barrier.wait()
+                while not stop.is_set():
+                    started = time.perf_counter()
+                    try:
+                        result = client.anonymize(
+                            session_id, payload, source=source
+                        )
+                        if result.get("status") != "ok":
+                            errors[slot] += 1
+                            continue
+                    except Exception:
+                        errors[slot] += 1
+                        continue
+                    latencies[slot].append(time.perf_counter() - started)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=client_loop, args=(slot,), daemon=True)
+            for slot in range(args.client_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        time.sleep(args.duration)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        elapsed = time.perf_counter() - started
+    finally:
+        _stop_daemon(proc)
+
+    flat = sorted(lat for bucket in latencies for lat in bucket)
+    requests = len(flat)
+    if not flat:
+        raise RuntimeError(
+            "workers={}: zero successful requests in {}s".format(
+                workers, args.duration
+            )
+        )
+    return {
+        "requests": requests,
+        "errors": sum(errors),
+        "seconds": elapsed,
+        "rps": requests / elapsed,
+        "p50_ms": statistics.quantiles(flat, n=100)[49] * 1000.0
+        if requests >= 2
+        else flat[0] * 1000.0,
+        "p99_ms": statistics.quantiles(flat, n=100)[98] * 1000.0
+        if requests >= 2
+        else flat[0] * 1000.0,
+        "mean_ms": statistics.fmean(flat) * 1000.0,
+        "sessions": len(sessions),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers-sweep",
+        default="1,2,4",
+        help="comma-separated worker counts to measure",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="seconds of sustained load per sweep point",
+    )
+    parser.add_argument(
+        "--client-threads", type=int, default=8, help="concurrent clients"
+    )
+    parser.add_argument(
+        "--threads", type=int, default=2, help="daemon threads per worker"
+    )
+    parser.add_argument(
+        "--config-lines",
+        type=int,
+        default=120,
+        help="lines in the synthetic config each request anonymizes",
+    )
+    parser.add_argument("--out", default=RESULTS_PATH, help="result JSON path")
+    args = parser.parse_args(argv)
+
+    sweep = [int(part) for part in args.workers_sweep.split(",") if part]
+    cpus_usable = _usable_cpus()
+    cpu_count = os.cpu_count() or 1
+    cpus_limited = cpus_usable < max(sweep)
+
+    points = {}
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as tmpdir:
+        for workers in sweep:
+            if workers > cpus_usable:
+                print(
+                    "warning: workers={} exceeds the {} usable core(s); "
+                    "measuring anyway, but expect overhead, not "
+                    "speedup".format(workers, cpus_usable),
+                    file=sys.stderr,
+                )
+            point = _run_point(workers, args, tmpdir)
+            points[str(workers)] = point
+            print(
+                "workers={}: {:.1f} req/s  p50 {:.1f} ms  p99 {:.1f} ms  "
+                "({} requests, {} errors)".format(
+                    workers,
+                    point["rps"],
+                    point["p50_ms"],
+                    point["p99_ms"],
+                    point["requests"],
+                    point["errors"],
+                )
+            )
+
+    base_rps = points[str(sweep[0])]["rps"]
+    payload = {
+        "experiment": "BENCH_service",
+        "cpu_count": cpu_count,
+        "cpus_usable": cpus_usable,
+        "cpus_limited": cpus_limited,
+        "duration": args.duration,
+        "client_threads": args.client_threads,
+        "daemon_threads": args.threads,
+        "config_lines": args.config_lines,
+        "workers": points,
+        "speedup": {
+            key: point["rps"] / base_rps for key, point in points.items()
+        },
+    }
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print("wrote {}".format(args.out))
+
+    if "2" in points and "1" in points:
+        speedup = payload["speedup"]["2"]
+        if cpus_usable >= 2:
+            assert speedup >= 1.3, (
+                "workers=2 managed only {:.2f}x the single-worker req/s on "
+                "a machine with {} usable cores (expected >= 1.3x)".format(
+                    speedup, cpus_usable
+                )
+            )
+        else:
+            print(
+                "cpus-limited ({} usable core(s)): skipping the 1.3x "
+                "speedup assertion; measured {:.2f}x".format(
+                    cpus_usable, speedup
+                ),
+                file=sys.stderr,
+            )
+
+    if os.environ.get("REPRO_BENCH_BASELINE") == "1":
+        with open(BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+        floor = baseline["workers"]["1"]["rps"] * (1.0 - BASELINE_TOLERANCE)
+        measured = points["1"]["rps"]
+        assert measured >= floor, (
+            "single-worker service throughput regressed: {:.1f} req/s is "
+            "below the gate of {:.1f} (baseline {:.1f} - {:.0%} tolerance); "
+            "if the slowdown is intentional, refresh {}".format(
+                measured,
+                floor,
+                baseline["workers"]["1"]["rps"],
+                BASELINE_TOLERANCE,
+                BASELINE_PATH,
+            )
+        )
+        print("baseline gate passed ({:.1f} >= {:.1f} req/s)".format(
+            measured, floor
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

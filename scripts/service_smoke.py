@@ -19,12 +19,20 @@ and the retrying client resumes the session and finishes — the final
 outputs must be byte-identical to an uninterrupted batch ``--jobs 2``
 run, and the journal/recovery metrics must account for every event.
 
+``--workers N`` (default 1) runs either flow against the pre-fork
+sharded daemon.  The chaos drill changes shape there: the injected
+fault kills *one worker* mid-journal-write, the supervisor respawns it
+in place (no second daemon), the replacement recovers exactly its
+shard, and a witness session on the *other* shard must sail through the
+whole drill undisturbed — same worker pid, no recovery, no retries.
+
 Runs under a hard deadline so a wedged daemon fails loudly instead of
 hanging CI.  Exits 0 on success, 1 with a message on any failure.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import signal
 import subprocess
@@ -69,7 +77,7 @@ def fail(message: str) -> "NoReturn":  # noqa: F821 (py3.10 compat)
     sys.exit(1)
 
 
-def spawn_daemon(env, workdir, name, extra_args=(), extra_env=None):
+def spawn_daemon(env, workdir, name, workers=1, extra_args=(), extra_env=None):
     """Start ``repro-anonymize serve`` and wait for its ready file."""
     ready = workdir / (name + ".ready")
     daemon_env = dict(env)
@@ -83,6 +91,8 @@ def spawn_daemon(env, workdir, name, extra_args=(), extra_env=None):
             "--port",
             "0",
             "--workers",
+            str(workers),
+            "--threads",
             "2",
             "--ready-file",
             str(ready),
@@ -107,6 +117,7 @@ def spawn_daemon(env, workdir, name, extra_args=(), extra_env=None):
 
 def chaos_main() -> int:
     """Kill the daemon mid-journal-write, restart, and finish the corpus."""
+    # The single-process drill: recovery happens in a *second* daemon.
     started = time.time()
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -250,7 +261,199 @@ def chaos_main() -> int:
             daemon2.communicate(timeout=10)
 
 
-def main() -> int:
+def chaos_sharded_main(workers: int) -> int:
+    """Kill one worker mid-journal-write; its shard alone recovers.
+
+    One supervisor daemon runs the whole drill: the injected fault kills
+    the worker owning the drill session, the supervisor respawns that
+    shard in place (the retrying client rides the crash out — dropped
+    connection, redirect, auto-resume — with no second daemon), and a
+    witness session on a *different* shard must never notice: same
+    worker pid before and after, generation still 0, no recovery.
+    """
+    started = time.time()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-shard-"))
+    state_dir = workdir / "state"
+    corpus = {"cr1.cfg": SAMPLE, "cr2.cfg": SAMPLE2, "cr3.cfg": SAMPLE3}
+    (workdir / "in").mkdir()
+    for name, text in corpus.items():
+        (workdir / "in" / name).write_text(text)
+
+    # The uninterrupted reference: the batch --jobs 2 pipeline.
+    batch_dir = workdir / "via-batch"
+    code = subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            str(workdir / "in"),
+            "--salt",
+            "chaos-secret",
+            "--jobs",
+            "2",
+            "--out-dir",
+            str(batch_dir),
+        ],
+        env=env,
+        timeout=DEADLINE_SECONDS,
+    )
+    if code != 0:
+        fail("batch reference run exited {}".format(code))
+    reference = {
+        name: (batch_dir / (name + ".anon")).read_bytes() for name in corpus
+    }
+
+    sys.path.insert(0, SRC)
+    from repro.service.client import (
+        RetryingServiceClient,
+        RetryPolicy,
+        ServiceClient,
+    )
+
+    daemon, url = spawn_daemon(
+        env,
+        workdir,
+        "supervisor",
+        workers=workers,
+        extra_args=("--state-dir", str(state_dir)),
+        extra_env={"REPRO_FAULT_PLAN": "journal-kill:cr2.cfg"},
+    )
+    try:
+        policy = RetryPolicy(max_attempts=10, base_delay=0.1, max_delay=1.0)
+        client = RetryingServiceClient(
+            url, timeout=60, salt="chaos-secret", policy=policy
+        )
+        session_id = client.create_session("chaos-secret")["id"]
+        victim_shard = client.session(session_id)["shard"]
+        shards = client.healthz()["shards"]
+        victim_url = shards[str(victim_shard)]
+        victim_probe = ServiceClient(victim_url, timeout=60)
+        victim_pid = victim_probe.healthz()["pid"]
+        victim_probe.close()
+
+        witness_shard = next(
+            int(i) for i in shards if int(i) != victim_shard
+        )
+        witness = ServiceClient(shards[str(witness_shard)], timeout=60)
+        witness_pid = witness.healthz()["pid"]
+        witness_session = witness.create_session("witness-secret")["id"]
+        witness_before = witness.anonymize(
+            witness_session, corpus["cr1.cfg"], source="witness.cfg"
+        )["text"]
+        print(
+            "drill session on shard {} (pid {}), witness on shard {} "
+            "(pid {})".format(
+                victim_shard, victim_pid, witness_shard, witness_pid
+            )
+        )
+
+        client.freeze(session_id, corpus)
+        outputs = {
+            "cr1.cfg": client.anonymize(
+                session_id, corpus["cr1.cfg"], source="cr1.cfg"
+            )["text"].encode()
+        }
+        # This one kills worker <victim_shard> mid-journal-append.  The
+        # retrying client rides it out end to end: dropped connection,
+        # retry lands on a surviving worker, 307 to the victim's direct
+        # listener (its accept queue is held open by the supervisor),
+        # the respawned worker recovers its shard, answers 404
+        # recoverable, and the client auto-resumes and re-runs.
+        outputs["cr2.cfg"] = client.anonymize(
+            session_id, corpus["cr2.cfg"], source="cr2.cfg"
+        )["text"].encode()
+        outputs["cr3.cfg"] = client.anonymize(
+            session_id, corpus["cr3.cfg"], source="cr3.cfg"
+        )["text"].encode()
+        if outputs != reference:
+            diff = [n for n in corpus if outputs.get(n) != reference[n]]
+            fail(
+                "post-respawn outputs differ from the uninterrupted batch "
+                "run: {}".format(diff)
+            )
+        print("rode out the worker kill; outputs byte-identical to batch")
+
+        if daemon.poll() is not None:
+            fail(
+                "the supervisor died with its worker (exit {})".format(
+                    daemon.returncode
+                )
+            )
+        respawned = ServiceClient(victim_url, timeout=60)
+        health = respawned.healthz()
+        respawned.close()
+        if health["pid"] == victim_pid:
+            fail("worker {} was never killed (same pid)".format(victim_shard))
+        if health.get("generation", 0) < 1:
+            fail("respawned worker does not report a new generation")
+        print(
+            "shard {} respawned in place (pid {} -> {}, generation "
+            "{})".format(
+                victim_shard, victim_pid, health["pid"], health["generation"]
+            )
+        )
+
+        # The witness shard must have sailed through untouched: same
+        # process, still generation 0, session alive without resume, and
+        # still producing identical bytes over its parked keep-alive
+        # connection.
+        witness_health = witness.healthz()
+        if witness_health["pid"] != witness_pid:
+            fail("witness worker was disturbed (pid changed)")
+        if witness_health.get("generation", 0) != 0:
+            fail("witness worker respawned during the drill")
+        witness_after = witness.anonymize(
+            witness_session, corpus["cr1.cfg"], source="witness.cfg"
+        )["text"]
+        if witness_after != witness_before:
+            fail("witness shard's output changed across the drill")
+        witness.close()
+        print("witness shard undisturbed (same pid, generation 0)")
+
+        metrics = ServiceClient(url, timeout=60).metrics_text()
+
+        def counter(name):
+            for line in metrics.splitlines():
+                if line.startswith(name + " "):
+                    return int(float(line.split()[1]))
+            fail("metrics missing {!r}".format(name))
+
+        if counter("repro_session_recoveries_total") < 1:
+            fail("aggregated metrics show no session recovery")
+        if counter("repro_service_journal_torn_discarded_total") != 1:
+            fail("expected exactly one torn journal record discarded")
+        for shard in range(workers):
+            needle = 'repro_worker_up{{shard="{}"}} 1'.format(shard)
+            if needle not in metrics:
+                fail("aggregated metrics missing {!r}".format(needle))
+        print("aggregated metrics ok (all workers up, one torn record)")
+
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=30)
+        if daemon.returncode != 0:
+            fail(
+                "supervisor exited {} after SIGTERM:\n{}".format(
+                    daemon.returncode, out
+                )
+            )
+        if "respawning" not in out:
+            fail("supervisor log never mentioned the respawn:\n" + out)
+        if "drained" not in out:
+            fail("supervisor did not report a graceful drain:\n" + out)
+        print("graceful drain ok")
+        print(
+            "SHARDED CHAOS SMOKE PASS in {:.1f}s".format(time.time() - started)
+        )
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate(timeout=10)
+
+
+def main(workers: int = 1) -> int:
     started = time.time()
 
     def remaining() -> float:
@@ -275,6 +478,8 @@ def main() -> int:
             "--port",
             "0",
             "--workers",
+            str(workers),
+            "--threads",
             "2",
             "--ready-file",
             str(ready),
@@ -384,6 +589,19 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    if "--chaos" in sys.argv[1:]:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos", action="store_true", help="run the crash-safety drill"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="daemon worker processes (>= 2 uses the sharded drill)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.chaos and cli_args.workers >= 2:
+        sys.exit(chaos_sharded_main(cli_args.workers))
+    if cli_args.chaos:
         sys.exit(chaos_main())
-    sys.exit(main())
+    sys.exit(main(cli_args.workers))

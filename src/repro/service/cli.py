@@ -50,7 +50,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="serve on a Unix domain socket instead of TCP",
     )
     parser.add_argument(
-        "--workers", type=int, default=4, help="anonymization worker threads"
+        "--workers",
+        type=int,
+        default=1,
+        help="pre-forked worker processes sharing the listening port; "
+        "sessions are sharded across them by a stable hash of the "
+        "session id (TCP only)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=4,
+        help="anonymization worker threads per process",
+    )
+    parser.add_argument(
+        "--socket-strategy",
+        choices=("auto", "reuseport", "inherit"),
+        default="auto",
+        help="how --workers > 1 share the port: per-worker SO_REUSEPORT "
+        "sockets, one inherited pre-fork socket, or auto (reuseport "
+        "where the kernel has it)",
     )
     parser.add_argument(
         "--queue-limit",
@@ -106,19 +125,49 @@ def build_serve_parser() -> argparse.ArgumentParser:
 
 
 def serve_main(argv=None) -> int:
-    args = build_serve_parser().parse_args(argv)
-    if args.workers < 1 or args.queue_limit < 1:
-        build_serve_parser().error("--workers and --queue-limit must be >= 1")
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    if args.workers < 1 or args.threads < 1 or args.queue_limit < 1:
+        parser.error("--workers, --threads, and --queue-limit must be >= 1")
+    if args.workers > 1:
+        if args.unix_socket is not None:
+            parser.error(
+                "--workers > 1 shares a TCP port; it cannot be combined "
+                "with --unix-socket"
+            )
+        from repro.service.supervisor import run_supervisor
+
+        return run_supervisor(args)
 
     from repro.service.journal import JournalError
     from repro.service.server import AnonymizationService
+    from repro.service.sharding import (
+        TopologyError,
+        check_topology,
+        write_topology,
+    )
 
+    if args.state_dir is not None:
+        try:
+            check_topology(args.state_dir, 1)
+            write_topology(args.state_dir, 1)
+        except TopologyError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return EXIT_RECOVERY_FAILED
+        except OSError as exc:
+            print(
+                "error: cannot use state dir {}: {}".format(
+                    args.state_dir, exc
+                ),
+                file=sys.stderr,
+            )
+            return EXIT_RECOVERY_FAILED
     try:
         service = AnonymizationService(
             host=args.host,
             port=args.port,
             unix_socket=args.unix_socket,
-            workers=args.workers,
+            workers=args.threads,
             queue_limit=args.queue_limit,
             max_request_bytes=args.max_request_bytes,
             max_sessions=args.max_sessions,
@@ -150,9 +199,7 @@ def serve_main(argv=None) -> int:
             )
             # serve_forever never ran, so httpd.shutdown() would block
             # on its never-set event: close the pieces directly.
-            service.httpd.server_close()
-            service.executor.shutdown(wait=True)
-            service.sessions.close_all()
+            service.drain_close()
             return EXIT_JOURNAL_CORRUPT
     print("repro-anonymize service listening on {}".format(service.base_url))
     sys.stdout.flush()
@@ -163,18 +210,17 @@ def serve_main(argv=None) -> int:
         # serve_forever() runs in this (main) thread, so the actual
         # shutdown handshake must happen elsewhere.
         service.begin_drain()
-        threading.Thread(target=service.httpd.shutdown, daemon=True).start()
+        threading.Thread(target=service.stop_serving, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _drain)
     signal.signal(signal.SIGINT, _drain)
     try:
         service.serve_forever()
     finally:
-        # serve_forever returned: the accept loop stopped.  Join the
-        # connection threads, drain the executor, drop the sessions.
-        service.httpd.server_close()
-        service.executor.shutdown(wait=True)
-        service.sessions.close_all()
+        # serve_forever returned: the accept loop stopped.  Close idle
+        # keep-alive connections, join the busy ones, drain the
+        # executor, drop the sessions.
+        service.drain_close()
     print("repro-anonymize service drained; exiting")
     return EXIT_OK
 

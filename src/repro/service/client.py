@@ -34,9 +34,10 @@ import http.client
 import json
 import random
 import socket
+import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.core.digests import idempotency_key_for
@@ -89,9 +90,39 @@ class _UnixHTTPConnection(http.client.HTTPConnection):
         self.sock = sock
 
 
+class _StaleConnectionError(Exception):
+    """A pooled keep-alive connection died between requests (internal)."""
+
+
 class ServiceClient:
-    """A thin, connection-per-request client (thread-safe by design:
-    concurrent callers never share a connection object)."""
+    """A keep-alive client with per-thread pooled connections.
+
+    Each thread owns its connections (thread-safe by construction:
+    concurrent callers never share a connection object), and each
+    connection is reused across requests — against the threaded daemon
+    this removes a TCP handshake per request; against the pre-fork
+    daemon it additionally *pins* the thread to one worker, so a
+    session created there never pays a redirect.
+
+    Two sharding behaviors are built in:
+
+    * A ``307`` answer (the request landed on a worker that does not own
+      the session's shard) is followed once to the ``Location`` /
+      ``X-Repro-Shard`` target, and the session → shard affinity is
+      remembered so every later request for that session goes direct.
+    * A reused connection that turns out to be stale (the daemon closed
+      it while parked: drain, worker respawn, idle timeout) is replaced
+      and the request replayed exactly once — only when the body is
+      replayable bytes, never a consumed stream.
+    """
+
+    #: Failures that mean "the parked connection is gone", as opposed to
+    #: "the daemon answered and then closed".
+    _STALE_ERRORS = (
+        http.client.RemoteDisconnected,
+        ConnectionResetError,
+        BrokenPipeError,
+    )
 
     def __init__(
         self,
@@ -117,13 +148,86 @@ class ServiceClient:
             self._port = parsed.port or 80
         else:
             self._host = self._port = None
+        self._local = threading.local()
+        #: session id -> (host, port) learned from 307 redirects; shared
+        #: across threads (it is pure routing state, last-write-wins).
+        self._affinity: Dict[str, Tuple[str, int]] = {}
+        self._affinity_lock = threading.Lock()
 
-    def _connection(self) -> http.client.HTTPConnection:
+    # -- the connection pool (per thread) --------------------------------
+
+    def _pool(self) -> Dict:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = self._local.pool = {}
+        return pool
+
+    def _checkout(self, target) -> Tuple[http.client.HTTPConnection, bool]:
+        """A pooled connection for *target* and whether it is fresh."""
+        pool = self._pool()
+        connection = pool.get(target)
+        if connection is not None:
+            return connection, False
+        if target[0] is None:
+            connection = _UnixHTTPConnection(target[1], timeout=self.timeout)
+        else:
+            connection = http.client.HTTPConnection(
+                target[0], target[1], timeout=self.timeout
+            )
+        pool[target] = connection
+        return connection, True
+
+    def _discard(self, target, connection) -> None:
+        if self._pool().get(target) is connection:
+            self._pool().pop(target, None)
+        try:
+            connection.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Close this thread's pooled connections (others keep theirs)."""
+        pool = self._pool()
+        for target in list(pool):
+            self._discard(target, pool[target])
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- shard routing ----------------------------------------------------
+
+    @staticmethod
+    def _session_id_in(path: str) -> Optional[str]:
+        parts = [part for part in path.split("?", 1)[0].split("/") if part]
+        if len(parts) >= 2 and parts[0] == "sessions":
+            return parts[1]
+        return None
+
+    def _target_for(self, path: str) -> Tuple:
         if self._unix_socket is not None:
-            return _UnixHTTPConnection(self._unix_socket, timeout=self.timeout)
-        return http.client.HTTPConnection(
-            self._host, self._port, timeout=self.timeout
+            return (None, self._unix_socket)
+        session_id = self._session_id_in(path)
+        if session_id is not None:
+            with self._affinity_lock:
+                pinned = self._affinity.get(session_id)
+            if pinned is not None:
+                return pinned
+        return (self._host, self._port)
+
+    def _pin_affinity(self, session_id: str, target: Tuple[str, int]) -> None:
+        with self._affinity_lock:
+            self._affinity[session_id] = target
+
+    @staticmethod
+    def _replayable(body, chunked: bool) -> bool:
+        return not chunked and (
+            body is None or isinstance(body, (bytes, bytearray, str))
         )
+
+    # -- request plumbing -------------------------------------------------
 
     def _request(
         self,
@@ -133,26 +237,36 @@ class ServiceClient:
         headers: Optional[Dict[str, str]] = None,
         chunked: bool = False,
     ):
-        connection = self._connection()
-        try:
-            try:
-                connection.request(
-                    method,
-                    path,
-                    body=body,
-                    headers=headers or {},
-                    encode_chunked=chunked,
+        target = self._target_for(path)
+        redirects = 0
+        while True:
+            response, payload = self._request_once(
+                target, method, path, body, headers, chunked
+            )
+            if response.status != 307:
+                break
+            location = response.getheader("Location")
+            if not location or redirects >= 2:
+                raise ServiceClientError(
+                    307, "redirect loop talking to the sharded daemon"
                 )
-            except (BrokenPipeError, ConnectionResetError):
-                # The daemon may have rejected the body mid-stream (413)
-                # and closed its read side; its early response is usually
-                # still in our receive buffer — read it instead of losing
-                # the status code.
-                pass
-            response = connection.getresponse()
-            payload = response.read()
-        finally:
-            connection.close()
+            parsed = urlparse(location)
+            target = (parsed.hostname, parsed.port or 80)
+            session_id = self._session_id_in(path)
+            if session_id is not None:
+                # From now on this session's requests go direct to the
+                # owning worker — one redirect per session, ever.
+                self._pin_affinity(session_id, target)
+            if not self._replayable(body, chunked):
+                raise ServiceClientError(
+                    307,
+                    "request for shard {} landed on the wrong worker and "
+                    "its streamed body cannot be replayed; retry (the "
+                    "shard affinity is now pinned)".format(
+                        response.getheader("X-Repro-Shard")
+                    ),
+                )
+            redirects += 1
         if response.status >= 400:
             document: Dict = {}
             try:
@@ -181,6 +295,59 @@ class ServiceClient:
                 recoverable=bool(document.get("recoverable", False)),
             )
         return response, payload
+
+    def _request_once(
+        self, target, method, path, body, headers, chunked: bool
+    ):
+        """One exchange on a pooled connection, replacing a stale one.
+
+        A *reused* connection that fails with a disconnect-class error
+        before any response bytes arrive is almost always one the daemon
+        closed while it was parked; it is replaced and the request
+        replayed exactly once (replayable bodies only).  A *fresh*
+        connection failing the same way is a real error and propagates.
+        """
+        replayed = False
+        while True:
+            connection, fresh = self._checkout(target)
+            may_replay = (
+                not fresh and not replayed and self._replayable(body, chunked)
+            )
+            try:
+                try:
+                    connection.request(
+                        method,
+                        path,
+                        body=body,
+                        headers=headers or {},
+                        encode_chunked=chunked,
+                    )
+                except self._STALE_ERRORS:
+                    if may_replay:
+                        raise _StaleConnectionError()
+                    # The daemon may have rejected the body mid-stream
+                    # (413) and closed its read side; its early response
+                    # is usually still in our receive buffer — read it
+                    # instead of losing the status code.
+                    pass
+                response = connection.getresponse()
+                payload = response.read()
+            except _StaleConnectionError:
+                self._discard(target, connection)
+                replayed = True
+                continue
+            except self._STALE_ERRORS:
+                self._discard(target, connection)
+                if may_replay:
+                    replayed = True
+                    continue
+                raise
+            except Exception:
+                self._discard(target, connection)
+                raise
+            if response.will_close:
+                self._discard(target, connection)
+            return response, payload
 
     def _json(self, method: str, path: str, document=None):
         body = None

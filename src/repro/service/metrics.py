@@ -26,20 +26,37 @@ service without extra dependencies:
   counter ``repro_requests_timed_out_total``.  They are pre-registered
   at 0 so dashboards and CI assertions see them before the first event.
 
-All mutation goes through one lock; scraping renders a consistent
-snapshot.  Counters never raise: an unknown rule id lands in the
-``other`` family rather than failing a request.
+**Consistency.**  All mutation goes through one lock, and a scrape
+first takes :meth:`ServiceMetrics.snapshot` — the complete state
+(counters, every histogram's buckets *and* its sum *and* its count,
+gauges sampled) captured atomically under that same lock — and only
+then renders text outside the lock.  A scrape that races an update can
+therefore never observe a histogram whose ``_sum`` includes a request
+its buckets do not (or vice versa), in one process or many.
+
+**Aggregation.**  In the pre-fork multi-worker daemon each process owns
+its own registry; a worker answering ``GET /metrics`` collects every
+shard's snapshot (its own locally, its siblings over their shard-direct
+listeners) and renders :func:`merge_snapshots` of them, so the counters
+stay corpus-level truths instead of silently becoming per-process lies.
+Counters never raise: an unknown rule id lands in the ``other`` family
+rather than failing a request.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.report import rule_family
 
-__all__ = ["LATENCY_BUCKETS", "ServiceMetrics"]
+__all__ = [
+    "LATENCY_BUCKETS",
+    "ServiceMetrics",
+    "merge_snapshots",
+    "render_snapshot",
+]
 
 #: Histogram bucket upper bounds in seconds (cumulative, Prometheus
 #: convention; +Inf is implicit in ``_count``).
@@ -54,6 +71,8 @@ LATENCY_BUCKETS: Tuple[float, ...] = (
     5.0,
     30.0,
 )
+
+SNAPSHOT_FORMAT_VERSION = 1
 
 
 def _format_value(value: float) -> str:
@@ -162,76 +181,202 @@ class ServiceMetrics:
         with self._lock:
             return self._family_hits.get(family, 0)
 
-    # -- rendering -------------------------------------------------------
+    # -- snapshot / rendering -------------------------------------------
 
-    def render(self) -> str:
-        """The Prometheus text exposition of every metric."""
+    def snapshot(self) -> Dict:
+        """The complete registry state, captured under one lock.
+
+        JSON-able (``/metrics/local`` ships it between workers): tuple
+        keys flatten to lists, gauges are sampled to numbers.  Because
+        everything — a histogram's buckets, its ``_sum``, and its
+        ``_count`` — is read inside the same critical section that every
+        update holds, a scrape concurrent with ``observe_request`` sees
+        either all of an update or none of it: no sum/count/bucket
+        tearing, which is what makes merged multi-process expositions
+        (and single-process scrapes under load) trustworthy.
+        """
         with self._lock:
-            lines: List[str] = []
-            lines.append("# HELP repro_requests_total Requests served, per endpoint and status code.")
-            lines.append("# TYPE repro_requests_total counter")
-            for (endpoint, code), count in sorted(self._requests.items()):
-                lines.append(
-                    "repro_requests_total{} {}".format(
-                        _format_labels({"endpoint": endpoint, "code": str(code)}),
-                        count,
-                    )
-                )
-            lines.append("# HELP repro_rule_family_hits_total Anonymization rule hits per rule family.")
-            lines.append("# TYPE repro_rule_family_hits_total counter")
-            for family, count in sorted(self._family_hits.items()):
-                lines.append(
-                    "repro_rule_family_hits_total{} {}".format(
-                        _format_labels({"family": family}), count
-                    )
-                )
-            for name in sorted(self._counters):
-                help_text, value = self._counters[name]
-                lines.append("# HELP {} {}".format(name, help_text or name))
-                lines.append("# TYPE {} counter".format(name))
-                lines.append("{} {}".format(name, value))
-            lines.append("# HELP repro_request_seconds Request latency, per heavy endpoint.")
-            lines.append("# TYPE repro_request_seconds histogram")
-            for endpoint in sorted(self._latency_buckets):
-                buckets = self._latency_buckets[endpoint]
-                for bound, cumulative in zip(LATENCY_BUCKETS, buckets):
-                    lines.append(
-                        "repro_request_seconds_bucket{} {}".format(
-                            _format_labels(
-                                {"endpoint": endpoint, "le": _format_le(bound)}
-                            ),
-                            cumulative,
-                        )
-                    )
-                lines.append(
-                    "repro_request_seconds_bucket{} {}".format(
-                        _format_labels({"endpoint": endpoint, "le": "+Inf"}),
-                        self._latency_count.get(endpoint, 0),
-                    )
-                )
-                lines.append(
-                    "repro_request_seconds_sum{} {}".format(
-                        _format_labels({"endpoint": endpoint}),
-                        repr(self._latency_sum.get(endpoint, 0.0)),
-                    )
-                )
-                lines.append(
-                    "repro_request_seconds_count{} {}".format(
-                        _format_labels({"endpoint": endpoint}),
-                        self._latency_count.get(endpoint, 0),
-                    )
-                )
-            for name in sorted(self._gauges):
-                help_text, fn = self._gauges[name]
+            snap = {
+                "format_version": SNAPSHOT_FORMAT_VERSION,
+                "requests": [
+                    [endpoint, code, count]
+                    for (endpoint, code), count in sorted(self._requests.items())
+                ],
+                "families": dict(self._family_hits),
+                "counters": {
+                    name: [help_text, value]
+                    for name, (help_text, value) in self._counters.items()
+                },
+                "latency": {
+                    endpoint: {
+                        "buckets": list(buckets),
+                        "sum": self._latency_sum.get(endpoint, 0.0),
+                        "count": self._latency_count.get(endpoint, 0),
+                    }
+                    for endpoint, buckets in self._latency_buckets.items()
+                },
+                "gauges": {},
+            }
+            for name, (help_text, fn) in self._gauges.items():
                 try:
-                    value = float(fn())
+                    snap["gauges"][name] = [help_text, float(fn())]
                 except Exception:
                     # A gauge callback must never fail a scrape.
                     continue
-                lines.append("# HELP {} {}".format(name, help_text))
-                lines.append("# TYPE {} gauge".format(name))
-                lines.append("{} {}".format(name, _format_value(value)))
-            return "\n".join(lines) + "\n"
+            return snap
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every metric."""
+        return render_snapshot(self.snapshot())
+
+
+def merge_snapshots(snapshots: Iterable[Dict]) -> Dict:
+    """Sum per-worker snapshots into one corpus-level snapshot.
+
+    Counters, request counts, rule-family hits, and histogram
+    buckets/sums/counts add; gauges add too (queue depth across N
+    workers *is* the daemon's total backlog, ditto live sessions).
+    Help text comes from the first snapshot that carries the metric.
+    """
+    merged: Dict = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "requests": [],
+        "families": {},
+        "counters": {},
+        "latency": {},
+        "gauges": {},
+    }
+    requests: Dict[Tuple[str, int], int] = {}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for entry in snap.get("requests", []):
+            endpoint, code, count = entry
+            requests[(endpoint, int(code))] = (
+                requests.get((endpoint, int(code)), 0) + int(count)
+            )
+        for family, count in snap.get("families", {}).items():
+            merged["families"][family] = (
+                merged["families"].get(family, 0) + int(count)
+            )
+        for name, (help_text, value) in snap.get("counters", {}).items():
+            existing = merged["counters"].get(name)
+            if existing is None:
+                merged["counters"][name] = [help_text, int(value)]
+            else:
+                existing[0] = existing[0] or help_text
+                existing[1] += int(value)
+        for endpoint, hist in snap.get("latency", {}).items():
+            existing = merged["latency"].get(endpoint)
+            if existing is None:
+                merged["latency"][endpoint] = {
+                    "buckets": list(hist["buckets"]),
+                    "sum": float(hist["sum"]),
+                    "count": int(hist["count"]),
+                }
+            else:
+                for index, value in enumerate(hist["buckets"]):
+                    existing["buckets"][index] += int(value)
+                existing["sum"] += float(hist["sum"])
+                existing["count"] += int(hist["count"])
+        for name, (help_text, value) in snap.get("gauges", {}).items():
+            existing = merged["gauges"].get(name)
+            if existing is None:
+                merged["gauges"][name] = [help_text, float(value)]
+            else:
+                existing[0] = existing[0] or help_text
+                existing[1] += float(value)
+    merged["requests"] = [
+        [endpoint, code, count]
+        for (endpoint, code), count in sorted(requests.items())
+    ]
+    return merged
+
+
+def render_snapshot(
+    snapshot: Dict, worker_up: Optional[Dict[int, int]] = None
+) -> str:
+    """Render one (possibly merged) snapshot as Prometheus text.
+
+    *worker_up*, when given, adds ``repro_worker_up{shard="i"}`` gauges
+    so a scrape of the sharded daemon reports which workers answered —
+    a respawning worker shows up as 0, never as a failed scrape.
+    """
+    lines: List[str] = []
+    lines.append("# HELP repro_requests_total Requests served, per endpoint and status code.")
+    lines.append("# TYPE repro_requests_total counter")
+    for endpoint, code, count in snapshot.get("requests", []):
+        lines.append(
+            "repro_requests_total{} {}".format(
+                _format_labels({"endpoint": endpoint, "code": str(code)}),
+                count,
+            )
+        )
+    lines.append("# HELP repro_rule_family_hits_total Anonymization rule hits per rule family.")
+    lines.append("# TYPE repro_rule_family_hits_total counter")
+    for family, count in sorted(snapshot.get("families", {}).items()):
+        lines.append(
+            "repro_rule_family_hits_total{} {}".format(
+                _format_labels({"family": family}), count
+            )
+        )
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        help_text, value = counters[name]
+        lines.append("# HELP {} {}".format(name, help_text or name))
+        lines.append("# TYPE {} counter".format(name))
+        lines.append("{} {}".format(name, value))
+    lines.append("# HELP repro_request_seconds Request latency, per heavy endpoint.")
+    lines.append("# TYPE repro_request_seconds histogram")
+    latency = snapshot.get("latency", {})
+    for endpoint in sorted(latency):
+        hist = latency[endpoint]
+        for bound, cumulative in zip(LATENCY_BUCKETS, hist["buckets"]):
+            lines.append(
+                "repro_request_seconds_bucket{} {}".format(
+                    _format_labels(
+                        {"endpoint": endpoint, "le": _format_le(bound)}
+                    ),
+                    cumulative,
+                )
+            )
+        lines.append(
+            "repro_request_seconds_bucket{} {}".format(
+                _format_labels({"endpoint": endpoint, "le": "+Inf"}),
+                hist["count"],
+            )
+        )
+        lines.append(
+            "repro_request_seconds_sum{} {}".format(
+                _format_labels({"endpoint": endpoint}),
+                repr(float(hist["sum"])),
+            )
+        )
+        lines.append(
+            "repro_request_seconds_count{} {}".format(
+                _format_labels({"endpoint": endpoint}),
+                hist["count"],
+            )
+        )
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        help_text, value = gauges[name]
+        lines.append("# HELP {} {}".format(name, help_text))
+        lines.append("# TYPE {} gauge".format(name))
+        lines.append("{} {}".format(name, _format_value(float(value))))
+    if worker_up is not None:
+        lines.append(
+            "# HELP repro_worker_up Whether each shard's worker answered "
+            "the aggregated scrape (0 while respawning)."
+        )
+        lines.append("# TYPE repro_worker_up gauge")
+        for shard in sorted(worker_up):
+            lines.append(
+                "repro_worker_up{} {}".format(
+                    _format_labels({"shard": str(shard)}), worker_up[shard]
+                )
+            )
+    return "\n".join(lines) + "\n"
 
 
 def _format_le(bound: float) -> str:

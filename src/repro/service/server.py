@@ -43,18 +43,25 @@ Operational guarantees:
 
 from __future__ import annotations
 
+import http.client
 import json
+import os
 import queue
 import socket
 import socketserver
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.service.journal import RecoveryError, SessionStore
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import (
+    ServiceMetrics,
+    merge_snapshots,
+    render_snapshot,
+)
+from repro.service.sharding import ShardInfo
 from repro.service.sessions import (
     SessionError,
     SessionManager,
@@ -231,13 +238,50 @@ class _ThreadingHTTPServer(socketserver.ThreadingMixIn, HTTPServer):
 
     ``daemon_threads = False`` + ``block_on_close = True`` make
     ``server_close()`` wait for in-flight connections — the heart of the
-    graceful drain.
+    graceful drain.  Keep-alive clients park their connection between
+    requests, so the server tracks every live handler and, at drain,
+    closes the *idle* ones (mid-request connections finish their
+    response first and then close, because ``_send_bytes`` refuses to
+    keep a connection alive while draining).
     """
 
     daemon_threads = False
     block_on_close = True
     allow_reuse_address = True
+    request_queue_size = 128
     service: "AnonymizationService"
+
+    def __init__(self, *args, **kwargs):
+        self._handlers = set()
+        self._handlers_lock = threading.Lock()
+        super().__init__(*args, **kwargs)
+
+    def register_handler(self, handler) -> None:
+        with self._handlers_lock:
+            self._handlers.add(handler)
+
+    def unregister_handler(self, handler) -> None:
+        with self._handlers_lock:
+            self._handlers.discard(handler)
+
+    def close_idle_connections(self) -> None:
+        """Wake keep-alive connections parked between requests.
+
+        Without this, ``server_close()`` would block on every idle
+        keep-alive thread until the client went away or the per-request
+        socket timeout fired.  A connection that is mid-request is left
+        alone — its in-flight work finishes and the draining flag closes
+        it after the response.
+        """
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            if getattr(handler, "_busy", False):
+                continue
+            try:
+                handler.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
 
 class _UnixHTTPServer(_ThreadingHTTPServer):
@@ -261,6 +305,18 @@ class _UnixHTTPServer(_ThreadingHTTPServer):
 class ServiceRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-anonymize-service/1.0"
+    #: Backstop: an idle keep-alive connection that survives the drain's
+    #: targeted close (raced a new request) still times out eventually.
+    timeout = 30
+
+    def setup(self):
+        super().setup()
+        self._busy = False
+        self.server.register_handler(self)
+
+    def finish(self):
+        self.server.unregister_handler(self)
+        super().finish()
 
     # The access log is /metrics, not stderr chatter.
     def log_message(self, format, *args):  # noqa: A002 (stdlib signature)
@@ -288,6 +344,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._route("DELETE")
 
     def _route(self, method: str) -> None:
+        self._busy = True
+        try:
+            self._route_inner(method)
+        finally:
+            self._busy = False
+
+    def _route_inner(self, method: str) -> None:
         service = self.server.service
         path = urlparse(self.path).path
         parts = [part for part in path.split("/") if part]
@@ -296,19 +359,40 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return self._handle_healthz()
             if method == "GET" and parts == ["metrics"]:
                 return self._handle_metrics()
+            if method == "GET" and parts == ["metrics", "local"]:
+                return self._handle_metrics_local()
             if parts[:1] == ["sessions"]:
+                if (
+                    len(parts) >= 2
+                    and service.shard is not None
+                    and not service.shard.owns(parts[1])
+                ):
+                    # Not this worker's shard: 307 to the owner's direct
+                    # listener.  The body may be unread, so the
+                    # connection closes; the client pins the affinity and
+                    # goes direct from then on.
+                    return self._redirect_to_shard(parts[1])
                 if len(parts) == 1:
                     if method == "GET":
-                        return self._send_counted(
-                            "sessions", {"sessions": service.sessions.list()}
-                        )
+                        listing = {
+                            "sessions": [
+                                self._shard_fields(info)
+                                for info in service.sessions.list()
+                            ]
+                        }
+                        if service.shard is not None:
+                            listing["shard"] = service.shard.index
+                            listing["workers"] = service.shard.count
+                        return self._send_counted("sessions", listing)
                     if method == "POST":
                         return self._handle_create_session()
                 elif len(parts) == 2:
                     if method == "GET":
                         return self._send_counted(
                             "sessions",
-                            service.sessions.get(parts[1]).describe(),
+                            self._shard_fields(
+                                service.sessions.get(parts[1]).describe()
+                            ),
                         )
                     if method == "DELETE":
                         return self._send_counted(
@@ -375,7 +459,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "sessions": len(service.sessions),
             "queue_depth": service.executor.depth(),
             "in_flight": service.executor.in_flight(),
+            "pid": os.getpid(),
         }
+        if service.shard is not None:
+            document["shard"] = service.shard.index
+            document["workers"] = service.shard.count
+            document["generation"] = service.generation
+            document["shards"] = service.shard.table()
         if service.store is not None:
             document["durable"] = True
             document["recoverable_sessions"] = len(
@@ -388,10 +478,79 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         service.metrics.observe_request("healthz", 200)
 
     def _handle_metrics(self) -> None:
+        """The scrape: local registry, or the cross-worker aggregate.
+
+        In the pre-fork daemon every worker's counters are per-process;
+        a scrape that only saw one shard would under-report by ~N.  So
+        the worker that fields ``GET /metrics`` collects every shard's
+        snapshot — its own under the registry lock, its siblings via
+        ``GET /metrics/local`` on their direct listeners — and renders
+        the merged exposition, with ``repro_worker_up{shard=...}``
+        showing who answered.  A worker mid-respawn reports as 0 rather
+        than failing the scrape.
+        """
         service = self.server.service
-        body = service.metrics.render().encode("utf-8")
+        if service.shard is None:
+            body = service.metrics.render().encode("utf-8")
+        else:
+            snapshots = []
+            worker_up: Dict[int, int] = {}
+            for index, address in enumerate(service.shard.addresses):
+                if index == service.shard.index:
+                    snapshots.append(service.metrics.snapshot())
+                    worker_up[index] = 1
+                    continue
+                snap = _fetch_shard_snapshot(address)
+                if snap is None:
+                    worker_up[index] = 0
+                else:
+                    snapshots.append(snap)
+                    worker_up[index] = 1
+            body = render_snapshot(
+                merge_snapshots(snapshots), worker_up=worker_up
+            ).encode("utf-8")
         self._send_bytes(200, body, "text/plain; version=0.0.4; charset=utf-8")
         service.metrics.observe_request("metrics", 200)
+
+    def _handle_metrics_local(self) -> None:
+        """This worker's registry snapshot as JSON (the aggregation wire)."""
+        service = self.server.service
+        self._send_json(200, service.metrics.snapshot())
+        service.metrics.observe_request("metrics", 200)
+
+    def _redirect_to_shard(self, session_id: str) -> None:
+        service = self.server.service
+        shard = service.shard
+        target = shard.address_for(session_id)
+        index = next(
+            i for i, addr in enumerate(shard.addresses) if addr == target
+        )
+        # The request body may be wholly unread: close, don't reuse.
+        self.close_connection = True
+        location = target + self.path
+        self._send_bytes(
+            307,
+            json.dumps(
+                {"redirect": location, "shard": index}, sort_keys=True
+            ).encode("utf-8"),
+            "application/json",
+            extra_headers={
+                "Location": location,
+                "X-Repro-Shard": str(index),
+            },
+        )
+        service.metrics.observe_request("redirect", 307)
+
+    def _shard_fields(self, document: Dict) -> Dict:
+        """Stamp a session document with its shard and direct URL."""
+        service = self.server.service
+        if service.shard is not None and isinstance(document, dict):
+            document = dict(
+                document,
+                shard=service.shard.index,
+                shard_url=service.shard.own_address,
+            )
+        return document
 
     def _handle_create_session(self) -> None:
         service = self.server.service
@@ -399,11 +558,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return self._send_error_json(503, "service is draining")
         document = self._read_json()
         if document.get("resume"):
+            resume_id = document["resume"]
+            if service.shard is not None and not service.shard.owns(
+                str(resume_id)
+            ):
+                # The durable history lives in the owning worker's shard
+                # directory; only that worker may replay it.
+                return self._redirect_to_shard(str(resume_id))
             session = service.sessions.resume(
-                document.get("salt"), document["resume"]
+                document.get("salt"), resume_id
             )
             service.metrics.observe_request("sessions", 200)
-            return self._send_json(200, session.describe())
+            return self._send_json(200, self._shard_fields(session.describe()))
         session = service.sessions.create(
             document.get("salt"), document.get("options")
         )
@@ -414,7 +580,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 service.sessions.delete(session.id)
                 raise
         service.metrics.observe_request("sessions", 201)
-        self._send_json(201, session.describe())
+        self._send_json(201, self._shard_fields(session.describe()))
 
     def _handle_freeze(self, session_id: str) -> None:
         service = self.server.service
@@ -603,6 +769,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         content_type: str,
         extra_headers: Optional[dict] = None,
     ) -> None:
+        if self.server.service.draining:
+            # Never park a keep-alive connection on a draining daemon:
+            # in-flight responses go out, then the connection closes so
+            # server_close() is not held hostage by idle clients.
+            self.close_connection = True
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -614,12 +785,66 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
 
+def _fetch_shard_snapshot(base_url: str, timeout: float = 2.0) -> Optional[Dict]:
+    """One sibling worker's ``/metrics/local`` snapshot, or None.
+
+    Any failure — connection refused while the worker respawns, a slow
+    answer, garbage — degrades to "worker down" in the aggregate rather
+    than failing the scrape.
+    """
+    parsed = urlparse(base_url)
+    try:
+        connection = http.client.HTTPConnection(
+            parsed.hostname, parsed.port, timeout=timeout
+        )
+        try:
+            connection.request("GET", "/metrics/local")
+            response = connection.getresponse()
+            if response.status != 200:
+                return None
+            document = json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+    except (OSError, ValueError, http.client.HTTPException):
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def _adopt_http_server(sock: socket.socket) -> "_ThreadingHTTPServer":
+    """Wrap a pre-bound TCP socket in the threading HTTP server.
+
+    The pre-fork supervisor binds sockets before forking (or a worker
+    binds its own ``SO_REUSEPORT`` socket); either way the server must
+    adopt the existing file descriptor instead of binding a fresh one.
+    ``server_activate`` (re-)listens, which is idempotent for an
+    already-listening inherited socket.
+    """
+    server = _ThreadingHTTPServer(
+        sock.getsockname()[:2], ServiceRequestHandler, bind_and_activate=False
+    )
+    server.socket.close()
+    server.socket = sock
+    host, port = sock.getsockname()[:2]
+    server.server_address = (host, port)
+    server.server_name = host
+    server.server_port = port
+    server.server_activate()
+    return server
+
+
 class AnonymizationService:
-    """One daemon: transport + sessions + executor + metrics.
+    """One daemon process: transport + sessions + executor + metrics.
 
     Construct, then either :meth:`serve_forever` (the CLI) or
     :meth:`start_background` (tests).  :meth:`shutdown` performs the
     graceful drain in either case.
+
+    In the pre-fork sharded daemon each worker process constructs one of
+    these with *shard* (its :class:`~repro.service.sharding.ShardInfo`),
+    *listen_socket* (the shared accept socket), and *direct_socket* (its
+    own per-shard listener, used for redirects and metrics aggregation);
+    ``workers`` here is the per-process request *thread* pool, not the
+    process count — that lives in the supervisor.
     """
 
     def __init__(
@@ -634,6 +859,10 @@ class AnonymizationService:
         request_timeout: float = 300.0,
         state_dir: Optional[str] = None,
         snapshot_every: int = 64,
+        shard: Optional[ShardInfo] = None,
+        listen_socket: Optional[socket.socket] = None,
+        direct_socket: Optional[socket.socket] = None,
+        generation: int = 0,
     ):
         self.metrics = ServiceMetrics()
         for name, help_text in DURABILITY_COUNTERS:
@@ -661,21 +890,28 @@ class AnonymizationService:
             store=self.store,
             metrics=self.metrics,
             snapshot_every=snapshot_every,
+            shard=shard,
         )
         self.executor = BoundedExecutor(workers=workers, queue_limit=queue_limit)
         self.max_request_bytes = max_request_bytes
         self.request_timeout = request_timeout
         self.draining = False
         self.unix_socket = unix_socket
-        if unix_socket is not None:
-            self.httpd: _ThreadingHTTPServer = _UnixHTTPServer(
-                unix_socket, ServiceRequestHandler
-            )
+        self.shard = shard
+        self.generation = generation
+        if listen_socket is not None:
+            self.httpd: _ThreadingHTTPServer = _adopt_http_server(listen_socket)
+        elif unix_socket is not None:
+            self.httpd = _UnixHTTPServer(unix_socket, ServiceRequestHandler)
         else:
             self.httpd = _ThreadingHTTPServer(
                 (host, port), ServiceRequestHandler
             )
         self.httpd.service = self
+        self.direct_httpd: Optional[_ThreadingHTTPServer] = None
+        if direct_socket is not None:
+            self.direct_httpd = _adopt_http_server(direct_socket)
+            self.direct_httpd.service = self
         self.metrics.register_gauge(
             "repro_queue_depth",
             "Anonymization jobs waiting for a worker.",
@@ -692,6 +928,7 @@ class AnonymizationService:
             lambda: len(self.sessions),
         )
         self._thread: Optional[threading.Thread] = None
+        self._direct_thread: Optional[threading.Thread] = None
 
     # -- addressing ------------------------------------------------------
 
@@ -711,10 +948,22 @@ class AnonymizationService:
 
     # -- lifecycle -------------------------------------------------------
 
+    def _start_direct(self) -> None:
+        if self.direct_httpd is not None and self._direct_thread is None:
+            thread = threading.Thread(
+                target=self.direct_httpd.serve_forever,
+                name="repro-shard-direct",
+                daemon=True,
+            )
+            thread.start()
+            self._direct_thread = thread
+
     def serve_forever(self) -> None:
+        self._start_direct()
         self.httpd.serve_forever()
 
     def start_background(self) -> threading.Thread:
+        self._start_direct()
         thread = threading.Thread(
             target=self.httpd.serve_forever, name="repro-service", daemon=True
         )
@@ -726,24 +975,44 @@ class AnonymizationService:
         """Flag the drain (healthz reports it; new work gets 503)."""
         self.draining = True
 
-    def shutdown(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight, tear down.
-
-        Ordering matters: the accept loop stops first, then connection
-        threads are joined (their queued jobs still complete because the
-        executor is drained *after*), then the executor and sessions go.
-        """
-        self.begin_drain()
+    def stop_serving(self) -> None:
+        """Stop both accept loops (blocks until they have exited)."""
         self.httpd.shutdown()
+        if self.direct_httpd is not None:
+            self.direct_httpd.shutdown()
+
+    def close_idle_connections(self) -> None:
+        self.httpd.close_idle_connections()
+        if self.direct_httpd is not None:
+            self.direct_httpd.close_idle_connections()
+
+    def drain_close(self) -> None:
+        """After the accept loops stopped: join connections, drain work.
+
+        Idle keep-alive connections are closed first so ``server_close``
+        (which joins every connection thread) is not held hostage by a
+        client parked between requests; connection threads mid-request
+        finish — their queued jobs still complete because the executor
+        is drained *after* — then the executor and sessions go.
+        """
+        self.close_idle_connections()
         self.httpd.server_close()
+        if self.direct_httpd is not None:
+            self.direct_httpd.server_close()
         self.executor.shutdown(wait=True)
         self.sessions.close_all()
-        if self.unix_socket is not None:
-            import os
 
+    def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, tear down."""
+        self.begin_drain()
+        self.stop_serving()
+        self.drain_close()
+        if self.unix_socket is not None:
             try:
                 os.unlink(self.unix_socket)
             except OSError:
                 pass
         if self._thread is not None:
             self._thread.join(timeout=10)
+        if self._direct_thread is not None:
+            self._direct_thread.join(timeout=10)

@@ -352,14 +352,30 @@ class SessionManager:
     """
 
     def __init__(self, max_sessions: int = 64, store=None, metrics=None,
-                 snapshot_every: int = 64):
+                 snapshot_every: int = 64, shard=None):
         self.max_sessions = max_sessions
         self.store = store
         self.metrics = metrics
         self.snapshot_every = snapshot_every
+        #: A :class:`~repro.service.sharding.ShardInfo` in the pre-fork
+        #: daemon: new session ids are drawn until this worker owns them,
+        #: so whichever worker fields the create also serves the session.
+        self.shard = shard
         self._lock = threading.Lock()
         self._resume_lock = threading.Lock()
         self._sessions: Dict[str, Session] = {}
+
+    def _new_session_id(self) -> str:
+        """A fresh id this manager's shard owns (rejection sampling).
+
+        With N shards the expected draw count is N — microseconds next
+        to building the Anonymizer — and it keeps shard assignment a
+        pure function of the id, with no routing table to persist.
+        """
+        while True:
+            session_id = uuid.uuid4().hex[:12]
+            if self.shard is None or self.shard.owns(session_id):
+                return session_id
 
     def __len__(self) -> int:
         with self._lock:
@@ -409,7 +425,7 @@ class SessionManager:
         """Create a session for *salt* with the given config options."""
         options = dict(options or {})
         anonymizer = self._build_anonymizer(salt, options)
-        session_id = uuid.uuid4().hex[:12]
+        session_id = self._new_session_id()
         journal = None
         if self.store is not None:
             # The fault plan is a test seam, not session policy: persisting

@@ -1,0 +1,163 @@
+"""Session sharding for the pre-fork service tier.
+
+With ``repro-anonymize serve --workers N`` (N >= 2) the daemon runs as
+N pre-forked worker processes behind one listening socket.  Every
+session belongs to exactly one worker — its *shard* — chosen by a
+stable hash of the session id:
+
+* **Stable** means the assignment survives restarts, respawns, and
+  process boundaries: it is a keyed-nothing SHA-256 of the id, never
+  Python's salted ``hash()``.  The same id maps to the same shard in
+  every worker, in the supervisor, in the client, and in next week's
+  daemon, as long as the worker count is unchanged.
+* **Exclusive** means only the owning worker touches the shard's
+  journals and snapshots: worker *i* runs its own
+  :class:`~repro.service.journal.SessionStore` rooted at
+  ``state-dir/shard-NN/``, so recovery after a crash is per-shard — a
+  kill of one worker replays one shard's journals and nobody else's.
+
+Because the assignment is a pure function of (id, worker count), the
+worker count is part of the durable contract: ``topology.json`` in the
+state dir records it, and a daemon started with a different ``--workers``
+over the same state dir refuses to serve rather than silently orphan
+every session into the wrong shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ShardInfo",
+    "TOPOLOGY_NAME",
+    "TopologyError",
+    "check_topology",
+    "shard_for",
+    "shard_state_dir",
+    "write_topology",
+]
+
+TOPOLOGY_NAME = "topology.json"
+TOPOLOGY_FORMAT_VERSION = 1
+
+
+class TopologyError(RuntimeError):
+    """The state dir was written under a different shard topology."""
+
+
+def shard_for(session_id: str, shard_count: int) -> int:
+    """The shard owning *session_id*, stable across processes/restarts.
+
+    SHA-256 keyed by nothing: the mapping must agree between workers,
+    the supervisor, clients, and future daemon runs, so Python's
+    per-process salted ``hash()`` is exactly what this must not be.
+    """
+    if shard_count < 1:
+        raise ValueError("shard_count must be >= 1")
+    digest = hashlib.sha256(session_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+class ShardInfo:
+    """One worker's view of the shard topology.
+
+    ``addresses[i]`` is shard *i*'s direct base URL (the per-worker
+    listener used for redirects, metrics aggregation, and targeted
+    drills); ``index`` is this worker's own shard.
+    """
+
+    __slots__ = ("index", "count", "addresses")
+
+    def __init__(self, index: int, count: int, addresses: Tuple[str, ...]):
+        if not (0 <= index < count):
+            raise ValueError("shard index {} out of range".format(index))
+        if len(addresses) != count:
+            raise ValueError(
+                "expected {} shard addresses, got {}".format(
+                    count, len(addresses)
+                )
+            )
+        self.index = index
+        self.count = count
+        self.addresses = tuple(addresses)
+
+    def owns(self, session_id: str) -> bool:
+        return shard_for(session_id, self.count) == self.index
+
+    def address_for(self, session_id: str) -> str:
+        return self.addresses[shard_for(session_id, self.count)]
+
+    @property
+    def own_address(self) -> str:
+        return self.addresses[self.index]
+
+    def table(self) -> Dict[str, str]:
+        """JSON-able ``{shard: direct URL}`` map (healthz exposes it)."""
+        return {str(i): addr for i, addr in enumerate(self.addresses)}
+
+
+def shard_state_dir(state_dir, index: int) -> Path:
+    """Worker *index*'s private state root under the shared state dir."""
+    return Path(state_dir) / "shard-{:02d}".format(index)
+
+
+def write_topology(state_dir, workers: int) -> None:
+    """Record the shard topology (atomic tmp+rename, like all state)."""
+    from repro.core.runner import atomic_write_text
+
+    path = Path(state_dir) / TOPOLOGY_NAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(
+        path,
+        json.dumps(
+            {
+                "format_version": TOPOLOGY_FORMAT_VERSION,
+                "workers": workers,
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )
+
+
+def check_topology(state_dir, workers: int) -> Optional[int]:
+    """Refuse a state dir written under a different worker count.
+
+    Returns the recorded worker count (or None if the dir is fresh).
+    Raises :class:`TopologyError` when serving would mis-shard: the
+    recorded count differs, or a multi-worker start finds the legacy
+    single-process ``sessions/`` layout with history in it.
+    """
+    root = Path(state_dir)
+    path = root / TOPOLOGY_NAME
+    recorded: Optional[int] = None
+    if path.exists():
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+            recorded = int(document["workers"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise TopologyError(
+                "cannot read shard topology {}: {}".format(
+                    path, type(exc).__name__
+                )
+            )
+        if recorded != workers:
+            raise TopologyError(
+                "state dir {} was written by a {}-worker daemon; starting "
+                "with --workers {} would re-shard every session into the "
+                "wrong journal — use --workers {} or a fresh state "
+                "dir".format(root, recorded, workers, recorded)
+            )
+    elif workers > 1:
+        legacy = root / "sessions"
+        if legacy.is_dir() and any(legacy.iterdir()):
+            raise TopologyError(
+                "state dir {} holds single-process session history but no "
+                "topology.json; a --workers {} daemon cannot adopt it — "
+                "drain it with --workers 1 or point at a fresh state "
+                "dir".format(root, workers)
+            )
+    return recorded

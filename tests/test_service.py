@@ -542,3 +542,56 @@ class TestSessionManagerUnits:
         session = manager.create(SALT)
         with pytest.raises(SessionOptionsError):
             session.freeze({"a.cfg": 42})
+
+
+class TestKeepAlive:
+    """The pooled keep-alive client (one TCP connection, many requests)."""
+
+    def test_connection_reused_across_requests(self, service):
+        client = ServiceClient(service.base_url, timeout=60)
+        try:
+            client.healthz()
+            pool = client._pool()
+            assert len(pool) == 1
+            connection = next(iter(pool.values()))
+            client.healthz()
+            client.sessions()
+            assert next(iter(client._pool().values())) is connection
+        finally:
+            client.close()
+
+    def test_stale_connection_replayed(self, service):
+        # Park a keep-alive connection, have the server close it (what a
+        # drain or worker respawn does), and the next request must
+        # transparently replace the dead connection and succeed.
+        client = ServiceClient(service.base_url, timeout=60)
+        try:
+            client.healthz()
+            assert len(client._pool()) == 1
+            service.close_idle_connections()
+            time.sleep(0.1)  # let the server's shutdown reach our socket
+            health = client.healthz()
+            assert health["status"] == "ok"
+        finally:
+            client.close()
+
+    def test_close_empties_the_pool(self, service):
+        client = ServiceClient(service.base_url, timeout=60)
+        client.healthz()
+        assert client._pool()
+        client.close()
+        assert not client._pool()
+
+    def test_full_session_flow_on_one_connection(self, service, figure1_text):
+        client = ServiceClient(service.base_url, timeout=60)
+        try:
+            session = client.create_session(SALT)
+            connection = next(iter(client._pool().values()))
+            result = client.anonymize(
+                session["id"], figure1_text, source="cr1.cfg"
+            )
+            assert result["status"] == "ok"
+            client.delete_session(session["id"])
+            assert next(iter(client._pool().values())) is connection
+        finally:
+            client.close()
