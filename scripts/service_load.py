@@ -236,6 +236,78 @@ def _run_point(workers, args, tmpdir):
     }
 
 
+def _run_corpus_point(args, tmpdir):
+    """Measure the corpus fan-out path end to end: files/sec + failovers.
+
+    Drives ``--corpus-files`` synthetic configs through a fresh
+    ``--corpus-workers`` daemon with the real :class:`CorpusRunner`
+    (freeze once, per-shard sessions, bounded worker pool, resume
+    manifest) — the same machinery ``submit --corpus`` uses, so the
+    number is honest about session setup and manifest fsync overhead,
+    not just raw request throughput.
+    """
+    from pathlib import Path
+
+    from repro.core.runner import resolve_out_paths
+    from repro.service.corpus import CorpusRunner
+
+    corpus_dir = os.path.join(tmpdir, "corpus-in")
+    out_dir = os.path.join(tmpdir, "corpus-out")
+    os.makedirs(corpus_dir)
+    os.makedirs(out_dir)
+    configs = {}
+    for index in range(args.corpus_files):
+        name = os.path.join(corpus_dir, "load-{:04d}.conf".format(index))
+        text = _synthetic_config(args.config_lines)
+        with open(name, "w") as handle:
+            handle.write(text)
+        configs[name] = text
+    out_paths = resolve_out_paths(sorted(configs), Path(out_dir), ".anon")
+
+    # A private directory for the daemon: _start_daemon names its ready
+    # file after the worker count, and the sweep may already have left a
+    # stale ready-file for the same count in the shared tmpdir.
+    daemon_dir = os.path.join(tmpdir, "corpus-daemon")
+    os.makedirs(daemon_dir)
+    proc, base_url = _start_daemon(args.corpus_workers, args.threads, daemon_dir)
+    runner = None
+    try:
+        runner = CorpusRunner(
+            base_url=base_url,
+            unix_socket=None,
+            salt=SALT,
+            configs=configs,
+            out_paths=out_paths,
+            jobs=args.client_threads,
+            manifest_path=Path(out_dir) / "manifest.jsonl",
+            log=lambda message: None,
+        )
+        started = time.perf_counter()
+        code = runner.run()
+        elapsed = time.perf_counter() - started
+        report = dict(runner.report)
+    finally:
+        if runner is not None:
+            runner.close()
+        _stop_daemon(proc)
+    if code != 0:
+        raise RuntimeError(
+            "corpus load run exited {} (report: {})".format(code, report)
+        )
+    return {
+        "files": report["files_total"],
+        "workers": args.corpus_workers,
+        "jobs": args.client_threads,
+        "seconds": elapsed,
+        "files_per_sec": report["files_total"] / elapsed,
+        "failovers_total": report["failovers_total"],
+        "failovers": report["failovers"],
+        "client_retries": report["client_retries"],
+        "client_resumes": report["client_resumes"],
+        "shards": report["shards"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -261,6 +333,24 @@ def main(argv=None) -> int:
         default=120,
         help="lines in the synthetic config each request anonymizes",
     )
+    parser.add_argument(
+        "--corpus",
+        action="store_true",
+        help="also measure corpus fan-out throughput (files/sec) through "
+        "the real CorpusRunner and record it under the 'corpus' key",
+    )
+    parser.add_argument(
+        "--corpus-files",
+        type=int,
+        default=64,
+        help="synthetic files in the corpus point (with --corpus)",
+    )
+    parser.add_argument(
+        "--corpus-workers",
+        type=int,
+        default=2,
+        help="daemon workers for the corpus point (with --corpus)",
+    )
     parser.add_argument("--out", default=RESULTS_PATH, help="result JSON path")
     args = parser.parse_args(argv)
 
@@ -270,6 +360,7 @@ def main(argv=None) -> int:
     cpus_limited = cpus_usable < max(sweep)
 
     points = {}
+    corpus_point = None
     with tempfile.TemporaryDirectory(prefix="repro-load-") as tmpdir:
         for workers in sweep:
             if workers > cpus_usable:
@@ -292,6 +383,18 @@ def main(argv=None) -> int:
                     point["errors"],
                 )
             )
+        if args.corpus:
+            corpus_point = _run_corpus_point(args, tmpdir)
+            print(
+                "corpus: {} files over {} shard(s) in {:.2f}s = "
+                "{:.1f} files/s (failovers_total={})".format(
+                    corpus_point["files"],
+                    corpus_point["shards"],
+                    corpus_point["seconds"],
+                    corpus_point["files_per_sec"],
+                    corpus_point["failovers_total"],
+                )
+            )
 
     base_rps = points[str(sweep[0])]["rps"]
     payload = {
@@ -308,6 +411,8 @@ def main(argv=None) -> int:
             key: point["rps"] / base_rps for key, point in points.items()
         },
     }
+    if corpus_point is not None:
+        payload["corpus"] = corpus_point
     os.makedirs(os.path.dirname(args.out), exist_ok=True)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

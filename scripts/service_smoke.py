@@ -33,6 +33,7 @@ hanging CI.  Exits 0 on success, 1 with a message on any failure.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import signal
 import subprocess
@@ -453,6 +454,269 @@ def chaos_sharded_main(workers: int) -> int:
             daemon.communicate(timeout=10)
 
 
+def corpus_chaos_main(workers: int) -> int:
+    """The corpus fan-out drill: interrupt, full disk, worker kill.
+
+    One sharded durable daemon serves a ``submit --corpus`` run in two
+    phases.  Phase A is interrupted client-side after 3 files
+    (``REPRO_CORPUS_ABORT_AFTER``) *and* hits an injected ENOSPC on one
+    of those files' journal appends — the 507 + Retry-After park, whose
+    counter is scraped between the phases while every worker is still
+    alive.  Phase B resumes the run while an injected ``journal-kill``
+    fault kills a worker mid-journal-append (fault plans are built per
+    session, so the failover re-drive can take down the *other* worker
+    too — the drill must ride out both).  The resumed run must exit 0
+    with a nonzero failover count, and the final outputs must be
+    byte-identical to an uninterrupted batch ``--jobs 2`` run.
+    """
+    if workers < 2:
+        fail("--corpus-chaos needs --workers >= 2")
+    started = time.time()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    workdir = Path(tempfile.mkdtemp(prefix="repro-corpus-chaos-"))
+    state_dir = workdir / "state"
+    in_dir = workdir / "in"
+    in_dir.mkdir()
+
+    sys.path.insert(0, SRC)
+    from repro.service.sharding import shard_for
+
+    samples = [SAMPLE, SAMPLE2, SAMPLE3]
+    names = []
+    for index in range(8):
+        path = in_dir / "chaos{:02d}.cfg".format(index)
+        path.write_text(samples[index % len(samples)])
+        names.append(str(path))
+    corpus_names = sorted(names)
+    # The ENOSPC fault fires in phase A: its target must be among the
+    # first 3 sorted files (driven before the interrupt).  The kill
+    # fault fires in phase B: its target must be in the tail.
+    enospc_target = Path(corpus_names[1]).name
+    kill_target = Path(corpus_names[5]).name
+    kill_shard = shard_for(corpus_names[5], workers)
+    print(
+        "corpus of {} files; ENOSPC on {} (phase A), worker-kill on {} "
+        "(phase B, primary shard {})".format(
+            len(corpus_names), enospc_target, kill_target, kill_shard
+        )
+    )
+
+    # The uninterrupted reference: the batch --jobs 2 pipeline.
+    batch_dir = workdir / "via-batch"
+    code = subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            str(in_dir),
+            "--salt",
+            "chaos-secret",
+            "--jobs",
+            "2",
+            "--out-dir",
+            str(batch_dir),
+        ],
+        env=env,
+        timeout=DEADLINE_SECONDS,
+    )
+    if code != 0:
+        fail("batch reference run exited {}".format(code))
+    reference = {
+        Path(name).name: (batch_dir / (Path(name).name + ".anon")).read_bytes()
+        for name in corpus_names
+    }
+
+    from repro.service.client import ServiceClient
+
+    daemon, url = spawn_daemon(
+        env,
+        workdir,
+        "supervisor",
+        workers=workers,
+        extra_args=("--state-dir", str(state_dir)),
+        extra_env={
+            "REPRO_FAULT_PLAN": "journal-kill:{};journal-enospc:{}".format(
+                kill_target, enospc_target
+            )
+        },
+    )
+    try:
+        probe = ServiceClient(url, timeout=60)
+        shards = probe.healthz()["shards"]
+        probe.close()
+        victim_probe = ServiceClient(shards[str(kill_shard)], timeout=60)
+        victim_pid = victim_probe.healthz()["pid"]
+        victim_probe.close()
+
+        out_dir = workdir / "via-corpus"
+        submit_args = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "submit",
+            "--corpus",
+            str(in_dir),
+            "--server",
+            url,
+            "--salt",
+            "chaos-secret",
+            "--out-dir",
+            str(out_dir),
+            "--retries",
+            "1",
+            "--deadline",
+            "60",
+            "--corpus-report",
+            str(workdir / "report.json"),
+        ]
+
+        # Phase A: sequential fan-out, interrupted after 3 files.  The
+        # ENOSPC target is among those 3, so the park (507 + Retry-After,
+        # client failover, half-open retry) happens here — while both
+        # workers are still alive and their in-memory counters intact.
+        abort_env = dict(env)
+        abort_env["REPRO_CORPUS_ABORT_AFTER"] = "3"
+        code = subprocess.call(
+            submit_args + ["--corpus-jobs", "1"],
+            env=abort_env,
+            timeout=DEADLINE_SECONDS,
+        )
+        if code != 130:
+            fail("interrupted corpus run exited {} (expected 130)".format(code))
+        manifest_path = out_dir / ".repro-corpus-manifest.jsonl"
+        if not manifest_path.exists():
+            fail("interrupted run left no resume manifest")
+        done = sum(1 for line in manifest_path.read_bytes().splitlines()[1:])
+        if done != 3:
+            fail("manifest records {} files (expected 3)".format(done))
+
+        # Scrape the disk-fault evidence now: the phase-B kill can take
+        # down either worker (fault plans ride every session, so the
+        # failover re-drive of the kill target fires on the second shard
+        # too) and a killed worker's in-memory counters are lost.
+        mid = ServiceClient(url, timeout=60)
+        mid_metrics = mid.metrics_text()
+        mid.close()
+        degraded = 0
+        for line in mid_metrics.splitlines():
+            if line.startswith("repro_disk_degraded_responses_total "):
+                degraded = int(float(line.split()[1]))
+        if degraded < 1:
+            fail("the ENOSPC park never answered a 507")
+        print(
+            "phase A: interrupted after 3 files; manifest fsync'd; "
+            "ENOSPC answered {} x 507".format(degraded)
+        )
+
+        # Phase B: resume.  The journal-kill fault fires mid-corpus on
+        # the kill target's primary shard (and possibly on the failover
+        # shard as well); the run must still end exit 0.
+        code = subprocess.call(
+            submit_args + ["--corpus-jobs", "2", "--resume"],
+            env=env,
+            timeout=DEADLINE_SECONDS,
+        )
+        if code != 0:
+            fail("resumed corpus run exited {} (expected 0)".format(code))
+        report = json.loads((workdir / "report.json").read_text())
+        if report["files_skipped_resume"] != 3:
+            fail(
+                "resume skipped {} files (expected 3)".format(
+                    report["files_skipped_resume"]
+                )
+            )
+        if report["files_quarantined"]:
+            fail("files were quarantined: {}".format(report["files_quarantined"]))
+        if report["failovers_total"] < 1:
+            fail("the drill produced no failovers")
+        print(
+            "phase B: resumed and completed; failovers_total={} "
+            "(re-drives={}, retries={}, resumes={})".format(
+                report["failovers_total"],
+                report["failovers"],
+                report["client_retries"],
+                report["client_resumes"],
+            )
+        )
+
+        for name in corpus_names:
+            base = Path(name).name
+            got = (out_dir / (base + ".anon")).read_bytes()
+            if got != reference[base]:
+                fail(
+                    "corpus output for {} differs from the uninterrupted "
+                    "batch run".format(base)
+                )
+        print("outputs byte-identical to batch --jobs 2")
+
+        if daemon.poll() is not None:
+            fail("the supervisor died during the drill")
+        respawned = ServiceClient(shards[str(kill_shard)], timeout=60)
+        health = respawned.healthz()
+        respawned.close()
+        if health["pid"] == victim_pid:
+            fail("worker {} was never killed (same pid)".format(kill_shard))
+        if health.get("generation", 0) < 1:
+            fail("respawned worker does not report a new generation")
+        print(
+            "shard {} respawned in place (pid {} -> {}, generation {})".format(
+                kill_shard, victim_pid, health["pid"], health["generation"]
+            )
+        )
+
+        metrics = ServiceClient(url, timeout=60).metrics_text()
+
+        def counter(name):
+            for line in metrics.splitlines():
+                if line.startswith(name + " "):
+                    return int(float(line.split()[1]))
+            fail("metrics missing {!r}".format(name))
+
+        if counter("repro_corpus_files_total") < 1:
+            fail("no corpus-tagged requests reached the service")
+        if counter("repro_corpus_failovers_total") < 1:
+            fail("no failover-tagged requests reached the service")
+        if "repro_circuit_open{" not in metrics:
+            fail("metrics missing the repro_circuit_open gauge")
+        for shard in range(workers):
+            needle = 'repro_worker_up{{shard="{}"}} 1'.format(shard)
+            if needle not in metrics:
+                fail("aggregated metrics missing {!r}".format(needle))
+        print(
+            "metrics ok: corpus_files={} corpus_failovers={} "
+            "disk_degraded_responses={} (mid-drill)".format(
+                counter("repro_corpus_files_total"),
+                counter("repro_corpus_failovers_total"),
+                degraded,
+            )
+        )
+
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=30)
+        if daemon.returncode != 0:
+            fail(
+                "supervisor exited {} after SIGTERM:\n{}".format(
+                    daemon.returncode, out
+                )
+            )
+        print("graceful drain ok")
+        print(
+            "CORPUS CHAOS SMOKE PASS in {:.1f}s".format(time.time() - started)
+        )
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            try:
+                # wait(), not communicate(): worker processes inherit
+                # the stdout pipe and keep it open past the supervisor's
+                # death, so communicate() would block on EOF.
+                daemon.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+
+
 def main(workers: int = 1) -> int:
     started = time.time()
 
@@ -594,12 +858,20 @@ if __name__ == "__main__":
         "--chaos", action="store_true", help="run the crash-safety drill"
     )
     parser.add_argument(
+        "--corpus-chaos",
+        action="store_true",
+        help="run the corpus fan-out drill (interrupt + resume, worker "
+        "kill, ENOSPC park; needs --workers >= 2)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
         help="daemon worker processes (>= 2 uses the sharded drill)",
     )
     cli_args = parser.parse_args()
+    if cli_args.corpus_chaos:
+        sys.exit(corpus_chaos_main(cli_args.workers))
     if cli_args.chaos and cli_args.workers >= 2:
         sys.exit(chaos_sharded_main(cli_args.workers))
     if cli_args.chaos:

@@ -35,6 +35,20 @@ Four service-scoped faults exercise the daemon's crash-safety seams
   failure.  A retry presenting the same idempotency key must get the
   journaled result back, not a second anonymization.
 
+Two disk-fault kinds exercise the graceful-degradation path (a full or
+failing disk, not a crash):
+
+* ``journal-enospc:<match>`` — the journal append for a source
+  containing *match* fails once with ``OSError(ENOSPC)`` *before* any
+  bytes reach the file.  The daemon must answer 507 + Retry-After with
+  the session parked read-only — never a torn ack, never a 500 — and
+  recover as soon as an append succeeds again.
+* ``snapshot-eio:<match>`` — the atomic snapshot write fails once with
+  ``OSError(EIO)``.  Snapshot failure is non-fatal: the journal record
+  already committed, so the daemon counts the failure, skips rotation,
+  and retries at the next snapshot boundary.  Use the fault source
+  ``snapshot`` (spec ``snapshot-eio:snapshot``) to target it.
+
 A plan is a ``;``-separated list of specs, taken from
 ``AnonymizerConfig.fault_plan`` or the ``REPRO_FAULT_PLAN`` environment
 variable (config wins).  Hit counters live on the plan instance, so each
@@ -64,8 +78,10 @@ _KINDS = (
     "write-fail",
     "journal-kill",
     "journal-torn",
+    "journal-enospc",
     "drop-pre-commit",
     "drop-post-commit",
+    "snapshot-eio",
 )
 
 
@@ -181,6 +197,16 @@ class FaultPlan:
         """True exactly once: the journal append for *source* must be
         torn (half the record written, then the append fails)."""
         return self._fire_once("journal-torn", source)
+
+    def enospc_append_once(self, source: str) -> bool:
+        """True exactly once: the journal append for *source* must fail
+        with ``OSError(ENOSPC)`` before writing any bytes (full disk)."""
+        return self._fire_once("journal-enospc", source)
+
+    def snapshot_eio_once(self, source: str) -> bool:
+        """True exactly once: the snapshot write for *source* must fail
+        with ``OSError(EIO)`` (failing disk; journal stays intact)."""
+        return self._fire_once("snapshot-eio", source)
 
     def drop_connection_once(self, stage: str, source: str) -> bool:
         """True exactly once per (stage, source): the service handler

@@ -27,6 +27,12 @@ failures) so a wrapper can branch on the *kind* of dirtiness:
   journals and quarantined them, and ``--strict-recovery`` was set:
   fail-closed, the operator must inspect the quarantined directories
   before serving resumes.
+* ``EXIT_PARTIAL_CORPUS`` (10) — a ``submit --corpus`` run *completed*
+  (every file was driven to a terminal state) but some files were
+  quarantined: their output was withheld after shard failover and the
+  deadline budget were exhausted.  Distinct from the all-or-nothing
+  0/5 of the batch pipeline so an operator can re-run with ``--resume``
+  and only the quarantined files are re-driven.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ __all__ = [
     "EXIT_SERVICE_ERROR",
     "EXIT_RECOVERY_FAILED",
     "EXIT_JOURNAL_CORRUPT",
+    "EXIT_PARTIAL_CORPUS",
     "exit_code_for",
 ]
 
@@ -55,6 +62,7 @@ EXIT_STATE_ERROR = 6
 EXIT_SERVICE_ERROR = 7
 EXIT_RECOVERY_FAILED = 8
 EXIT_JOURNAL_CORRUPT = 9
+EXIT_PARTIAL_CORPUS = 10
 
 
 def exit_code_for(leaks: bool = False, dirty: bool = False) -> int:

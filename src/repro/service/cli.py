@@ -231,7 +231,45 @@ def build_submit_parser() -> argparse.ArgumentParser:
         description="Anonymize config files through a running "
         "repro-anonymize service.",
     )
-    parser.add_argument("paths", nargs="+", help="config files or directories")
+    parser.add_argument("paths", nargs="*", help="config files or directories")
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="corpus fan-out mode: freeze once over every file under DIR, "
+        "open one session per shard, and drive the files across the "
+        "shards with failover (requires --out-dir and --salt)",
+    )
+    parser.add_argument(
+        "--corpus-jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent in-flight files in --corpus mode",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="overall budget for the corpus run; files that cannot be "
+        "completed on any shard before it expires are quarantined "
+        "(exit code 10, EXIT_PARTIAL_CORPUS)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted --corpus run from the manifest in "
+        "--out-dir (files whose recorded digests still match on-disk "
+        "outputs are skipped; byte-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--corpus-report",
+        default=None,
+        metavar="PATH",
+        help="write the merged corpus report (failovers, breaker states, "
+        "quarantines) as JSON",
+    )
     parser.add_argument(
         "--server",
         default=None,
@@ -298,6 +336,10 @@ def submit_main(argv=None) -> int:
         parser.error("pass --server URL or --unix-socket PATH")
     if args.session is None and args.salt is None:
         parser.error("--salt is required (unless --session reuses one)")
+    if args.corpus is None and not args.paths:
+        parser.error("pass config files/directories or --corpus DIR")
+    if args.retries < 1:
+        parser.error("--retries must be >= 1")
 
     from repro.cli import _collect_files
     from repro.core.runner import RunnerError, atomic_write_text, resolve_out_paths
@@ -306,6 +348,34 @@ def submit_main(argv=None) -> int:
         RetryPolicy,
         ServiceClientError,
     )
+
+    if args.corpus is not None:
+        if args.out_dir is None:
+            parser.error("--corpus requires --out-dir (the resume manifest "
+                         "lives there)")
+        if args.salt is None:
+            parser.error("--corpus requires --salt")
+        if args.session is not None:
+            parser.error("--corpus opens its own per-shard sessions; "
+                         "--session cannot be combined with it")
+        if args.corpus_jobs < 1:
+            parser.error("--corpus-jobs must be >= 1")
+        from repro.service.corpus import run_corpus_main
+
+        try:
+            configs = _collect_files(list(args.paths) + [args.corpus])
+        except FileNotFoundError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return EXIT_NO_INPUT
+        if not configs:
+            print("error: no readable config files found", file=sys.stderr)
+            return EXIT_NO_INPUT
+        try:
+            out_paths = resolve_out_paths(configs, args.out_dir, args.suffix)
+        except RunnerError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return EXIT_STATE_ERROR
+        return run_corpus_main(args, configs, out_paths)
 
     configs = _collect_files(args.paths)
     if not configs:
@@ -317,8 +387,6 @@ def submit_main(argv=None) -> int:
         print("error: {}".format(exc), file=sys.stderr)
         return EXIT_STATE_ERROR
 
-    if args.retries < 1:
-        parser.error("--retries must be >= 1")
     client = RetryingServiceClient(
         base_url=args.server,
         unix_socket=args.unix_socket,

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import random
 import socket
 import threading
@@ -43,12 +44,34 @@ from urllib.parse import urlparse
 from repro.core.digests import idempotency_key_for
 
 __all__ = [
+    "MAX_RETRY_AFTER",
     "RetryPolicy",
     "RetryingServiceClient",
     "ServiceClient",
     "ServiceClientError",
     "ServiceUnavailableError",
 ]
+
+#: Cap on an honored ``Retry-After`` header, in seconds.  A malformed,
+#: non-finite, negative, or absurdly large value (a buggy or hostile
+#: server must not be able to park the client for an hour) is treated as
+#: absent and the bounded backoff schedule applies instead.
+MAX_RETRY_AFTER = 60.0
+
+
+def _parse_retry_after(header: Optional[str]) -> Optional[float]:
+    """A usable ``Retry-After`` value, or None to fall back to backoff."""
+    if not header:
+        return None
+    try:
+        value = float(header)
+    except (TypeError, ValueError):
+        # Includes the HTTP-date form, which this stdlib-only client
+        # does not parse — backoff is a safe substitute.
+        return None
+    if not math.isfinite(value) or value < 0 or value > MAX_RETRY_AFTER:
+        return None
+    return value
 
 
 class ServiceClientError(RuntimeError):
@@ -276,16 +299,15 @@ class ServiceClient:
                 message = payload.decode("utf-8", errors="replace")[:200]
             if not isinstance(document, dict):
                 document = {}
-            retry_after: Optional[float] = None
-            header = response.getheader("Retry-After")
-            if header:
-                try:
-                    retry_after = float(header)
-                except ValueError:
-                    pass
+            retry_after = _parse_retry_after(
+                response.getheader("Retry-After")
+            )
+            # 507 is the disk-degraded park: the daemon rolled the write
+            # back cleanly and asked for a retry, so it is as transient
+            # as backpressure.
             cls = (
                 ServiceUnavailableError
-                if response.status in (429, 503)
+                if response.status in (429, 503, 507)
                 else ServiceClientError
             )
             raise cls(
@@ -415,12 +437,15 @@ class ServiceClient:
         source: str = "<config>",
         chunks: Optional[Iterable[str]] = None,
         idempotency_key: Optional[str] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         """Anonymize one file; pass *text* whole or stream it as *chunks*."""
         if (text is None) == (chunks is None):
             raise ValueError("pass exactly one of text or chunks")
         path = "/sessions/{}/anonymize".format(session_id)
         headers = {"X-Repro-Source": source, "Content-Type": "text/plain"}
+        if extra_headers:
+            headers.update(extra_headers)
         if idempotency_key:
             headers["X-Repro-Idempotency-Key"] = idempotency_key
         if chunks is not None:
@@ -516,6 +541,14 @@ class RetryingServiceClient(ServiceClient):
         self._sleep = sleep
         self._rng = rng or random.Random()
         self._clock = clock
+        #: Failures absorbed by the retry loop / resume path.  The
+        #: corpus fan-out layer reads these to count failovers that the
+        #: per-shard client rode out invisibly (a worker respawn healed
+        #: by a stale-connection replay plus an auto-resume would
+        #: otherwise never surface).
+        self.retries = 0
+        self.resumes = 0
+        self._stats_lock = threading.Lock()
 
     # -- the retry loop --------------------------------------------------
 
@@ -538,6 +571,8 @@ class RetryingServiceClient(ServiceClient):
                     delay = max(delay, float(retry_after))
                 if deadline is not None and self._clock() + delay > deadline:
                     raise
+                with self._stats_lock:
+                    self.retries += 1
                 self._sleep(delay)
 
     def _resumable(self, session_id: str, fn: Callable[[], Dict]) -> Dict:
@@ -555,6 +590,8 @@ class RetryingServiceClient(ServiceClient):
                     # The daemon restarted and holds this session's
                     # durable history: re-present the salt, replay, redo.
                     self.resume_session(self.salt, session_id)
+                    with self._stats_lock:
+                        self.resumes += 1
                     return fn()
                 raise
 
@@ -601,6 +638,7 @@ class RetryingServiceClient(ServiceClient):
         source: str = "<config>",
         chunks: Optional[Iterable[str]] = None,
         idempotency_key: Optional[str] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         if chunks is not None:
             if text is not None:
@@ -618,6 +656,7 @@ class RetryingServiceClient(ServiceClient):
                 text=text,
                 source=source,
                 idempotency_key=idempotency_key,
+                extra_headers=extra_headers,
             ),
         )
 

@@ -43,6 +43,7 @@ journal-over-snapshot into a fresh anonymizer.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -61,6 +62,7 @@ from repro.core.state import (
 __all__ = [
     "JOURNAL_FORMAT_VERSION",
     "JournalCorruptError",
+    "JournalDiskError",
     "JournalError",
     "RecoveredSession",
     "RecoveryError",
@@ -91,6 +93,14 @@ class JournalCorruptError(JournalError):
 class RecoveryError(JournalError):
     """A resume request cannot be honored (wrong salt, quarantined or
     unknown history).  Maps to a 409 at the HTTP layer, never a 500."""
+
+
+class JournalDiskError(JournalError):
+    """A journal or snapshot write failed at the disk level (ENOSPC,
+    EIO, read-only filesystem).  The append was rolled back cleanly —
+    no torn tail, no acknowledged-but-lost record — so the condition is
+    *transient*: the session parks read-only (507 + Retry-After at the
+    HTTP layer) and the next successful append clears it."""
 
 
 def _record_line(record: Dict) -> bytes:
@@ -212,26 +222,76 @@ class SessionJournal:
             raise JournalError(
                 "injected torn journal append for {}".format(fault_source)
             )
-        self._handle.write(line)
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        offset = self._handle.tell()
+        try:
+            if fault_plan is not None and fault_plan.enospc_append_once(
+                fault_source
+            ):
+                raise OSError(errno.ENOSPC, "injected: no space left on device")
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError as exc:
+            # Full or failing disk.  Roll the append back cleanly: the
+            # write may have landed partially in the OS buffer, so
+            # truncate back to the pre-append offset (truncation frees
+            # blocks, which works even when the disk is full).  The
+            # journal then has *no* trace of this record — the request
+            # was never acknowledged — and the session can keep serving
+            # once the disk recovers.
+            self.seq -= 1
+            try:
+                self._handle.truncate(offset)
+                self._handle.seek(offset)
+            except OSError:
+                # Cannot even truncate: the tail is untrustworthy.  Park
+                # the journal fail-closed; restart recovery will discard
+                # the torn tail like any other crash artifact.
+                self._broken = True
+            raise JournalDiskError(
+                "journal append failed at the disk level ({}: {}); the "
+                "record was rolled back and the session is parked until "
+                "writes succeed again".format(type(exc).__name__, exc)
+            ) from exc
         self.appended_since_snapshot += 1
         return self.seq
 
-    def write_snapshot(self, document: Dict) -> None:
+    def write_snapshot(
+        self,
+        document: Dict,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_source: str = "snapshot",
+    ) -> None:
         """Atomically persist a full-state snapshot and rotate the journal.
 
         The snapshot lands via tmp+rename (the batch runner's write
         discipline), then the journal is truncated.  A crash between the
         two leaves journal records with ``seq <= snapshot.seq``, which
         replay simply skips — never a window where state could be lost.
+
+        A disk-level failure raises :class:`JournalDiskError`; the
+        journal itself is untouched (every record is already committed),
+        so the caller may treat it as non-fatal and retry at the next
+        snapshot boundary.
         """
         document = dict(document)
         document["format_version"] = JOURNAL_FORMAT_VERSION
         document["seq"] = self.seq
-        atomic_write_text(
-            self.snapshot_path, json.dumps(document, sort_keys=True)
-        )
+        try:
+            if fault_plan is not None and fault_plan.snapshot_eio_once(
+                fault_source
+            ):
+                raise OSError(errno.EIO, "injected: input/output error")
+            atomic_write_text(
+                self.snapshot_path, json.dumps(document, sort_keys=True)
+            )
+        except OSError as exc:
+            raise JournalDiskError(
+                "snapshot write failed at the disk level ({}: {}); the "
+                "journal is intact, rotation skipped".format(
+                    type(exc).__name__, exc
+                )
+            ) from exc
         self._open(truncate_to=None)
         self._handle.truncate(0)
         self._handle.seek(0)
@@ -425,7 +485,18 @@ class SessionStore:
             try:
                 recovered = self._scan_session(session_id, directory)
             except JournalError as exc:
-                quarantined = self._quarantine(directory)
+                try:
+                    quarantined = self._quarantine(directory)
+                except OSError as move_exc:
+                    # Read-only or full state dir: the rename itself
+                    # failed.  Quarantine *in place* — record the reason
+                    # so the session is not resumable and keep scanning;
+                    # a bad disk must not take down the healthy sessions.
+                    summary.quarantined[session_id] = (
+                        "{} (quarantined in place; move failed: "
+                        "{})".format(exc, move_exc)
+                    )
+                    continue
                 summary.quarantined[session_id] = "{} (moved to {})".format(
                     exc, quarantined.name
                 )

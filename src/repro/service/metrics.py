@@ -105,6 +105,11 @@ class ServiceMetrics:
         self._counters: Dict[str, Tuple[str, int]] = {}
         #: Gauge callbacks sampled at scrape time, ``{name: (help, fn)}``.
         self._gauges: Dict[str, Tuple[str, Callable[[], float]]] = {}
+        #: Labeled gauge callbacks, ``{name: (help, {label-tuple: fn})}``
+        #: where the key is ``tuple(sorted(labels.items()))``.
+        self._labeled_gauges: Dict[
+            str, Tuple[str, Dict[Tuple[Tuple[str, str], ...], Callable[[], float]]]
+        ] = {}
 
     # -- recording -------------------------------------------------------
 
@@ -167,6 +172,23 @@ class ServiceMetrics:
         with self._lock:
             self._gauges[name] = (help_text, fn)
 
+    def register_labeled_gauge(
+        self,
+        name: str,
+        help_text: str,
+        labels: Dict[str, str],
+        fn: Callable[[], float],
+    ) -> None:
+        """Register one labeled series of a gauge (e.g.
+        ``repro_circuit_open{shard="1"}``), sampled at scrape time."""
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            existing = self._labeled_gauges.get(name)
+            if existing is None:
+                self._labeled_gauges[name] = (help_text, {key: fn})
+            else:
+                existing[1][key] = fn
+
     # -- introspection (tests) ------------------------------------------
 
     def request_count(self, endpoint: str) -> int:
@@ -216,6 +238,7 @@ class ServiceMetrics:
                     for endpoint, buckets in self._latency_buckets.items()
                 },
                 "gauges": {},
+                "labeled_gauges": {},
             }
             for name, (help_text, fn) in self._gauges.items():
                 try:
@@ -223,6 +246,14 @@ class ServiceMetrics:
                 except Exception:
                     # A gauge callback must never fail a scrape.
                     continue
+            for name, (help_text, series) in self._labeled_gauges.items():
+                samples = []
+                for key, fn in sorted(series.items()):
+                    try:
+                        samples.append([dict(key), float(fn())])
+                    except Exception:
+                        continue
+                snap["labeled_gauges"][name] = [help_text, samples]
             return snap
 
     def render(self) -> str:
@@ -245,6 +276,7 @@ def merge_snapshots(snapshots: Iterable[Dict]) -> Dict:
         "counters": {},
         "latency": {},
         "gauges": {},
+        "labeled_gauges": {},
     }
     requests: Dict[Tuple[str, int], int] = {}
     for snap in snapshots:
@@ -286,6 +318,24 @@ def merge_snapshots(snapshots: Iterable[Dict]) -> Dict:
             else:
                 existing[0] = existing[0] or help_text
                 existing[1] += float(value)
+        for name, (help_text, samples) in snap.get(
+            "labeled_gauges", {}
+        ).items():
+            existing = merged["labeled_gauges"].setdefault(name, [help_text, []])
+            existing[0] = existing[0] or help_text
+            index = {
+                tuple(sorted(labels.items())): sample
+                for labels, sample in (
+                    (entry[0], entry) for entry in existing[1]
+                )
+            }
+            for labels, value in samples:
+                key = tuple(sorted(labels.items()))
+                if key in index:
+                    index[key][1] += float(value)
+                else:
+                    existing[1].append([dict(labels), float(value)])
+                    index[key] = existing[1][-1]
     merged["requests"] = [
         [endpoint, code, count]
         for (endpoint, code), count in sorted(requests.items())
@@ -364,6 +414,21 @@ def render_snapshot(
         lines.append("# HELP {} {}".format(name, help_text))
         lines.append("# TYPE {} gauge".format(name))
         lines.append("{} {}".format(name, _format_value(float(value))))
+    labeled = snapshot.get("labeled_gauges", {})
+    for name in sorted(labeled):
+        help_text, samples = labeled[name]
+        lines.append("# HELP {} {}".format(name, help_text or name))
+        lines.append("# TYPE {} gauge".format(name))
+        for labels, value in sorted(
+            samples, key=lambda entry: sorted(entry[0].items())
+        ):
+            lines.append(
+                "{}{} {}".format(
+                    name,
+                    _format_labels(labels),
+                    _format_value(float(value)),
+                )
+            )
     if worker_up is not None:
         lines.append(
             "# HELP repro_worker_up Whether each shard's worker answered "

@@ -55,7 +55,11 @@ from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import urlparse
 
-from repro.service.journal import RecoveryError, SessionStore
+from repro.service.journal import (
+    JournalDiskError,
+    RecoveryError,
+    SessionStore,
+)
 from repro.service.metrics import (
     ServiceMetrics,
     merge_snapshots,
@@ -112,6 +116,31 @@ DURABILITY_COUNTERS = (
     (
         "repro_requests_timed_out_total",
         "Requests abandoned after exceeding the request timeout (503).",
+    ),
+    (
+        "repro_service_journal_snapshot_failures_total",
+        "Snapshot writes that failed at the disk level (non-fatal; the "
+        "journal is intact and rotation retries at the next boundary).",
+    ),
+    (
+        "repro_disk_degraded_responses_total",
+        "Mutating requests answered 507 because a journal append failed "
+        "at the disk level (the record was rolled back, never torn).",
+    ),
+)
+
+#: Corpus fan-out counters, pre-registered at 0 so a scrape before the
+#: first ``submit --corpus`` run is well-formed.
+CORPUS_COUNTERS = (
+    (
+        "repro_corpus_files_total",
+        "Anonymize requests tagged as part of a corpus fan-out run "
+        "(X-Repro-Corpus header).",
+    ),
+    (
+        "repro_corpus_failovers_total",
+        "Corpus files re-driven on another shard after their primary "
+        "failed (X-Repro-Failover header).",
     ),
 )
 
@@ -438,6 +467,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # Resume refused (wrong salt / quarantined history): the
             # client must not retry blindly — fail-closed, not a 500.
             self._send_error_json(409, str(exc))
+        except JournalDiskError as exc:
+            # Disk-level write failure (ENOSPC/EIO): the append was
+            # rolled back cleanly — nothing was acknowledged, nothing
+            # torn — so the condition is transient.  507 + Retry-After
+            # parks the session read-only; the client's retry is the
+            # half-open probe that clears it once writes succeed.
+            service.metrics.inc_counter("repro_disk_degraded_responses_total")
+            self._send_error_json(507, str(exc), retry_after=2)
         except BrokenPipeError:
             self.close_connection = True
         except Exception as exc:
@@ -605,6 +642,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         session = service.sessions.get(session_id)
         source = self.headers.get("X-Repro-Source", "<config>")
         idempotency_key = self.headers.get("X-Repro-Idempotency-Key") or None
+        if self.headers.get("X-Repro-Corpus"):
+            service.metrics.inc_counter("repro_corpus_files_total")
+        if self.headers.get("X-Repro-Failover"):
+            service.metrics.inc_counter("repro_corpus_failovers_total")
         text = self._read_body().decode("utf-8", errors="replace")
         fault_plan = session.anonymizer.fault_plan
         if fault_plan is not None and fault_plan.drop_connection_once(
@@ -865,7 +906,7 @@ class AnonymizationService:
         generation: int = 0,
     ):
         self.metrics = ServiceMetrics()
-        for name, help_text in DURABILITY_COUNTERS:
+        for name, help_text in DURABILITY_COUNTERS + CORPUS_COUNTERS:
             self.metrics.register_counter(name, help_text)
         self.store: Optional[SessionStore] = None
         self.recovery_summary = None
@@ -926,6 +967,20 @@ class AnonymizationService:
             "repro_sessions",
             "Live anonymization sessions.",
             lambda: len(self.sessions),
+        )
+        self.metrics.register_gauge(
+            "repro_disk_degraded",
+            "Sessions parked read-only by a disk-level journal write "
+            "failure (clears when an append succeeds again).",
+            self.sessions.disk_degraded_count,
+        )
+        self.metrics.register_labeled_gauge(
+            "repro_circuit_open",
+            "Whether this shard's journal write path is open (any "
+            "session disk-degraded); per-shard series merge across "
+            "workers on the aggregated scrape.",
+            {"shard": str(shard.index if shard is not None else 0)},
+            lambda: 1.0 if self.sessions.disk_degraded_count() else 0.0,
         )
         self._thread: Optional[threading.Thread] = None
         self._direct_thread: Optional[threading.Thread] = None

@@ -41,6 +41,7 @@ from repro.core import Anonymizer, AnonymizerConfig
 from repro.core.engine import FreezeStats
 from repro.core.report import AnonymizationReport
 from repro.core.runner import salt_fingerprint
+from repro.service.journal import JournalDiskError
 from repro.core.state import (
     StateCursor,
     export_state,
@@ -119,9 +120,20 @@ class Session:
         self.requests_replayed = 0
         self.journal = journal
         self.snapshot_every = 64
+        #: True while the last journal append failed at the disk level
+        #: (ENOSPC/EIO).  The session is parked read-only: mutating
+        #: requests answer 507 + Retry-After, and the next successful
+        #: append clears the flag — the client's retry *is* the
+        #: half-open probe.
+        self.disk_degraded = False
         self._metrics = metrics
         self._committed: Dict[str, Dict] = {}
         self._cursor = StateCursor(anonymizer)
+        #: A freeze record whose journal append hit a disk error.  The
+        #: in-memory freeze cannot be undone, so the exact record is
+        #: retained and re-appended before the next successful commit —
+        #: replay then still sees the freeze in order.
+        self._pending_freeze: Optional[Dict] = None
 
     # -- journal plumbing -------------------------------------------------
 
@@ -130,28 +142,61 @@ class Session:
             self._metrics.inc_counter(name, amount)
 
     def _journal_append(self, record: Dict, source: str) -> None:
-        """Durably commit one operation (call with the lock held)."""
-        self.journal.append(
-            record,
-            fault_plan=self.anonymizer.fault_plan,
-            fault_source=source,
-        )
+        """Durably commit one operation (call with the lock held).
+
+        A disk-level failure (:class:`JournalDiskError`) marks the
+        session ``disk_degraded`` and re-raises — the handler maps it to
+        507 + Retry-After.  A later successful append clears the flag.
+        """
+        try:
+            self._flush_pending_freeze()
+            self.journal.append(
+                record,
+                fault_plan=self.anonymizer.fault_plan,
+                fault_source=source,
+            )
+        except JournalDiskError:
+            self.disk_degraded = True
+            raise
+        self.disk_degraded = False
         self._cursor = StateCursor(self.anonymizer)
         self._inc_metric("repro_service_journal_records_total")
         if self.journal.appended_since_snapshot >= self.snapshot_every:
             self._write_snapshot()
 
+    def _flush_pending_freeze(self) -> None:
+        """Re-append a freeze record whose original append hit a disk
+        error (call with the lock held; raises on continued failure)."""
+        if self._pending_freeze is None:
+            return
+        self.journal.append(
+            self._pending_freeze,
+            fault_plan=self.anonymizer.fault_plan,
+            fault_source="<freeze>",
+        )
+        self._pending_freeze = None
+        self._inc_metric("repro_service_journal_records_total")
+
     def _write_snapshot(self) -> None:
         stats = self.anonymizer.last_freeze_stats
-        self.journal.write_snapshot(
-            {
-                "salt_fingerprint": self.fingerprint,
-                "state": export_state(self.anonymizer),
-                "frozen": self.anonymizer.frozen,
-                "freeze_stats": None if stats is None else _stats_dict(stats),
-                "committed": self._committed,
-            }
-        )
+        try:
+            self.journal.write_snapshot(
+                {
+                    "salt_fingerprint": self.fingerprint,
+                    "state": export_state(self.anonymizer),
+                    "frozen": self.anonymizer.frozen,
+                    "freeze_stats": None if stats is None else _stats_dict(stats),
+                    "committed": self._committed,
+                },
+                fault_plan=self.anonymizer.fault_plan,
+            )
+        except (JournalDiskError, OSError):
+            # Non-fatal: every record this snapshot would cover is
+            # already fsync'd in the journal.  Count the failure and
+            # retry at the next boundary (appended_since_snapshot keeps
+            # growing, so the next append triggers another attempt).
+            self._inc_metric("repro_service_journal_snapshot_failures_total")
+            return
         self._inc_metric("repro_service_journal_snapshots_total")
 
     def restore_replay(self, replay: Dict) -> None:
@@ -174,6 +219,7 @@ class Session:
                 "salt_fingerprint": self.fingerprint,
                 "frozen": self.anonymizer.frozen,
                 "durable": self.journal is not None,
+                "disk_degraded": self.disk_degraded,
                 "requests_served": self.requests_served,
                 "requests_replayed": self.requests_replayed,
                 "idempotent_replays": self.idempotent_replays,
@@ -194,20 +240,43 @@ class Session:
             )
         with self.lock:
             if self.anonymizer.frozen:
+                if self._pending_freeze is not None:
+                    # The earlier freeze answered 507: its in-memory
+                    # state transition happened but the journal record
+                    # never landed.  This retry is the half-open probe —
+                    # flush the retained record now, or park again.
+                    try:
+                        self._flush_pending_freeze()
+                    except JournalDiskError:
+                        self.disk_degraded = True
+                        raise
+                    self.disk_degraded = False
+                    stats = self.anonymizer.last_freeze_stats
+                    return dict(
+                        {} if stats is None else _stats_dict(stats),
+                        frozen=True,
+                    )
                 raise SessionError(
                     "session {} is already frozen; create a new session to "
                     "freeze over a different corpus".format(self.id)
                 )
             stats = self.anonymizer.freeze_mappings(files)
             if self.journal is not None:
-                self._journal_append(
-                    {
-                        "op": "freeze",
-                        "delta": state_delta_since(self.anonymizer, self._cursor),
-                        "stats": _stats_dict(stats),
-                    },
-                    source="<freeze>",
-                )
+                record = {
+                    "op": "freeze",
+                    "delta": state_delta_since(self.anonymizer, self._cursor),
+                    "stats": _stats_dict(stats),
+                }
+                try:
+                    self._journal_append(record, source="<freeze>")
+                except JournalDiskError:
+                    # The in-memory freeze cannot be undone.  Retain the
+                    # exact record and advance the cursor so later deltas
+                    # exclude it; it is re-appended before the next
+                    # successful commit (or by a freeze retry above).
+                    self._pending_freeze = record
+                    self._cursor = StateCursor(self.anonymizer)
+                    raise
         return dict(_stats_dict(stats), frozen=True)
 
     # -- anonymization ---------------------------------------------------
@@ -505,6 +574,13 @@ class SessionManager:
 
     def is_recoverable(self, session_id: str) -> bool:
         return self.store is not None and self.store.is_recoverable(session_id)
+
+    def disk_degraded_count(self) -> int:
+        """Sessions currently parked read-only by a disk-level write
+        failure (drives the ``repro_disk_degraded`` gauge)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return sum(1 for session in sessions if session.disk_degraded)
 
     def get(self, session_id: str) -> Session:
         with self._lock:

@@ -918,3 +918,280 @@ class TestServeExitCodes:
             ["--port", "0", "--state-dir", str(blocker / "state")]
         )
         assert code == EXIT_RECOVERY_FAILED
+
+
+class TestDiskFaultDegradation:
+    """ENOSPC on the journal parks the session instead of tearing it.
+
+    The contract: a disk-level append failure rolls the record back
+    cleanly (no torn tail, no phantom seq), the request fails with
+    :class:`JournalDiskError` (the HTTP layer turns it into 507 +
+    Retry-After), and the *next* successful append clears the
+    degradation — the client's retry is the half-open probe.
+    """
+
+    def test_enospc_rolls_back_cleanly_and_retry_heals(
+        self, tmp_path, figure1_text
+    ):
+        from repro.service.journal import JournalDiskError
+
+        manager, store, _ = _durable_manager(tmp_path / "state")
+        session = manager.create(
+            SALT, {"fault_plan": "journal-enospc:full.cfg"}
+        )
+        ok = session.anonymize(figure1_text, source="fine.cfg")
+        with pytest.raises(JournalDiskError):
+            session.anonymize(figure1_text, source="full.cfg")
+        assert session.disk_degraded is True
+        assert session.describe()["disk_degraded"] is True
+        assert manager.disk_degraded_count() == 1
+
+        # The retry (the fault is one-shot) succeeds and un-parks.
+        healed = session.anonymize(figure1_text, source="full.cfg")
+        assert session.disk_degraded is False
+        assert manager.disk_degraded_count() == 0
+        manager.close_all()
+
+        # No torn tail was left behind: recovery replays both
+        # acknowledged requests and nothing else.
+        manager2, store2, _ = _durable_manager(tmp_path / "state")
+        assert store2.summary.torn_discarded == 0
+        assert session.id in store2.summary.recoverable
+        restored = manager2.resume(SALT, session.id)
+        assert restored.describe()["requests_replayed"] == 2
+        again = restored.anonymize(figure1_text, source="full.cfg")
+        assert again["text"] == healed["text"]
+        assert ok["text"] == restored.anonymize(
+            figure1_text, source="fine.cfg"
+        )["text"]
+        manager2.close_all()
+
+    def test_enospc_freeze_is_retained_and_flushed_on_retry(
+        self, tmp_path, figure1_text
+    ):
+        from repro.service.journal import JournalDiskError
+
+        corpus = _corpus(figure1_text)
+        manager, _, _ = _durable_manager(tmp_path / "state")
+        session = manager.create(
+            SALT, {"fault_plan": "journal-enospc:<freeze>"}
+        )
+        with pytest.raises(JournalDiskError):
+            session.freeze(corpus)
+        assert session.disk_degraded is True
+
+        # The retry flushes the retained freeze record (the in-memory
+        # freeze is irreversible, so the record must not be lost).
+        result = session.freeze(corpus)
+        assert result["frozen"] is True
+        assert session.disk_degraded is False
+        reference = _batch_reference(corpus)
+        live = session.anonymize(corpus["siteA/cr1.cfg"], source="siteA/cr1.cfg")
+        assert live["text"] == reference["siteA/cr1.cfg"]
+        manager.close_all()
+
+        # Restart: the journal carries the freeze, so the recovered
+        # session produces the same frozen mappings.
+        manager2, _, _ = _durable_manager(tmp_path / "state")
+        restored = manager2.resume(SALT, session.id)
+        again = restored.anonymize(
+            corpus["siteB/cr1.cfg"], source="siteB/cr1.cfg"
+        )
+        assert again["text"] == reference["siteB/cr1.cfg"]
+        manager2.close_all()
+
+    def test_snapshot_eio_is_nonfatal_and_selfheals(
+        self, tmp_path, figure1_text
+    ):
+        manager, _, metrics = _durable_manager(
+            tmp_path / "state", snapshot_every=1
+        )
+        session = manager.create(
+            SALT, {"fault_plan": "snapshot-eio:snapshot"}
+        )
+        # snapshot_every=1: this append triggers a snapshot whose write
+        # fails with EIO.  The request must still succeed — the journal
+        # record is already durable; only the rotation is skipped.
+        ok = session.anonymize(figure1_text, source="a.cfg")
+        assert ok["status"] in ("ok", "failed-closed")
+        assert (
+            metrics.counter_value(
+                "repro_service_journal_snapshot_failures_total"
+            )
+            == 1
+        )
+        # The fault is one-shot: the next boundary snapshot succeeds,
+        # so the journal rotates and the backlog self-heals.
+        session.anonymize(figure1_text, source="b.cfg")
+        assert session.journal.appended_since_snapshot == 0
+        manager.close_all()
+
+        manager2, _, _ = _durable_manager(tmp_path / "state")
+        restored = manager2.resume(SALT, session.id)
+        assert restored.anonymize(figure1_text, source="a.cfg")[
+            "text"
+        ] == ok["text"]
+        manager2.close_all()
+
+
+class TestReadOnlyStateRecovery:
+    """recover() on a read-only or failing state dir: quarantine the
+    affected sessions (in place if the rename itself fails) and keep
+    serving everything else."""
+
+    def _seed_sessions(self, state_dir, figure1_text, count=2):
+        manager, store, _ = _durable_manager(state_dir)
+        ids = []
+        for i in range(count):
+            session = manager.create(SALT)
+            session.anonymize(figure1_text, source="cfg-{}.cfg".format(i))
+            ids.append(session.id)
+        manager.close_all()
+        return ids
+
+    def test_unreadable_journal_quarantines_only_that_session(
+        self, tmp_path, figure1_text
+    ):
+        state_dir = tmp_path / "state"
+        healthy_id, victim_id = self._seed_sessions(
+            state_dir, figure1_text
+        )
+        # Replace the victim's journal with a directory: read_bytes()
+        # raises OSError, the classic symptom of a disk gone bad.
+        journal_path = state_dir / "sessions" / victim_id / "journal.jsonl"
+        journal_path.unlink()
+        journal_path.mkdir()
+
+        manager2, store2, _ = _durable_manager(state_dir)
+        assert victim_id in store2.summary.quarantined
+        assert "unreadable" in store2.summary.quarantined[victim_id]
+        assert healthy_id in store2.summary.recoverable
+        restored = manager2.resume(SALT, healthy_id)
+        assert restored.describe()["requests_replayed"] == 1
+        manager2.close_all()
+
+    def test_quarantine_move_failure_quarantines_in_place(
+        self, tmp_path, figure1_text, monkeypatch
+    ):
+        state_dir = tmp_path / "state"
+        healthy_id, victim_id = self._seed_sessions(
+            state_dir, figure1_text
+        )
+        (state_dir / "sessions" / victim_id / "meta.json").write_text(
+            "not json at all"
+        )
+
+        # A read-only filesystem fails the quarantine rename itself.
+        import errno as _errno
+
+        import repro.service.journal as journal_module
+
+        real_replace = os.replace
+
+        def replace_fails(src, dst, *args, **kwargs):
+            if str(state_dir) in str(src):
+                raise OSError(_errno.EROFS, "read-only file system")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(journal_module.os, "replace", replace_fails)
+        store = SessionStore(state_dir)
+        summary = store.recover()
+        assert victim_id in summary.quarantined
+        assert "quarantined in place" in summary.quarantined[victim_id]
+        # The directory was NOT renamed...
+        assert (state_dir / "sessions" / victim_id).exists()
+        # ...the session is not resumable...
+        assert victim_id not in summary.recoverable
+        # ...and the healthy session still is.
+        assert healthy_id in summary.recoverable
+
+
+class TestRetryAfterHardening:
+    """Malformed or absurd Retry-After headers must never stall the
+    client: anything unparsable or outside [0, 60] falls back to the
+    client's own bounded backoff."""
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "garbage",
+            "Wed, 21 Oct 2015 07:28:00 GMT",  # HTTP-date form: unsupported
+            "",
+            "nan",
+            "inf",
+            "-5",
+            "1e12",
+            "86400",  # absurd: over the 60s cap
+        ],
+    )
+    def test_garbage_headers_are_ignored(self, header):
+        from repro.service.client import _parse_retry_after
+
+        assert _parse_retry_after(header) is None
+
+    def test_sane_headers_parse_and_clamp(self):
+        from repro.service.client import MAX_RETRY_AFTER, _parse_retry_after
+
+        assert _parse_retry_after("2") == 2.0
+        assert _parse_retry_after("0") == 0.0
+        assert _parse_retry_after("1.5") == 1.5
+        assert _parse_retry_after(str(MAX_RETRY_AFTER)) == MAX_RETRY_AFTER
+        assert _parse_retry_after(None) is None
+
+    def test_mock_server_garbage_retry_after_bounded_backoff(self):
+        """A server answering 503 with a garbage Retry-After must be
+        retried on the normal exponential schedule, not a parsed-garbage
+        one (and never crash the parser)."""
+        import http.server
+        import socketserver
+
+        hits = []
+
+        class Garbage503(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):
+                hits.append(self.path)
+                if len(hits) < 3:
+                    body = b'{"error": "busy"}'
+                    self.send_response(503)
+                    self.send_header("Retry-After", "over 9000!!")
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                body = json.dumps({"status": "ok"}).encode()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):
+                pass
+
+        with socketserver.TCPServer(("127.0.0.1", 0), Garbage503) as httpd:
+            thread = threading.Thread(
+                target=httpd.serve_forever, daemon=True
+            )
+            thread.start()
+            sleeps = []
+            client = RetryingServiceClient(
+                base_url="http://127.0.0.1:{}".format(
+                    httpd.server_address[1]
+                ),
+                salt=SALT,
+                policy=RetryPolicy(
+                    max_attempts=5, base_delay=0.1, jitter=0.0
+                ),
+                sleep=sleeps.append,
+            )
+            try:
+                health = client._with_retries(client.healthz)
+            finally:
+                client.close()
+                httpd.shutdown()
+        assert health["status"] == "ok"
+        assert len(hits) == 3
+        # The garbage header was ignored: pure exponential backoff, not
+        # a 9000-second stall.
+        assert sleeps == [0.1, 0.2]
