@@ -91,8 +91,10 @@ def test_parallel_speedup(dataset):
             # The headline guarantee, measured on the bench corpus too.
             assert outputs == baseline_outputs
 
+    probe = Anonymizer(salt=b"par-bench")
     payload = {
         "experiment": "BENCH_parallel",
+        "active_plugins": sorted(probe.active_plugin_families),
         "network": sample.name,
         "files": len(sample.configs),
         "lines": total_lines,

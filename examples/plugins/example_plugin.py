@@ -1,0 +1,53 @@
+"""Out-of-tree recognizer plugin example.
+
+Load it by pointing ``REPRO_PLUGINS`` at this file::
+
+    REPRO_PLUGINS=examples/plugins/example_plugin.py \
+        repro-anonymize configs/ --salt "owner secret" --plugins example ...
+
+The family recognizes one synthetic statement, ``example-token <value>``,
+and hashes the value like any working credential.  It demonstrates the
+full contract a real out-of-tree family must honor (see docs/RULES.md,
+"Writing a recognizer plugin"): a module-level ``PLUGIN`` export, a
+rule-id prefix for report/metrics grouping, and a trigger that is a
+necessary condition of the pattern so the compiled-dispatch prefilter
+never starves the rule.
+"""
+
+import re
+
+from repro.core.rulebase import Rule
+from repro.plugins.base import RecognizerPlugin
+
+PATTERN = re.compile(r"(\bexample-token )(\S+)")
+
+
+def _apply_example(line, ctx):
+    def handler(match):
+        return [
+            (match.group(1), True),
+            (ctx.hash_secret(match.group(2)), True),
+        ]
+
+    return line.apply_rule(PATTERN, handler)
+
+
+class ExamplePlugin(RecognizerPlugin):
+    family = "example"
+    rule_prefix = "Z"
+    description = "Example out-of-tree family: hashes `example-token <value>`."
+
+    def build_rules(self):
+        return [
+            Rule(
+                "Z1",
+                "example-token",
+                "misc",
+                "The value of `example-token <value>` statements is hashed.",
+                _apply_example,
+                trigger="example-token",
+            )
+        ]
+
+
+PLUGIN = ExamplePlugin()

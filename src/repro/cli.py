@@ -30,6 +30,7 @@ from repro.core.status import (
     EXIT_OK,
     EXIT_QUARANTINE,
     EXIT_STATE_ERROR,
+    EXIT_UNKNOWN_PLUGIN,
     exit_code_for,
 )
 
@@ -158,6 +159,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "footnote 1)",
     )
     parser.add_argument(
+        "--plugins",
+        default=None,
+        metavar="FAMILIES",
+        help="comma-separated recognizer plugin families to enable "
+        "(default: every discovered family minus $REPRO_PLUGINS_DISABLE; "
+        "out-of-tree plugins are discovered via $REPRO_PLUGINS paths)",
+    )
+    parser.add_argument(
+        "--no-plugins",
+        action="store_true",
+        help="run with the builtin 28 rules only (no recognizer plugins)",
+    )
+    parser.add_argument(
         "--inventory",
         action="store_true",
         help="print the 28-rule inventory and exit",
@@ -220,7 +234,25 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.inventory:
-        print(rule_inventory())
+        extra_rules = []
+        if not args.no_plugins:
+            from repro.plugins import UnknownPluginError, resolve_active_plugins
+
+            requested = None
+            if args.plugins is not None:
+                requested = tuple(
+                    name.strip()
+                    for name in args.plugins.split(",")
+                    if name.strip()
+                )
+            try:
+                active = resolve_active_plugins(requested)
+            except UnknownPluginError as exc:
+                print("error: {}".format(exc), file=sys.stderr)
+                return EXIT_UNKNOWN_PLUGIN
+            for plugin in active:
+                extra_rules.extend(plugin.build_rules())
+        print(rule_inventory(extra_rules=extra_rules))
         return 0
     if not args.paths:
         parser.error("no input files given (or use --inventory)")
@@ -249,6 +281,16 @@ def main(argv=None) -> int:
         else (args.jobs > 1 or args.resume)
     )
 
+    if args.no_plugins and args.plugins:
+        parser.error("--no-plugins cannot be combined with --plugins")
+    plugins = None
+    if args.no_plugins:
+        plugins = ()
+    elif args.plugins is not None:
+        plugins = tuple(
+            name.strip() for name in args.plugins.split(",") if name.strip()
+        )
+
     config = AnonymizerConfig(
         salt=args.salt.encode("utf-8"),
         hash_length=args.hash_length,
@@ -260,8 +302,15 @@ def main(argv=None) -> int:
         two_pass=two_pass,
         snapshot_transport=args.snapshot_transport,
         chunk_files=args.chunk_files,
+        plugins=plugins,
     )
-    anonymizer = Anonymizer(config)
+    from repro.plugins import UnknownPluginError
+
+    try:
+        anonymizer = Anonymizer(config)
+    except UnknownPluginError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return EXIT_UNKNOWN_PLUGIN
     if anonymizer.fault_plan is not None:
         print(
             "WARNING: fault injection active ({}); never publish this "

@@ -95,6 +95,13 @@ class AnonymizerConfig:
     #: ``None`` falls back to the ``REPRO_FAULT_PLAN`` environment
     #: variable.  Test-only: never set on a run whose output you publish.
     fault_plan: Optional[str] = None
+    #: Recognizer plugin families to activate (see :mod:`repro.plugins`).
+    #: ``None`` (default) activates every discovered builtin family minus
+    #: any named in the ``REPRO_PLUGINS_DISABLE`` environment variable; an
+    #: explicit sequence (possibly empty) activates exactly those families
+    #: and nothing else.  Unknown names raise
+    #: :class:`repro.plugins.UnknownPluginError` at engine construction.
+    plugins: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.passlist is None:
@@ -122,3 +129,10 @@ class AnonymizerConfig:
             raise ValueError(
                 "chunk_files must be >= 0, not {!r}".format(self.chunk_files)
             )
+        if self.plugins is not None:
+            if isinstance(self.plugins, str):
+                raise ValueError(
+                    "plugins must be a sequence of family names, not a "
+                    "bare string: {!r}".format(self.plugins)
+                )
+            self.plugins = tuple(str(name) for name in self.plugins)

@@ -12,7 +12,14 @@ from repro.core.ipanon import PrefixPreservingMap
 from repro.core.report import AnonymizationReport
 from repro.core.strings import StringHasher
 from repro.core.tokens import TokenAnonymizer
-from repro.netutil import int_to_ip, ip_to_int, is_ipv4, is_private_rfc1918
+from repro.netutil import (
+    int_to_ip,
+    int_to_ip6,
+    ip6_to_int,
+    ip_to_int,
+    is_ipv4,
+    is_private_rfc1918,
+)
 
 #: Cache sentinel for quad-shaped texts that are not valid addresses
 #: (an octet above 255), so repeats skip the failed parse too.
@@ -39,6 +46,9 @@ class RuleContext:
     #: (up to 65536 regex probes) serves every repeat of the same policy
     #: regexp across the corpus.
     regex_memo: Optional[Dict] = field(default=None, repr=False)
+    #: The 128-bit prefix-preserving map contributed by the ``ipv6``
+    #: recognizer plugin; ``None`` when that family is inactive.
+    ip6_map: Optional[object] = None
 
     # -- helpers used by several rule modules ---------------------------
 
@@ -193,6 +203,51 @@ class RuleContext:
             return None
         self._record_ip(entry)
         return entry[0], entry[5]
+
+    def map_ip6_text_or_none(self, text: str):
+        """Map IPv6 text through the plugin's 128-bit trie, or ``None``.
+
+        ``None`` when the ``ipv6`` family is inactive or *text* is not a
+        valid IPv6 literal.  Mirrors :meth:`map_ip_text_or_none`: the
+        parse, trie walk, and RFC 5952 re-render are memoized on the v6
+        map's text cache with counter-replay entries, and invalid texts
+        are negatively cached so the candidate regex's false positives
+        (``12:30:00``-style tokens) cost one failed parse per distinct
+        text.
+        """
+        ip6_map = self.ip6_map
+        if ip6_map is None:
+            return None
+        cache = ip6_map._text_cache
+        entry = cache.get(text)
+        if entry is None:
+            try:
+                value = ip6_to_int(text)
+            except ValueError:
+                cache[text] = _BAD_QUAD
+                return None
+            special = ip6_map.is_special(value)
+            walks = ip6_map.collision_walks
+            allowed = ip6_map.collision_allowed
+            mapped_value = ip6_map.map_int(value)
+            entry = (
+                int_to_ip6(mapped_value),
+                special,
+                ip6_map.collision_walks - walks,
+                ip6_map.collision_allowed - allowed,
+            )
+            cache[text] = entry
+        elif entry is _BAD_QUAD:
+            return None
+        else:
+            ip6_map.addresses_mapped += 1
+            ip6_map.collision_walks += entry[2]
+            ip6_map.collision_allowed += entry[3]
+        if entry[1]:
+            self.report.special_ips_preserved += 1
+        else:
+            self.report.ips_mapped += 1
+        return entry[0]
 
     def map_community_text(self, text: str) -> str:
         mapped = self.community.map_community(text)

@@ -55,6 +55,8 @@ from repro.configmodel.junos_parser import looks_like_junos
 from repro.core.strings import StringHasher
 from repro.core.tokens import TokenAnonymizer
 from repro.netutil import ip_to_int
+from repro.plugins.base import FinalLine
+from repro.plugins.registry import resolve_active_plugins
 
 #: Dotted-quad scanner used by the corpus preload (compiled once at import;
 #: it is the hot pattern of the freeze phase).
@@ -92,6 +94,9 @@ class FreezeStats:
     words_warmed: int = 0
     asns_warmed: int = 0
     communities_warmed: int = 0
+    #: Distinct IPv6 addresses preloaded by the ``ipv6`` plugin's freeze
+    #: scan (0 when that family is inactive).
+    ipv6_addresses: int = 0
 
 
 class Anonymizer:
@@ -128,6 +133,42 @@ class Anonymizer:
             for rule in build_junos_rules()
             if rule.rule_id not in config.disabled_rules
         ]
+        # Compose the active recognizer plugin set (see
+        # :mod:`repro.plugins`).  Plugin line rules run *before* the
+        # builtin rules — vendor-specific secret formats must not be
+        # half-consumed by the generic patterns — and plugin rules with
+        # ``apply=None`` are structural (realized by block filters), so
+        # they stay out of the line pipeline just like R1-R5.
+        self.ip6_map = None
+        self.plugins = resolve_active_plugins(config.plugins)
+        self.active_plugin_families: Tuple[str, ...] = tuple(
+            plugin.family for plugin in self.plugins
+        )
+        self._block_filters = []
+        plugin_rules: List[Rule] = []
+        plugin_words: List[str] = []
+        for plugin in self.plugins:
+            plugin.setup(self)
+            plugin_rules.extend(
+                rule
+                for rule in plugin.build_rules()
+                if rule.apply is not None
+                and rule.rule_id not in config.disabled_rules
+            )
+            block_filter = plugin.block_filter()
+            if block_filter is not None:
+                self._block_filters.append(block_filter)
+            plugin_words.extend(plugin.passlist_words())
+        if plugin_words:
+            # Union into a fresh PassList: the configured pass-list (often
+            # the shared module default) is never mutated, so engines
+            # running without these plugins keep pre-plugin byte identity.
+            from repro.core.passlist import PassList
+
+            self.token_anon.passlist = self.token_anon.passlist.union(
+                PassList(plugin_words)
+            )
+        ios_rules = plugin_rules + ios_rules
         self.rules: List[Rule] = ios_rules
         self._junos_rules: List[Rule] = junos_extra + ios_rules
         # The compiled dispatch layer: all rule triggers combined into one
@@ -168,6 +209,7 @@ class Anonymizer:
             report=AnonymizationReport(),
             source=source,
             regex_memo=self._regex_memo,
+            ip6_map=self.ip6_map,
         )
 
     # -- public API ------------------------------------------------------
@@ -204,6 +246,7 @@ class Anonymizer:
             report=file_report,
             source=source,
             regex_memo=self._regex_memo,
+            ip6_map=self.ip6_map,
         )
 
         if self.config.strip_comments:
@@ -219,6 +262,12 @@ class Anonymizer:
         else:
             file_report.words_in = sum(len(line.split()) for line in lines)
 
+        # Plugin block filters: multi-line recognizers (certificate
+        # blobs, ...) replace whole blocks with placeholder FinalLines
+        # before the per-line pipeline sees them.
+        for block_filter in self._block_filters:
+            lines = block_filter(lines, ctx)
+
         out_lines: List[str] = []
         token_anon = self.token_anon
         anonymize_text = token_anon.anonymize_text
@@ -229,6 +278,11 @@ class Anonymizer:
         record_rule_hit = file_report.record_rule_hit
         for line_number, raw_line in enumerate(lines, start=1):
             ctx.line_number = line_number
+            if isinstance(raw_line, FinalLine):
+                # A block filter already anonymized this line end-to-end
+                # (it is a salted-digest placeholder): emit it verbatim.
+                out_lines.append(str(raw_line))
+                continue
             # Fail-closed guarantee: if anything below raises, the whole
             # line is replaced by a salted-hash placeholder.  The raw line
             # never reaches the output, and the report records the event.
@@ -404,9 +458,25 @@ class Anonymizer:
                 self.community.map_community(match.group(0))
                 stats.communities_warmed += 1
 
-        self.ip_map.freeze()
+        # Plugin freeze scans (e.g. the IPv6 trie preload) run before the
+        # freeze point so their insertions are order-guaranteed too.
+        for plugin in self.plugins:
+            plugin.freeze_scan(self, configs, stats)
+
+        self.mark_frozen()
         self.last_freeze_stats = stats
         return stats
+
+    def mark_frozen(self) -> None:
+        """Freeze every mapping trie (the v4 map and any plugin maps).
+
+        The replay/restore paths use this instead of touching
+        ``ip_map.freeze()`` directly so plugin-contributed address
+        families freeze in lockstep with the builtin one.
+        """
+        self.ip_map.freeze()
+        if self.ip6_map is not None:
+            self.ip6_map.freeze()
 
     @property
     def frozen(self) -> bool:

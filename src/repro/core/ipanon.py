@@ -56,10 +56,14 @@ from typing import Optional, Union
 from repro.core.secrets import derive_key, derive_seed_int, normalize_salt
 from repro.netutil import (
     IPV4_MAX,
+    IPV6_MAX,
     int_to_ip,
+    int_to_ip6,
+    ip6_to_int,
     ip_to_int,
     mask_for_len,
     trailing_zero_bits,
+    trailing_zero_bits128,
 )
 
 
@@ -305,6 +309,166 @@ class PrefixPreservingMap:
 
     def map_prefix(self, text: str) -> str:
         """Map ``a.b.c.d/len`` notation, keeping the length."""
+        addr_text, slash, len_text = text.partition("/")
+        if not slash:
+            raise ValueError("missing /len in {!r}".format(text))
+        return "{}/{}".format(self.map_address(addr_text), len_text)
+
+    @property
+    def nodes_created(self) -> int:
+        return len(self._flips)
+
+
+class Prefix6PreservingMap:
+    """Stateful prefix-preserving IPv6 anonymization map.
+
+    The 128-bit analog of :class:`PrefixPreservingMap`, contributed by the
+    ``ipv6`` recognizer plugin: the same per-node flip-bit trie, the same
+    freeze contract (pre-freeze bits from a salted RNG stream, post-freeze
+    bits a keyed hash of ``(depth, prefix)``), the same text-cache slot for
+    :class:`~repro.core.context.RuleContext` memoization — so it rides the
+    existing snapshot/journal/state machinery with only field additions.
+
+    Differences from the IPv4 map, all deliberate:
+
+    * **No class preservation.**  IPv6 has no classful addressing; there
+      is nothing to pin.
+    * **Specials** are the unspecified address (``::``), loopback
+      (``::1``) and multicast (``ff00::/8``) — fixed points, same spirit
+      as the paper's "netmasks, multicast" passthrough.  IPv6 configs
+      carry prefix lengths, not dotted masks, so there is no mask family.
+    * **Subnet shaping** pins all-zero interface-ID suffixes (at least
+      ``subnet_shaping_min_zeros`` trailing zeros) exactly as for IPv4 —
+      ``2001:db8:1::/48``-style subnet anchors keep their zero tails.
+
+    Key material uses distinct derivation domains (``ip6-trie-*``), so the
+    v6 permutation is cryptographically independent of the v4 one under
+    the same owner secret.
+    """
+
+    def __init__(
+        self,
+        salt: Union[bytes, str] = b"",
+        subnet_shaping: bool = True,
+        preserve_specials: bool = True,
+        subnet_shaping_min_zeros: int = 2,
+        collision_policy: str = "allow",
+    ) -> None:
+        if collision_policy not in ("allow", "walk"):
+            raise ValueError(
+                "collision_policy must be 'allow' or 'walk', not {!r}".format(
+                    collision_policy
+                )
+            )
+        self.collision_policy = collision_policy
+        salt = normalize_salt(salt)
+        self._rng = random.Random(derive_seed_int(salt, "ip6-trie-flip-bits"))
+        self._flips = {}
+        self._raw_cache = {}
+        # IPv6 text -> rule-level outcome memo, owned by
+        # RuleContext.map_ip6_text (same lifecycle as the v4 text cache).
+        self._text_cache = {}
+        self._frozen = False
+        self._frozen_flip_key = derive_key(salt, "ip6-trie-frozen-flip-bits")
+        self.subnet_shaping = subnet_shaping
+        self.preserve_specials = preserve_specials
+        self.subnet_shaping_min_zeros = subnet_shaping_min_zeros
+        self.collision_walks = 0
+        self.collision_allowed = 0
+        self.addresses_mapped = 0
+
+    # -- special set -----------------------------------------------------
+
+    @staticmethod
+    def is_special(value: int) -> bool:
+        return value <= 1 or (value >> 120) == 0xFF
+
+    # -- raw trie walk ---------------------------------------------------
+
+    def raw_map(self, value: int) -> int:
+        """The pure 128-level trie permutation (no special handling)."""
+        cached = self._raw_cache.get(value)
+        if cached is not None:
+            return cached
+        if not 0 <= value <= IPV6_MAX:
+            raise ValueError("not a 128-bit address: {!r}".format(value))
+        output = 0
+        flips = self._flips
+        shapeable = -1
+        for depth in range(128):
+            prefix = value >> (128 - depth)
+            key = (depth, prefix)
+            flip = flips.get(key)
+            if flip is None:
+                if shapeable < 0:
+                    shapeable = self._shapeable_zeros(value)
+                flip = self._new_flip(depth, prefix, value, shapeable)
+                flips[key] = flip
+            bit = (value >> (127 - depth)) & 1
+            output = (output << 1) | (bit ^ flip)
+        self._raw_cache[value] = output
+        return output
+
+    def invalidate_cache(self) -> None:
+        self._raw_cache.clear()
+        self._text_cache.clear()
+
+    def freeze(self) -> None:
+        """Detach future flip bits from the RNG stream (see
+        :meth:`PrefixPreservingMap.freeze`; the contract is identical)."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def _new_flip(
+        self, depth: int, prefix: int, value: int, shapeable: int = -1
+    ) -> int:
+        if self._frozen:
+            material = b"%d:%d" % (depth, prefix)
+            digest = hmac.new(self._frozen_flip_key, material, hashlib.sha256)
+            return digest.digest()[0] & 1
+        drawn = self._rng.getrandbits(1)
+        if self.subnet_shaping:
+            remaining = value & ((1 << (128 - depth)) - 1)
+            zero_suffix_len = 128 - depth
+            if remaining == 0:
+                if shapeable < 0:
+                    shapeable = self._shapeable_zeros(value)
+                if zero_suffix_len <= shapeable:
+                    return 0
+        return drawn
+
+    def _shapeable_zeros(self, value: int) -> int:
+        zeros = trailing_zero_bits128(value)
+        if zeros >= self.subnet_shaping_min_zeros:
+            return zeros
+        return 0
+
+    # -- public mapping --------------------------------------------------
+
+    def map_int(self, value: int) -> int:
+        """Map one 128-bit address, honoring special-address passthrough."""
+        self.addresses_mapped += 1
+        if self.preserve_specials and self.is_special(value):
+            return value
+        mapped = self.raw_map(value)
+        if self.preserve_specials and self.is_special(mapped):
+            if self.collision_policy == "allow":
+                self.collision_allowed += 1
+                return mapped
+            while self.is_special(mapped):
+                self.collision_walks += 1
+                mapped = self.raw_map(mapped)
+        return mapped
+
+    def map_address(self, text: str) -> str:
+        """Map IPv6 text, rendering RFC 5952 canonical output."""
+        return int_to_ip6(self.map_int(ip6_to_int(text)))
+
+    def map_prefix(self, text: str) -> str:
+        """Map ``addr/len`` notation, keeping the length."""
         addr_text, slash, len_text = text.partition("/")
         if not slash:
             raise ValueError("missing /len in {!r}".format(text))

@@ -88,9 +88,18 @@ class FrozenSnapshot:
     word_cache: Dict[str, Tuple[str, int, int]]
     asn_cache: Dict[int, int]
     community_cache: Dict[str, str]
+    #: The resolved recognizer-plugin families active at capture time.
+    #: Restore pins the worker's config to exactly this set, so a worker
+    #: can never compose a different rule pipeline than the parent did
+    #: (e.g. when the parent resolved a ``plugins=None`` default against
+    #: environment variables the worker might not share).
+    active_plugins: Optional[Tuple[str, ...]] = None
+    ip6_flips: Optional[Dict[Tuple[int, int], int]] = None
+    ip6_frozen: bool = False
 
     @classmethod
     def capture(cls, anonymizer: Anonymizer) -> "FrozenSnapshot":
+        ip6_map = getattr(anonymizer, "ip6_map", None)
         return cls(
             config=anonymizer.config,
             ip_flips=dict(anonymizer.ip_map._flips),
@@ -99,6 +108,11 @@ class FrozenSnapshot:
             word_cache=dict(anonymizer.token_anon._word_cache),
             asn_cache=dict(anonymizer.asn_map._seen),
             community_cache=dict(anonymizer.community._cache),
+            active_plugins=tuple(
+                getattr(anonymizer, "active_plugin_families", ())
+            ),
+            ip6_flips=None if ip6_map is None else dict(ip6_map._flips),
+            ip6_frozen=False if ip6_map is None else ip6_map.frozen,
         )
 
     def restore(self, share: bool = False) -> Anonymizer:
@@ -116,21 +130,35 @@ class FrozenSnapshot:
         unaffected — only ``share=False`` guarantees the snapshot's dicts
         never grow.
         """
-        anonymizer = Anonymizer(self.config)
+        config = self.config
+        if self.active_plugins is not None and config.plugins != self.active_plugins:
+            # Pin the worker to the parent's resolved plugin set: a
+            # `plugins=None` default would re-resolve against the
+            # worker's environment, which may differ.
+            from dataclasses import replace
+
+            config = replace(config, plugins=self.active_plugins)
+        anonymizer = Anonymizer(config)
         if share:
             anonymizer.ip_map._flips = self.ip_flips
             anonymizer.hasher._cache = self.hash_cache
             anonymizer.token_anon._word_cache = self.word_cache
             anonymizer.asn_map._seen = self.asn_cache
             anonymizer.community._cache = self.community_cache
+            if self.ip6_flips is not None and anonymizer.ip6_map is not None:
+                anonymizer.ip6_map._flips = self.ip6_flips
         else:
             anonymizer.ip_map._flips = dict(self.ip_flips)
             anonymizer.hasher._cache = dict(self.hash_cache)
             anonymizer.token_anon._word_cache = dict(self.word_cache)
             anonymizer.asn_map._seen = dict(self.asn_cache)
             anonymizer.community._cache = dict(self.community_cache)
+            if self.ip6_flips is not None and anonymizer.ip6_map is not None:
+                anonymizer.ip6_map._flips = dict(self.ip6_flips)
         if self.ip_frozen:
             anonymizer.ip_map.freeze()
+        if self.ip6_frozen and anonymizer.ip6_map is not None:
+            anonymizer.ip6_map.freeze()
         return anonymizer
 
 

@@ -28,16 +28,41 @@ _RULE_FAMILY_RANGES = (
     (26, 28, "secret"),
 )
 
+#: Plugin rule-id prefixes -> family name, registered by
+#: :mod:`repro.plugins.registry` as plugins load.  Kept here (not in the
+#: registry) so family folding stays a pure string lookup with no import
+#: of the plugin machinery on the per-hit path.
+_PLUGIN_PREFIXES: Dict[str, str] = {}
+
+
+def register_rule_family_prefix(prefix: str, family: str) -> None:
+    """Map rule ids starting with *prefix* to *family* in summaries.
+
+    Longest prefix wins on lookup; re-registering the same prefix for the
+    same family is a no-op (plugins may be discovered repeatedly).
+    """
+    if not prefix:
+        raise ValueError("empty rule-id prefix")
+    _PLUGIN_PREFIXES[prefix] = family
+
 
 def rule_family(rule_id: str) -> str:
     """The rule family a rule id belongs to.
 
     ``R1``-``R28`` map to the paper's Section 4 groupings, ``J*`` ids are
-    the JunOS extensions, ``FAIL-CLOSED`` is its own family, and anything
+    the JunOS extensions, ``FAIL-CLOSED`` is its own family, registered
+    plugin prefixes map to their plugin's family, and anything
     unrecognized lands in ``other`` (a counter must never raise).
     """
     if rule_id == "FAIL-CLOSED":
         return "fail_closed"
+    if _PLUGIN_PREFIXES:
+        best = ""
+        for prefix in _PLUGIN_PREFIXES:
+            if len(prefix) > len(best) and rule_id.startswith(prefix):
+                best = prefix
+        if best:
+            return _PLUGIN_PREFIXES[best]
     if rule_id.startswith("J"):
         return "junos"
     if rule_id.startswith("R"):

@@ -100,10 +100,14 @@ def all_rules(include_junos: bool = False) -> List[Rule]:
     return rules
 
 
-def rule_inventory(include_junos: bool = True) -> str:
-    """A formatted inventory of every rule (used by the CLI and docs)."""
+def rule_inventory(include_junos: bool = True, extra_rules=()) -> str:
+    """A formatted inventory of every rule (used by the CLI and docs).
+
+    ``extra_rules`` appends rules contributed by active recognizer
+    plugins so ``--inventory`` reflects the composed rule set.
+    """
     lines = []
-    for rule in all_rules(include_junos=include_junos):
+    for rule in list(all_rules(include_junos=include_junos)) + list(extra_rules):
         kind = "structural" if rule.apply is None else "line"
         lines.append(
             "{:<5} {:<28} {:<13} [{}] {}".format(

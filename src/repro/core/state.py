@@ -47,7 +47,7 @@ class StateError(ValueError):
 def export_state(anonymizer: Anonymizer) -> Dict:
     """Capture the mapping state of *anonymizer* as a JSON-able dict."""
     ip_map = anonymizer.ip_map
-    return {
+    state = {
         "format_version": STATE_FORMAT_VERSION,
         "ip_trie": {
             # JSON keys must be strings; "depth:prefix" -> flip bit.
@@ -62,7 +62,25 @@ def export_state(anonymizer: Anonymizer) -> Dict:
         "hash_cache": dict(anonymizer.hasher._cache),
         "seen_asns": sorted(anonymizer.report.seen_asns),
         "hash_length": anonymizer.hasher.length,
+        # The recognizer plugin families active when this state was
+        # written.  Import refuses a mismatch: mapping state produced
+        # under one rule set must not silently serve another.
+        "active_plugins": sorted(
+            getattr(anonymizer, "active_plugin_families", ())
+        ),
     }
+    ip6_map = getattr(anonymizer, "ip6_map", None)
+    if ip6_map is not None:
+        state["ip6_trie"] = {
+            "{}:{}".format(depth, prefix): flip
+            for (depth, prefix), flip in ip6_map._flips.items()
+        }
+        state["ip6_rng_state"] = _encode_rng_state(ip6_map._rng.getstate())
+        state["ip6_counters"] = {
+            "collision_walks": ip6_map.collision_walks,
+            "addresses_mapped": ip6_map.addresses_mapped,
+        }
+    return state
 
 
 def import_state(anonymizer: Anonymizer, state: Dict) -> None:
@@ -89,6 +107,25 @@ def import_state(anonymizer: Anonymizer, state: Dict) -> None:
             "state was written with hash_length={} but this anonymizer "
             "uses {}".format(state.get("hash_length"), anonymizer.hasher.length)
         )
+    if "active_plugins" in state:
+        # Documents written before the plugin registry existed lack the
+        # key and import unchanged; documents that carry it must match.
+        try:
+            stored_plugins = sorted(str(f) for f in state["active_plugins"])
+        except TypeError as exc:
+            raise StateError(
+                "state document is malformed ({}: {}); was the file "
+                "truncated or edited?".format(type(exc).__name__, exc)
+            ) from exc
+        active = sorted(getattr(anonymizer, "active_plugin_families", ()))
+        if stored_plugins != active:
+            raise StateError(
+                "state was written with plugins {} but this anonymizer "
+                "runs {}; re-run with a matching --plugins set".format(
+                    stored_plugins or "[]", active or "[]"
+                )
+            )
+    ip6_map = getattr(anonymizer, "ip6_map", None)
     try:
         flips = {
             (int(key.split(":")[0]), int(key.split(":")[1])): int(flip)
@@ -99,6 +136,17 @@ def import_state(anonymizer: Anonymizer, state: Dict) -> None:
         addresses_mapped = state["ip_counters"]["addresses_mapped"]
         hash_cache = dict(state["hash_cache"])
         seen_asns = {int(a) for a in state.get("seen_asns", [])}
+        ip6 = None
+        if ip6_map is not None and "ip6_trie" in state:
+            ip6 = (
+                {
+                    (int(key.split(":")[0]), int(key.split(":")[1])): int(flip)
+                    for key, flip in state["ip6_trie"].items()
+                },
+                _decode_rng_state(state["ip6_rng_state"]),
+                int(state["ip6_counters"]["collision_walks"]),
+                int(state["ip6_counters"]["addresses_mapped"]),
+            )
     except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
         raise StateError(
             "state document is malformed ({}: {}); was the file truncated "
@@ -112,6 +160,12 @@ def import_state(anonymizer: Anonymizer, state: Dict) -> None:
     ip_map._rng.setstate(rng_state)
     ip_map.collision_walks = collision_walks
     ip_map.addresses_mapped = addresses_mapped
+    if ip6 is not None:
+        ip6_map._flips = ip6[0]
+        ip6_map.invalidate_cache()
+        ip6_map._rng.setstate(ip6[1])
+        ip6_map.collision_walks = ip6[2]
+        ip6_map.addresses_mapped = ip6[3]
     anonymizer.hasher._cache = hash_cache
     anonymizer.report.seen_asns.update(seen_asns)
 
@@ -184,12 +238,14 @@ class StateCursor:
     rather than full state documents.
     """
 
-    __slots__ = ("flips_len", "cache_len", "seen_asns")
+    __slots__ = ("flips_len", "cache_len", "seen_asns", "ip6_flips_len")
 
     def __init__(self, anonymizer: Anonymizer):
         self.flips_len = len(anonymizer.ip_map._flips)
         self.cache_len = len(anonymizer.hasher._cache)
         self.seen_asns = frozenset(anonymizer.report.seen_asns)
+        ip6_map = getattr(anonymizer, "ip6_map", None)
+        self.ip6_flips_len = 0 if ip6_map is None else len(ip6_map._flips)
 
 
 def state_delta_since(anonymizer: Anonymizer, cursor: StateCursor) -> Dict:
@@ -223,6 +279,19 @@ def state_delta_since(anonymizer: Anonymizer, cursor: StateCursor) -> Dict:
     }
     if not ip_map.frozen:
         delta["ip_rng_state"] = _encode_rng_state(ip_map._rng.getstate())
+    ip6_map = getattr(anonymizer, "ip6_map", None)
+    if ip6_map is not None:
+        ip6_items = islice(ip6_map._flips.items(), cursor.ip6_flips_len, None)
+        delta["ip6_trie"] = {
+            "{}:{}".format(depth, prefix): flip
+            for (depth, prefix), flip in ip6_items
+        }
+        delta["ip6_counters"] = {
+            "collision_walks": ip6_map.collision_walks,
+            "addresses_mapped": ip6_map.addresses_mapped,
+        }
+        if not ip6_map.frozen:
+            delta["ip6_rng_state"] = _encode_rng_state(ip6_map._rng.getstate())
     return delta
 
 
@@ -252,6 +321,23 @@ def apply_state_delta(anonymizer: Anonymizer, delta: Dict) -> None:
         rng_state: Optional[tuple] = None
         if "ip_rng_state" in delta:
             rng_state = _decode_rng_state(delta["ip_rng_state"])
+        ip6_map = getattr(anonymizer, "ip6_map", None)
+        ip6 = None
+        if ip6_map is not None and "ip6_trie" in delta:
+            ip6_counters = delta["ip6_counters"]
+            ip6 = (
+                {
+                    (int(key.split(":")[0]), int(key.split(":")[1])): int(flip)
+                    for key, flip in delta["ip6_trie"].items()
+                },
+                (
+                    _decode_rng_state(delta["ip6_rng_state"])
+                    if "ip6_rng_state" in delta
+                    else None
+                ),
+                int(ip6_counters["collision_walks"]),
+                int(ip6_counters["addresses_mapped"]),
+            )
     except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
         raise StateError(
             "state delta is malformed ({}: {}); was the journal record "
@@ -268,6 +354,13 @@ def apply_state_delta(anonymizer: Anonymizer, delta: Dict) -> None:
         ip_map._rng.setstate(rng_state)
     ip_map.collision_walks = collision_walks
     ip_map.addresses_mapped = addresses_mapped
+    if ip6 is not None:
+        ip6_map._flips.update(ip6[0])
+        ip6_map.invalidate_cache()
+        if ip6[1] is not None:
+            ip6_map._rng.setstate(ip6[1])
+        ip6_map.collision_walks = ip6[2]
+        ip6_map.addresses_mapped = ip6[3]
     anonymizer.hasher._cache.update(hash_cache)
     anonymizer.report.seen_asns.update(seen_asns)
 

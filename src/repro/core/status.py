@@ -33,6 +33,10 @@ failures) so a wrapper can branch on the *kind* of dirtiness:
   deadline budget were exhausted.  Distinct from the all-or-nothing
   0/5 of the batch pipeline so an operator can re-run with ``--resume``
   and only the quarantined files are re-driven.
+* ``EXIT_UNKNOWN_PLUGIN`` (11) — ``--plugins`` named a recognizer plugin
+  family that is not registered (typo, or the out-of-tree plugin's
+  ``REPRO_PLUGINS`` path is missing).  Distinct from ``EXIT_USAGE`` so a
+  wrapper can tell a malformed invocation from a missing plugin.
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ __all__ = [
     "EXIT_RECOVERY_FAILED",
     "EXIT_JOURNAL_CORRUPT",
     "EXIT_PARTIAL_CORPUS",
+    "EXIT_UNKNOWN_PLUGIN",
     "exit_code_for",
 ]
 
@@ -63,6 +68,7 @@ EXIT_SERVICE_ERROR = 7
 EXIT_RECOVERY_FAILED = 8
 EXIT_JOURNAL_CORRUPT = 9
 EXIT_PARTIAL_CORPUS = 10
+EXIT_UNKNOWN_PLUGIN = 11
 
 
 def exit_code_for(leaks: bool = False, dirty: bool = False) -> int:

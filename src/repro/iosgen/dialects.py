@@ -26,6 +26,21 @@ def all_version_strings() -> List[str]:
     return versions
 
 
+def eos_version_strings() -> List[str]:
+    """Synthetic Arista EOS version strings (``4.<minor>.<patch>[FM]``).
+
+    EOS routers rendered by :mod:`repro.iosgen.eos_render` draw from this
+    family; the strings are disjoint from the IOS family so a version
+    string alone identifies the dialect.
+    """
+    versions = []
+    for minor in (20, 21, 22, 24, 26, 28, 30):
+        for patch in (1, 3, 5, 7):
+            for train in ("F", "M"):
+                versions.append("4.{}.{}{}".format(minor, patch, train))
+    return versions
+
+
 @dataclass(frozen=True)
 class Dialect:
     """Syntax knobs keyed off one IOS version string."""

@@ -1,0 +1,303 @@
+"""Render a RouterPlan into Arista-EOS-style configuration text.
+
+EOS is IOS-shaped — stanzas, ``!`` separators, the same BGP/IGP grammar —
+but drifts exactly where the recognizer plugins earn their keep:
+
+* CIDR interface addressing (``ip address 10.1.2.3/24``, rule R23) and
+  dual-stack ``ipv6 address`` lines whose addresses are derived
+  deterministically from the v4 plan under ``2001:db8::/32`` (the v4
+  bits ride in bits 95..64, so two v4 addresses sharing a *k*-bit prefix
+  yield v6 addresses sharing a ``32+k``-bit prefix — real prefix
+  structure for the 128-bit trie to preserve).
+* ``secret sha512 <blob>`` hashed credentials (rule E1).
+* ``match as-range <lo>-<hi>`` route-map clauses (rule E2).
+* eAPI certificate profiles (``protocol https certificate .. key ..``,
+  rule E3).
+* SSH public keys (``username .. sshkey ssh-rsa ..``, rule B2), SNMPv3
+  users (rule B3), and inline PEM certificate blocks (rule B1).
+
+``NetworkSpec.eos_fraction`` selects how many routers render through
+this module; zero draws nothing from the RNG, so pre-EOS specs render
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.iosgen.dialects import eos_version_strings
+from repro.iosgen.plan import RouterPlan
+from repro.iosgen.spec import NetworkSpec
+from repro.netutil import int_to_ip, int_to_ip6
+
+#: IPv6 documentation prefix the synthetic dual-stack plan lives under.
+_V6_BASE = 0x20010DB8 << 96
+
+_B64_ALPHABET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+)
+
+
+def v6_for_v4(address: int, host: int = 0) -> int:
+    """The deterministic IPv6 counterpart of a planned v4 address."""
+    return _V6_BASE | (address << 64) | host
+
+
+def _blob(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(_B64_ALPHABET) for _ in range(length))
+
+
+def _sha512_blob(rng: random.Random) -> str:
+    return "$6${}${}".format(_blob(rng, 8), _blob(rng, 43))
+
+
+def render_eos_config(
+    router: RouterPlan,
+    names,
+    spec: NetworkSpec,
+    rng: random.Random,
+) -> str:
+    lines: List[str] = []
+    add = lines.append
+
+    add("! device: {} (EOS-{})".format(router.hostname, "vEOS"))
+    add("!")
+    add("! boot system flash:/vEOS-lab.swi")
+    add("!")
+    add("transceiver qsfp default-mode 4x10G")
+    add("!")
+    add("hostname {}".format(router.hostname))
+    if router.domain_name:
+        add("ip domain-name {}".format(router.domain_name))
+    for server in router.name_servers:
+        add("ip name-server {}".format(int_to_ip(server)))
+    add("!")
+    add("spanning-tree mode mstp")
+    add("!")
+    if router.enable_secret:
+        add("enable secret sha512 {}".format(_sha512_blob(rng)))
+    for user, _password in router.usernames:
+        add(
+            "username {} privilege 15 secret sha512 {}".format(
+                user, _sha512_blob(rng)
+            )
+        )
+        if rng.random() < 0.5:
+            add(
+                "username {} sshkey ssh-rsa {} {}@{}".format(
+                    user,
+                    _blob(rng, 64),
+                    user,
+                    router.domain_name or "example.net",
+                )
+            )
+    add("!")
+
+    if router.snmp_community:
+        add("snmp-server community {} ro".format(router.snmp_community))
+        add(
+            "snmp-server user {} {} v3 auth sha {} priv aes 128 {}".format(
+                names.usernames()[0],
+                "netops",
+                _blob(rng, 16),
+                _blob(rng, 16),
+            )
+        )
+        for host in router.logging_hosts:
+            add(
+                "snmp-server host {} {}".format(
+                    int_to_ip(host), router.snmp_community
+                )
+            )
+    add("!")
+
+    if router.banner:
+        add("banner motd")
+        lines.extend(router.banner.splitlines())
+        add("EOF")
+        add("!")
+
+    _render_interfaces(router, add)
+    _render_igp(router, add)
+    _render_bgp(router, add)
+    _render_statics(router, add)
+    _render_route_maps(router, rng, add)
+
+    add("management api http-commands")
+    add(
+        "   protocol https certificate {} key {}".format(
+            "{}-api.crt".format(router.hostname),
+            "{}-api.key".format(router.hostname),
+        )
+    )
+    add("   no shutdown")
+    add("!")
+
+    if rng.random() < 0.5:
+        _render_pem_block(rng, add)
+
+    for server in router.ntp_servers:
+        add("ntp server {}".format(int_to_ip(server)))
+    for host in router.logging_hosts:
+        add("logging host {}".format(int_to_ip(host)))
+    add("!")
+    add("end")
+    return "\n".join(lines) + "\n"
+
+
+def _render_interfaces(router: RouterPlan, add) -> None:
+    for interface in router.interfaces:
+        add("interface {}".format(interface.name))
+        if interface.description:
+            add("   description {}".format(interface.description))
+        if interface.address is not None:
+            add(
+                "   ip address {}/{}".format(
+                    int_to_ip(interface.address), interface.prefix_len
+                )
+            )
+            add(
+                "   ipv6 address {}/{}".format(
+                    int_to_ip6(v6_for_v4(interface.address)),
+                    32 + interface.prefix_len,
+                )
+            )
+        else:
+            add("   no ip address")
+        if (
+            router.igp is not None
+            and router.igp.protocol == "isis"
+            and interface.address is not None
+        ):
+            add("   isis enable CORE")
+        if interface.shutdown:
+            add("   shutdown")
+        add("!")
+
+
+def _render_igp(router: RouterPlan, add) -> None:
+    igp = router.igp
+    if igp is None or not igp.networks:
+        return
+    if igp.protocol == "isis":
+        add("router isis CORE")
+        loopback = router.loopback_address() or 0
+        padded = "{:03d}{:03d}{:03d}{:03d}".format(
+            (loopback >> 24) & 0xFF,
+            (loopback >> 16) & 0xFF,
+            (loopback >> 8) & 0xFF,
+            loopback & 0xFF,
+        )
+        add(
+            "   net 49.0001.{}.{}.{}.00".format(
+                padded[0:4], padded[4:8], padded[8:12]
+            )
+        )
+        add("   is-type level-2")
+        add("!")
+        return
+    if igp.protocol == "ospf":
+        add("router ospf {}".format(igp.process_id))
+        for base, wildcard, area in igp.networks:
+            add(
+                "   network {} {} area {}".format(
+                    int_to_ip(base), int_to_ip(wildcard or 0), area
+                )
+            )
+    elif igp.protocol == "rip":
+        add("router rip")
+        for base, _, _ in igp.networks:
+            add("   network {}".format(int_to_ip(base)))
+    else:
+        add("router eigrp {}".format(igp.process_id))
+        for base, _, _ in igp.networks:
+            add("   network {}".format(int_to_ip(base)))
+    add("!")
+
+
+def _render_bgp(router: RouterPlan, add) -> None:
+    bgp = router.bgp
+    if bgp is None:
+        return
+    add("router bgp {}".format(bgp.asn))
+    if bgp.router_id is not None:
+        add("   router-id {}".format(int_to_ip(bgp.router_id)))
+    for neighbor in bgp.neighbors:
+        peer = int_to_ip(neighbor.address)
+        add("   neighbor {} remote-as {}".format(peer, neighbor.remote_as))
+        if neighbor.password:
+            add("   neighbor {} password {}".format(peer, neighbor.password))
+        if neighbor.route_map_in:
+            add(
+                "   neighbor {} route-map {} in".format(
+                    peer, neighbor.route_map_in
+                )
+            )
+        if neighbor.route_map_out:
+            add(
+                "   neighbor {} route-map {} out".format(
+                    peer, neighbor.route_map_out
+                )
+            )
+    for base, length in bgp.networks:
+        add("   network {}/{}".format(int_to_ip(base), length))
+    add("!")
+
+
+def _render_statics(router: RouterPlan, add) -> None:
+    if not router.static_routes:
+        return
+    for route in router.static_routes:
+        target = "Null0" if route.next_hop == 0 else int_to_ip(route.next_hop)
+        add(
+            "ip route {}/{} {}".format(
+                int_to_ip(route.prefix), route.prefix_len, target
+            )
+        )
+        if route.next_hop != 0:
+            add(
+                "ipv6 route {}/{} {}".format(
+                    int_to_ip6(v6_for_v4(route.prefix)),
+                    32 + route.prefix_len,
+                    int_to_ip6(v6_for_v4(route.next_hop)),
+                )
+            )
+    add("!")
+
+
+def _render_route_maps(router: RouterPlan, rng: random.Random, add) -> None:
+    for clause in router.route_maps:
+        add(
+            "route-map {} {} {}".format(
+                clause.name, clause.action, clause.sequence
+            )
+        )
+        for match in clause.matches:
+            add("   match {}".format(match))
+        for action in clause.sets:
+            add("   set {}".format(action))
+    if router.bgp is not None and router.bgp.neighbors:
+        low = min(n.remote_as for n in router.bgp.neighbors)
+        high = max(low + rng.randint(0, 50), low)
+        add("route-map AS-RANGE-FILTER deny 10")
+        add("   match as-range {}-{}".format(low, high))
+        add("route-map AS-RANGE-FILTER permit 20")
+    if router.route_maps or router.bgp is not None:
+        add("!")
+
+
+def _render_pem_block(rng: random.Random, add) -> None:
+    add("management security")
+    add("   ssl certificate inline")
+    add("-----BEGIN CERTIFICATE-----")
+    for _ in range(rng.randint(3, 6)):
+        add(_blob(rng, 64))
+    add(_blob(rng, 32) + "==")
+    add("-----END CERTIFICATE-----")
+    add("!")
+
+
+def pick_eos_version(rng: random.Random) -> str:
+    """Draw one synthetic EOS version string."""
+    return rng.choice(eos_version_strings())

@@ -128,11 +128,16 @@ def generate_network(spec: NetworkSpec) -> GeneratedNetwork:
 
     network = GeneratedNetwork(spec=spec, plan=plan, graph=graph)
     use_junos = spec.junos_fraction > 0 and spec.igp in ("ospf", "rip")
+    use_eos = spec.eos_fraction > 0
     for node, router in routers.items():
         if use_junos and rng.random() < spec.junos_fraction:
             from repro.iosgen.junos_render import render_junos_config
 
             network.configs[node] = render_junos_config(router, names, spec, rng)
+        elif use_eos and rng.random() < spec.eos_fraction:
+            from repro.iosgen.eos_render import render_eos_config
+
+            network.configs[node] = render_eos_config(router, names, spec, rng)
         else:
             network.configs[node] = render_config(
                 router, dialect_for_version(router.version), names, spec, rng

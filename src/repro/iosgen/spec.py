@@ -62,6 +62,13 @@ class NetworkSpec:
     #: networks).  Ignored for EIGRP networks (no JunOS equivalent).
     junos_fraction: float = 0.0
 
+    #: Fraction of routers rendered in Arista EOS syntax (exercises the
+    #: ``eos``/``ipv6``/``blobs`` recognizer plugins: sha512 secrets,
+    #: dual-stack interfaces, SSH keys, SNMPv3 users, certificate blobs).
+    #: Zero draws nothing from the RNG, so existing specs render
+    #: byte-identically.
+    eos_fraction: float = 0.0
+
     def total_router_estimate(self) -> int:
         per_pop = 2 + self.aggs_per_pop + self.access_per_pop
         return self.num_pops * per_pop

@@ -6,6 +6,7 @@ internally); strings only appear at the parse/format boundary.
 
 from __future__ import annotations
 
+import ipaddress as _ipaddress
 import re
 from typing import Optional, Tuple
 
@@ -125,3 +126,63 @@ def is_private_rfc1918(value: int) -> bool:
         or (value >> 20) == (172 << 4 | 1)  # 172.16.0.0/12
         or (value >> 16) == (192 << 8 | 168)
     )
+
+
+# -- IPv6 ------------------------------------------------------------------
+#
+# Same shape as the IPv4 helpers above: an IPv6 address is a 128-bit int
+# everywhere internally; RFC 4291 text only appears at the parse/format
+# boundary.  Formatting is RFC 5952 canonical (lowercase hex, longest
+# zero run compressed), delegated to the stdlib ``ipaddress`` module.
+
+IPV6_MAX = (1 << 128) - 1
+
+#: Necessary syntactic condition for IPv6 text: either a ``::`` or two
+#: hex groups joined by a colon with a trailing colon after the second
+#: (``h:h:``).  BGP communities like ``65000:100`` have no trailing
+#: colon, so ordinary IOS lines do not match.
+_IPV6_HINT = re.compile(r"::|[0-9A-Fa-f]{1,4}:[0-9A-Fa-f]{1,4}:")
+
+
+def ip6_to_int(text: str) -> int:
+    """Parse IPv6 text into a 128-bit integer; raises ValueError."""
+    try:
+        return int(_ipaddress.IPv6Address(text))
+    except _ipaddress.AddressValueError as exc:
+        raise ValueError(str(exc)) from None
+
+
+def int_to_ip6(value: int) -> str:
+    """Format a 128-bit integer as RFC 5952 canonical IPv6 text."""
+    if not 0 <= value <= IPV6_MAX:
+        raise ValueError("not a 128-bit address: {!r}".format(value))
+    return str(_ipaddress.IPv6Address(value))
+
+
+def is_ipv6(text: str) -> bool:
+    """Whether *text* is syntactically valid IPv6 (no /len, no zone)."""
+    if "%" in text or not _IPV6_HINT.search(text):
+        return False
+    try:
+        _ipaddress.IPv6Address(text)
+    except (ValueError, _ipaddress.AddressValueError):
+        return False
+    return True
+
+
+def parse_prefix6(text: str) -> Tuple[int, int]:
+    """Parse ``addr/len`` IPv6 notation into ``(address_int, prefix_len)``."""
+    addr_text, _, len_text = text.partition("/")
+    if not len_text:
+        raise ValueError("missing /len in {!r}".format(text))
+    prefix_len = int(len_text)
+    if not 0 <= prefix_len <= 128:
+        raise ValueError("bad prefix length in {!r}".format(text))
+    return ip6_to_int(addr_text), prefix_len
+
+
+def trailing_zero_bits128(value: int) -> int:
+    """Number of trailing zero bits in a 128-bit value (128 for zero)."""
+    if value == 0:
+        return 128
+    return (value & -value).bit_length() - 1

@@ -1,0 +1,49 @@
+"""Recognizer plugin subsystem.
+
+``repro.core.rulebase`` defines the rule *record*; this package defines
+how rule *families* beyond the paper's 28 reach the engine.  A plugin
+bundles a named family of recognizers — line rules with triggers for
+:class:`~repro.core.dispatch.CompiledDispatch`, optional multi-line block
+filters, optional freeze-phase corpus scans — and the registry composes
+the active set at :class:`~repro.core.engine.Anonymizer` construction,
+before the dispatch tables are compiled and before any mapping state is
+frozen.
+
+Discovery (see :mod:`repro.plugins.registry`):
+
+* every module under :mod:`repro.plugins.builtin` exporting a ``PLUGIN``
+  object registers automatically;
+* the ``REPRO_PLUGINS`` environment variable names additional plugin
+  *files* (``os.pathsep``-separated paths) loaded out-of-tree;
+* a plugin that raises during registration is skipped with a named
+  :class:`PluginRegistrationWarning` — one broken plugin never takes the
+  anonymizer down.
+
+Activation: ``AnonymizerConfig.plugins`` (``None`` = all discovered
+builtin families minus ``REPRO_PLUGINS_DISABLE``; an explicit sequence =
+exactly those families).  The active family set is recorded in frozen
+snapshots, exported state documents, and service journal headers, and a
+state dir or resumed session frozen under a different plugin set refuses
+to serve.
+"""
+
+from repro.plugins.base import FinalLine, RecognizerPlugin
+from repro.plugins.registry import (
+    ENV_PLUGIN_DISABLE,
+    ENV_PLUGIN_PATHS,
+    PluginRegistrationWarning,
+    UnknownPluginError,
+    discover_plugins,
+    resolve_active_plugins,
+)
+
+__all__ = [
+    "ENV_PLUGIN_DISABLE",
+    "ENV_PLUGIN_PATHS",
+    "FinalLine",
+    "PluginRegistrationWarning",
+    "RecognizerPlugin",
+    "UnknownPluginError",
+    "discover_plugins",
+    "resolve_active_plugins",
+]

@@ -1,0 +1,5 @@
+"""Builtin recognizer plugin families.
+
+Every module in this package exporting a module-level ``PLUGIN`` object
+registers automatically (see :mod:`repro.plugins.registry`).
+"""

@@ -1,0 +1,132 @@
+"""Arista EOS dialect pack (family ``eos``, rules E*).
+
+EOS is IOS-shaped — most of the builtin 28 apply verbatim (CIDR
+interface addresses ride R23, ``neighbor .. remote-as`` rides the ASN
+rules, ``username`` rides R28) — so this family only adds the EOS-isms
+the generic rules would mis-segment:
+
+* **E1** — ``secret sha512 <blob>``: EOS's hashed-secret spelling.  Runs
+  *before* the generic R26 (plugin rules precede builtin rules), which
+  would otherwise consume ``secret sha512`` and hash the literal word
+  ``sha512`` instead of the blob.
+* **E2** — ``match as-range <lo>-<hi>`` route-map clauses: both ASNs are
+  mapped through the shared permutation (order across the mapped pair is
+  not preserved — the permutation is not monotone — so the line is
+  flagged for review).
+* **E3** — ``protocol https certificate <name> key <name>``: the eAPI
+  certificate/key profile names are operator-chosen identifiers, hashed
+  like any privileged name.
+
+The matching synthetic corpus comes from
+:func:`repro.iosgen.eos_render.render_eos_config` (``NetworkSpec.eos_fraction``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.rulebase import Rule
+from repro.plugins.base import RecognizerPlugin
+
+SECRET_SHA512_RE = re.compile(r"(\bsecret sha512 )(\S+)", re.IGNORECASE)
+AS_RANGE_RE = re.compile(r"(\bmatch as-range )(\d{1,5})(-)(\d{1,5})", re.IGNORECASE)
+API_CERT_RE = re.compile(
+    r"(\bprotocol https certificate )(\S+)( key )(\S+)", re.IGNORECASE
+)
+
+
+def _apply_secret_sha512(line, ctx):
+    def handler(match):
+        return [(match.group(1), True), (ctx.hash_secret(match.group(2)), True)]
+
+    return line.apply_rule(SECRET_SHA512_RE, handler)
+
+
+def _apply_as_range(line, ctx):
+    def handler(match):
+        low = ctx.map_asn_text(match.group(2))
+        high = ctx.map_asn_text(match.group(4))
+        ctx.flag(
+            "E2",
+            "as-range endpoints mapped individually; the mapped pair is "
+            "not order-preserving",
+        )
+        return [
+            (match.group(1), True),
+            (low, True),
+            (match.group(3), True),
+            (high, True),
+        ]
+
+    return line.apply_rule(AS_RANGE_RE, handler)
+
+
+def _apply_api_cert(line, ctx):
+    def handler(match):
+        return [
+            (match.group(1), True),
+            (ctx.hash_secret(match.group(2)), True),
+            (match.group(3), True),
+            (ctx.hash_secret(match.group(4)), True),
+        ]
+
+    return line.apply_rule(API_CERT_RE, handler)
+
+
+class EosPlugin(RecognizerPlugin):
+    family = "eos"
+    rule_prefix = "E"
+    description = (
+        "Arista EOS dialect: sha512 secrets, as-range clauses, eAPI "
+        "certificate profiles."
+    )
+
+    def build_rules(self):
+        return [
+            Rule(
+                "E1",
+                "eos-sha512-secrets",
+                "secret",
+                "`... secret sha512 <blob>` (EOS username/enable secrets) "
+                "hashes the blob and keeps the algorithm keyword.",
+                _apply_secret_sha512,
+                trigger="secret sha512",
+            ),
+            Rule(
+                "E2",
+                "eos-as-range",
+                "asn",
+                "`match as-range <lo>-<hi>` route-map clauses map both "
+                "endpoint ASNs through the shared permutation.",
+                _apply_as_range,
+                trigger="as-range",
+            ),
+            Rule(
+                "E3",
+                "eos-api-certificates",
+                "secret",
+                "`protocol https certificate <cert> key <key>` eAPI "
+                "profile names are hashed.",
+                _apply_api_cert,
+                trigger="protocol https certificate",
+            ),
+        ]
+
+    def passlist_words(self):
+        # EOS keywords the curated (IOS-era) pass-list never needed; all
+        # verified absent from the existing synthetic corpora, so adding
+        # them cannot perturb pre-registry output.
+        return (
+            "qsfp",
+            "mstp",
+            "sshkey",
+            "eof",
+            "https",
+            "certificate",
+            "api",
+            "ssl",
+            "inline",
+        )
+
+
+PLUGIN = EosPlugin()

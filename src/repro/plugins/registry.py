@@ -1,0 +1,169 @@
+"""Plugin discovery and activation.
+
+Two discovery sources, composed in deterministic order:
+
+1. **Builtin modules** — every module directly under
+   :mod:`repro.plugins.builtin` that exports a module-level ``PLUGIN``
+   object, scanned alphabetically.
+2. **Out-of-tree files** — the ``REPRO_PLUGINS`` environment variable,
+   an ``os.pathsep``-separated list of plugin *file paths*, each loaded
+   with :mod:`importlib` and required to export ``PLUGIN`` too.
+
+Registration is fail-soft: a module that raises on import, lacks a
+``PLUGIN``, or exports a malformed one is *skipped* with a
+:class:`PluginRegistrationWarning` naming the culprit — a broken plugin
+degrades coverage, it never crashes the engine.  Activation by unknown
+family name, in contrast, is a hard :class:`UnknownPluginError`: the
+caller explicitly asked for coverage that does not exist, and silently
+anonymizing without it would be a policy downgrade.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+import pkgutil
+import warnings
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.report import register_rule_family_prefix
+from repro.plugins.base import RecognizerPlugin
+
+__all__ = [
+    "ENV_PLUGIN_DISABLE",
+    "ENV_PLUGIN_PATHS",
+    "PluginRegistrationWarning",
+    "UnknownPluginError",
+    "discover_plugins",
+    "resolve_active_plugins",
+]
+
+#: Out-of-tree plugin files (``os.pathsep``-separated paths).
+ENV_PLUGIN_PATHS = "REPRO_PLUGINS"
+#: Families excluded from the ``plugins=None`` default (comma-separated).
+#: Ignored when an explicit family list is configured.
+ENV_PLUGIN_DISABLE = "REPRO_PLUGINS_DISABLE"
+
+
+class PluginRegistrationWarning(UserWarning):
+    """A plugin failed to register and was skipped."""
+
+
+class UnknownPluginError(ValueError):
+    """An explicitly requested plugin family does not exist."""
+
+
+#: Discovery memo keyed by the REPRO_PLUGINS value in effect: builtin
+#: scanning and file loading are pure given that value, and engine
+#: construction is on the service hot path (one engine per session).
+_discovered: Dict[str, Dict[str, RecognizerPlugin]] = {}
+
+
+def _register(plugin: RecognizerPlugin, origin: str, plugins: Dict) -> None:
+    family = getattr(plugin, "family", "")
+    if not isinstance(family, str) or not family:
+        raise ValueError("plugin {!r} declares no family name".format(origin))
+    if family in plugins:
+        raise ValueError(
+            "family {!r} already registered (duplicate from {!r})".format(
+                family, origin
+            )
+        )
+    # Probe the rule list now so a plugin that raises lazily is caught at
+    # registration (and skipped), not mid-corpus.
+    rules = plugin.build_rules()
+    for rule in rules:
+        if not rule.rule_id:
+            raise ValueError(
+                "plugin {!r} produced a rule without an id".format(origin)
+            )
+    prefix = getattr(plugin, "rule_prefix", "")
+    if prefix:
+        register_rule_family_prefix(prefix, family)
+    plugins[family] = plugin
+
+
+def _register_source(origin: str, loader, plugins: Dict) -> None:
+    try:
+        module = loader()
+        plugin = getattr(module, "PLUGIN", None)
+        if plugin is None:
+            raise ValueError("module exports no PLUGIN object")
+        _register(plugin, origin, plugins)
+    except Exception as exc:
+        warnings.warn(
+            "recognizer plugin {!r} skipped: {}: {}".format(
+                origin, type(exc).__name__, exc
+            ),
+            PluginRegistrationWarning,
+            stacklevel=3,
+        )
+
+
+def _load_file(path: str):
+    name = "repro_plugin_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError("cannot load plugin file {!r}".format(path))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def discover_plugins(refresh: bool = False) -> Dict[str, RecognizerPlugin]:
+    """All registrable plugins by family name (builtin + out-of-tree)."""
+    paths_value = os.environ.get(ENV_PLUGIN_PATHS, "")
+    if not refresh and paths_value in _discovered:
+        return dict(_discovered[paths_value])
+    plugins: Dict[str, RecognizerPlugin] = {}
+    import repro.plugins.builtin as builtin_package
+
+    modules = sorted(
+        info.name for info in pkgutil.iter_modules(builtin_package.__path__)
+    )
+    for name in modules:
+        dotted = "repro.plugins.builtin." + name
+        _register_source(
+            dotted,
+            lambda dotted=dotted: importlib.import_module(dotted),
+            plugins,
+        )
+    for path in paths_value.split(os.pathsep):
+        path = path.strip()
+        if path:
+            _register_source(path, lambda path=path: _load_file(path), plugins)
+    _discovered[paths_value] = dict(plugins)
+    return plugins
+
+
+def resolve_active_plugins(
+    selection: Optional[Sequence[str]] = None,
+) -> List[RecognizerPlugin]:
+    """The active plugin list for a run, sorted by family name.
+
+    ``selection=None`` activates every discovered family except those in
+    ``REPRO_PLUGINS_DISABLE``; an explicit sequence activates exactly the
+    named families (and raises :class:`UnknownPluginError` for any name
+    that did not register).
+    """
+    available = discover_plugins()
+    if selection is None:
+        disabled = {
+            name.strip()
+            for name in os.environ.get(ENV_PLUGIN_DISABLE, "").split(",")
+            if name.strip()
+        }
+        names = [name for name in sorted(available) if name not in disabled]
+    else:
+        unknown = sorted(set(selection) - set(available))
+        if unknown:
+            raise UnknownPluginError(
+                "unknown plugin famil{}: {}; available: {}".format(
+                    "y" if len(unknown) == 1 else "ies",
+                    ", ".join(unknown),
+                    ", ".join(sorted(available)) or "(none)",
+                )
+            )
+        names = sorted(set(selection))
+    return [available[name] for name in names]

@@ -147,23 +147,29 @@ class SessionJournal:
 
     @classmethod
     def create(
-        cls, directory: Path, session_id: str, fingerprint: str, options: Dict
+        cls,
+        directory: Path,
+        session_id: str,
+        fingerprint: str,
+        options: Dict,
+        active_plugins: Optional[List[str]] = None,
     ) -> "SessionJournal":
         """Create the directory + meta for a brand-new session."""
         journal = cls(directory)
         journal.directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "format_version": JOURNAL_FORMAT_VERSION,
+            "session_id": session_id,
+            "salt_fingerprint": fingerprint,
+            "options": options,
+        }
+        if active_plugins is not None:
+            # Which recognizer-plugin families the session's rule
+            # pipeline was composed from; resume refuses a mismatch.
+            meta["active_plugins"] = sorted(active_plugins)
         atomic_write_text(
             journal.meta_path,
-            json.dumps(
-                {
-                    "format_version": JOURNAL_FORMAT_VERSION,
-                    "session_id": session_id,
-                    "salt_fingerprint": fingerprint,
-                    "options": options,
-                },
-                indent=2,
-                sort_keys=True,
-            ),
+            json.dumps(meta, indent=2, sort_keys=True),
         )
         journal._open(truncate_to=0)
         return journal
@@ -445,11 +451,19 @@ class SessionStore:
     # -- lifecycle -------------------------------------------------------
 
     def create_journal(
-        self, session_id: str, fingerprint: str, options: Dict
+        self,
+        session_id: str,
+        fingerprint: str,
+        options: Dict,
+        active_plugins: Optional[List[str]] = None,
     ) -> SessionJournal:
         """The journal for a brand-new session (meta written, fsync'd)."""
         return SessionJournal.create(
-            self.sessions_dir / session_id, session_id, fingerprint, options
+            self.sessions_dir / session_id,
+            session_id,
+            fingerprint,
+            options,
+            active_plugins=active_plugins,
         )
 
     def discard(self, session_id: str) -> None:
@@ -585,6 +599,17 @@ def replay_into(anonymizer, recovered: RecoveredSession) -> Dict:
             "is not the one this session's history was written under — "
             "refusing to resume".format(recovered.session_id)
         )
+    if "active_plugins" in recovered.meta:
+        stored = sorted(str(f) for f in recovered.meta["active_plugins"] or [])
+        active = sorted(getattr(anonymizer, "active_plugin_families", ()))
+        if stored != active:
+            raise RecoveryError(
+                "session {} was frozen under plugins {} but this daemon "
+                "composed {} — mapping state from one rule set must not "
+                "serve another; refusing to resume".format(
+                    recovered.session_id, stored or "[]", active or "[]"
+                )
+            )
     frozen = False
     freeze_stats: Optional[Dict] = None
     committed: Dict[str, Dict] = {}
@@ -607,7 +632,7 @@ def replay_into(anonymizer, recovered: RecoveredSession) -> Dict:
                 requests_replayed += 1
             elif op == "freeze":
                 apply_state_delta(anonymizer, record["delta"])
-                anonymizer.ip_map.freeze()
+                anonymizer.mark_frozen()
                 frozen = True
                 freeze_stats = record.get("stats")
             elif op == "import":
@@ -625,7 +650,7 @@ def replay_into(anonymizer, recovered: RecoveredSession) -> Dict:
             )
         ) from exc
     if frozen:
-        anonymizer.ip_map.freeze()
+        anonymizer.mark_frozen()
     return {
         "frozen": frozen,
         "freeze_stats": freeze_stats,

@@ -144,6 +144,18 @@ class ServiceMetrics:
                     self._family_hits.get(family, 0) + count
                 )
 
+    def register_rule_family(self, family: str) -> None:
+        """Pre-register one rule family's hit counter at 0.
+
+        The daemon seeds every family it can produce — the builtin
+        groupings plus each active recognizer plugin's family — at
+        startup, so ``repro_rule_family_hits_total{family=...}`` renders
+        from the first scrape instead of appearing only after the first
+        hit (a gap that breaks rate() queries and CI presence asserts).
+        """
+        with self._lock:
+            self._family_hits.setdefault(family, 0)
+
     def register_counter(self, name: str, help_text: str) -> None:
         """Pre-register a named counter at 0 (so it renders before the
         first increment — CI asserts on presence, not just growth)."""

@@ -908,6 +908,26 @@ class AnonymizationService:
         self.metrics = ServiceMetrics()
         for name, help_text in DURABILITY_COUNTERS + CORPUS_COUNTERS:
             self.metrics.register_counter(name, help_text)
+        # Pre-seed every rule family this daemon can produce — the
+        # builtin groupings plus each active recognizer plugin — so the
+        # per-family hit counters render from the very first scrape
+        # (no first-hit gaps in rate() queries or CI asserts).
+        from repro.plugins import resolve_active_plugins
+
+        self.active_plugins = tuple(
+            plugin.family for plugin in resolve_active_plugins()
+        )
+        for family in (
+            "token",
+            "comment",
+            "misc",
+            "asn",
+            "ip",
+            "secret",
+            "junos",
+            "fail_closed",
+        ) + self.active_plugins:
+            self.metrics.register_rule_family(family)
         self.store: Optional[SessionStore] = None
         self.recovery_summary = None
         if state_dir is not None:
@@ -974,6 +994,15 @@ class AnonymizationService:
             "failure (clears when an append succeeds again).",
             self.sessions.disk_degraded_count,
         )
+        for family in self.active_plugins:
+            self.metrics.register_labeled_gauge(
+                "repro_active_plugins",
+                "Recognizer plugin families composed into this daemon's "
+                "rule pipeline (1 per active family and worker; "
+                "aggregated scrapes sum to the worker count).",
+                {"family": family},
+                lambda: 1.0,
+            )
         self.metrics.register_labeled_gauge(
             "repro_circuit_open",
             "Whether this shard's journal write path is open (any "

@@ -74,6 +74,7 @@ SESSION_OPTION_KEYS = frozenset(
         "strip_comments",
         "anonymize_private_asns",
         "syntax",
+        "plugins",  # recognizer plugin families for this session's pipeline
         "fault_plan",  # test seam: deterministic fault injection
     }
 )
@@ -218,6 +219,7 @@ class Session:
                 "id": self.id,
                 "salt_fingerprint": self.fingerprint,
                 "frozen": self.anonymizer.frozen,
+                "active_plugins": list(self.anonymizer.active_plugin_families),
                 "durable": self.journal is not None,
                 "disk_degraded": self.disk_degraded,
                 "requests_served": self.requests_served,
@@ -504,6 +506,7 @@ class SessionManager:
                 session_id,
                 salt_fingerprint(anonymizer.config.salt),
                 persisted,
+                active_plugins=list(anonymizer.active_plugin_families),
             )
         session = Session(
             session_id, anonymizer, journal=journal, metrics=self.metrics

@@ -289,6 +289,74 @@ class TestAnonymizeFiles:
             AnonymizerConfig(salt=b"x", jobs=0)
 
 
+class TestPluginParallelByteIdentity:
+    """Registry-era guarantees: an IPv4-only corpus is byte-identical
+    whether the plugin registry is composed in or not, and a dual-stack
+    EOS corpus is byte-identical across every transport and worker
+    count (the v6 trie rides the same freeze-then-rewrite contract)."""
+
+    @pytest.fixture(scope="class")
+    def eos_configs(self):
+        spec = NetworkSpec(
+            name="par-eos", kind="enterprise", seed=11,
+            num_pops=2, eos_fraction=0.6,
+        )
+        return dict(generate_network(spec).configs)
+
+    @pytest.fixture(scope="class")
+    def eos_sequential(self, eos_configs):
+        anonymizer = Anonymizer(
+            AnonymizerConfig(
+                salt=b"eos-par", plugins=("blobs", "eos", "ipv6")
+            )
+        )
+        result = anonymizer.anonymize_network(
+            dict(eos_configs), two_pass=True, jobs=1
+        )
+        return {
+            original: result.configs[renamed]
+            for original, renamed in result.name_map.items()
+        }
+
+    def test_ipv4_corpus_identical_with_and_without_registry(
+        self, network_configs, sequential_run
+    ):
+        # The default plugin set must be a no-op on a corpus that never
+        # exercises it: same bytes as an engine with the registry off.
+        _, expected = sequential_run
+        bare = Anonymizer(
+            AnonymizerConfig(salt=b"parallel-secret", plugins=())
+        )
+        result = bare.anonymize_network(
+            dict(network_configs), two_pass=True, jobs=1
+        )
+        assert result.configs == expected.configs
+        assert result.name_map == expected.name_map
+
+    @pytest.mark.parametrize("transport", ["fork", "shm", "pickle"])
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_eos_corpus_byte_identity_per_transport(
+        self, eos_configs, eos_sequential, transport, jobs
+    ):
+        import multiprocessing
+
+        if (
+            transport == "fork"
+            and "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("fork start method unavailable on this platform")
+        anonymizer = Anonymizer(
+            AnonymizerConfig(
+                salt=b"eos-par", plugins=("blobs", "eos", "ipv6")
+            )
+        )
+        anonymizer.freeze_mappings(dict(eos_configs))
+        outputs = anonymize_files(
+            anonymizer, dict(eos_configs), jobs=jobs, transport=transport
+        )
+        assert outputs == eos_sequential
+
+
 class TestCliFlags:
     def test_no_two_pass_conflicts_with_jobs(self, tmp_path, capsys):
         from repro.cli import main

@@ -342,6 +342,22 @@ class TestMetrics:
         assert 'repro_request_seconds_bucket{endpoint="anonymize",le="+Inf"}' in text
         assert "repro_request_seconds_count" in text
 
+    def test_active_plugin_families_preregistered(self, client):
+        # The gauge and the per-family hit counters exist from startup —
+        # a scrape before the first V*/B*/E* hit must already show the
+        # family at 0, not appear only after its first hit.
+        from repro.plugins import resolve_active_plugins
+
+        expected = [p.family for p in resolve_active_plugins()]
+        assert expected  # at least the builtin families resolve
+        text = client.metrics_text()
+        for family in expected:
+            assert 'repro_active_plugins{{family="{}"}}'.format(family) in text
+            assert (
+                'repro_rule_family_hits_total{{family="{}"}}'.format(family)
+                in text
+            )
+
     def test_rule_family_grouping(self):
         from repro.core.report import rule_family
 
