@@ -1,0 +1,371 @@
+#!/usr/bin/env python
+"""Seeded chaos soak: probabilistic fault injection, reproducible by seed.
+
+Runs the durable service daemon for several rounds under
+``REPRO_FAULT_PLAN=chaos:<seed>-r<round>:<rate>`` — the seeded scheduler
+(:mod:`repro.core.faults`) that composes torn appends, injected ENOSPC,
+snapshot EIO, and connection drops probabilistically from a
+deterministic PRNG.  Each round drives a corpus through one session
+with the retrying client, tolerating per-request failures (a torn
+journal wedges its session until restart — by design), then stops the
+daemon and verifies the invariants:
+
+* recovery of the state dir quarantines **nothing** — every artifact a
+  chaos round leaves behind is either replayable or discardable;
+* every response acknowledged during the soak is stable: re-presenting
+  the same file to the (recovered) session returns the identical text;
+* a final clean round (no faults) over a fresh session is
+  byte-identical to an uninterrupted batch ``--jobs 2`` run.
+
+The seed is printed first thing and again on failure: re-running with
+``--seed <seed>`` replays the exact same fault schedule, which is what
+makes a one-in-a-thousand soak failure debuggable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import binascii
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = str(REPO / "src")
+sys.path.insert(0, SRC)
+
+SALT = "chaos-soak-secret"
+DEADLINE_SECONDS = 300
+
+SAMPLES = [
+    """\
+hostname cr{0}.lax.foo.com
+interface Ethernet0
+ ip address 1.1.{0}.1 255.255.255.0
+router bgp 1111
+ neighbor 2.3.4.{0} remote-as 701
+ neighbor 2.3.4.{0} route-map UUNET-import in
+access-list 143 permit ip 1.1.{0}.0 0.0.0.255 2.0.0.0 0.255.255.255
+""",
+    """\
+hostname cr{0}.sfo.foo.com
+interface Loopback0
+ ip address 1.2.3.{0} 255.255.255.255
+router bgp 701
+ neighbor 1.2.3.{0} remote-as 1111
+access-list 10 permit 1.1.{0}.0 0.0.0.255
+""",
+]
+
+
+def corpus_files(count: int) -> dict:
+    return {
+        "soak{:02d}.cfg".format(index): SAMPLES[index % len(SAMPLES)].format(
+            index + 1
+        )
+        for index in range(count)
+    }
+
+
+def fail(seed: str, message: str) -> "NoReturn":  # noqa: F821
+    print(
+        "CHAOS SOAK FAIL (reproduce with --seed {}): {}".format(
+            seed, message
+        ),
+        file=sys.stderr,
+    )
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seed",
+        default=None,
+        help="chaos seed (default: fresh random; printed for replay)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.15,
+        help="per-trigger-point injection probability",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="chaos rounds before the clean one"
+    )
+    parser.add_argument(
+        "--files", type=int, default=6, help="corpus files per round"
+    )
+    parser.add_argument(
+        "--kinds",
+        default=None,
+        help="'+'-separated chaos kinds (default: the in-process set)",
+    )
+    args = parser.parse_args()
+    seed = args.seed or binascii.hexlify(os.urandom(4)).decode("ascii")
+    print("CHAOS SOAK seed={} rate={} rounds={}".format(seed, args.rate, args.rounds))
+    sys.stdout.flush()
+
+    started = time.time()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CRASH_POINT", None)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-soak-"))
+    state_dir = workdir / "state"
+    corpus = corpus_files(args.files)
+    in_dir = workdir / "in"
+    in_dir.mkdir()
+    for name, text in corpus.items():
+        (in_dir / name).write_text(text)
+
+    # The uninterrupted reference for the final clean round.
+    batch_dir = workdir / "via-batch"
+    code = subprocess.call(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            str(in_dir),
+            "--salt",
+            SALT,
+            "--jobs",
+            "2",
+            "--out-dir",
+            str(batch_dir),
+        ],
+        env=env,
+        timeout=DEADLINE_SECONDS,
+    )
+    if code != 0:
+        fail(seed, "batch reference run exited {}".format(code))
+    reference = {
+        name: (batch_dir / (name + ".anon")).read_text() for name in corpus
+    }
+
+    import http.client as httplib
+
+    from repro.service.client import (
+        RetryingServiceClient,
+        RetryPolicy,
+        ServiceClientError,
+    )
+    from repro.service.journal import SessionStore
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.05, max_delay=0.4)
+    #: Every acknowledged (session, file) -> text; must stay stable.
+    acked: dict = {}
+    frozen_sessions = []
+
+    for round_index in range(args.rounds):
+        plan = "chaos:{}-r{}:{}".format(seed, round_index, args.rate)
+        if args.kinds:
+            plan += ":" + args.kinds
+        daemon = None
+        ready = workdir / ("round{}.ready".format(round_index))
+        try:
+            daemon_env = dict(env, REPRO_FAULT_PLAN=plan)
+            daemon = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "serve",
+                    "--port",
+                    "0",
+                    "--threads",
+                    "2",
+                    "--state-dir",
+                    str(state_dir),
+                    "--snapshot-every",
+                    "4",
+                    "--ready-file",
+                    str(ready),
+                ],
+                env=daemon_env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+            deadline = time.time() + 30
+            while not ready.exists():
+                if daemon.poll() is not None:
+                    fail(
+                        seed,
+                        "round {} daemon exited {} before ready:\n{}".format(
+                            round_index,
+                            daemon.returncode,
+                            daemon.stdout.read() or "",
+                        ),
+                    )
+                if time.time() > deadline:
+                    fail(seed, "round {} daemon never ready".format(round_index))
+                time.sleep(0.05)
+            url = ready.read_text().strip()
+
+            client = RetryingServiceClient(
+                url, timeout=30, salt=SALT, policy=policy
+            )
+            errors = 0
+            session_id = None
+            froze = False
+            try:
+                session_id = client.create_session(SALT)["id"]
+                client.freeze(session_id, corpus)
+                froze = True
+            except (OSError, httplib.HTTPException, ServiceClientError):
+                errors += 1
+            if froze:
+                frozen_sessions.append(session_id)
+                for name in sorted(corpus):
+                    try:
+                        text = client.anonymize(
+                            session_id, corpus[name], source=name
+                        )["text"]
+                    except (
+                        OSError,
+                        httplib.HTTPException,
+                        ServiceClientError,
+                    ):
+                        # A wedged (torn-tail) session fails its remaining
+                        # appends until restart recovery — expected.
+                        errors += 1
+                        continue
+                    acked[(session_id, name)] = text
+            client.close()
+            if daemon.poll() is not None:
+                fail(
+                    seed,
+                    "round {} daemon died (exit {}) — in-process chaos "
+                    "kinds must not kill the process".format(
+                        round_index, daemon.returncode
+                    ),
+                )
+            daemon.send_signal(signal.SIGTERM)
+            out, _ = daemon.communicate(timeout=30)
+            if daemon.returncode != 0:
+                fail(
+                    seed,
+                    "round {} daemon exited {} on SIGTERM:\n{}".format(
+                        round_index, daemon.returncode, out
+                    ),
+                )
+            print(
+                "round {}: plan={} acked={} failed-requests={}".format(
+                    round_index, plan, len(acked), errors
+                )
+            )
+        finally:
+            if daemon is not None and daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=10)
+
+        # Invariant: whatever the round left behind recovers cleanly.
+        summary = SessionStore(state_dir, snapshot_every=4).recover()
+        if summary.quarantined:
+            fail(
+                seed,
+                "round {} left quarantined sessions: {}".format(
+                    round_index, sorted(summary.quarantined)
+                ),
+            )
+        print(
+            "round {}: recovery clean ({})".format(
+                round_index, summary.describe()
+            )
+        )
+        sys.stdout.flush()
+
+    # Final clean round: no faults.  Acked history must replay verbatim
+    # and a fresh session must match the uninterrupted batch run.
+    daemon = None
+    ready = workdir / "clean.ready"
+    try:
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--threads",
+                "2",
+                "--state-dir",
+                str(state_dir),
+                "--snapshot-every",
+                "4",
+                "--ready-file",
+                str(ready),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.time() + 30
+        while not ready.exists():
+            if daemon.poll() is not None:
+                fail(
+                    seed,
+                    "clean daemon exited {} before ready:\n{}".format(
+                        daemon.returncode, daemon.stdout.read() or ""
+                    ),
+                )
+            if time.time() > deadline:
+                fail(seed, "clean daemon never ready")
+            time.sleep(0.05)
+        url = ready.read_text().strip()
+        client = RetryingServiceClient(
+            url, timeout=30, salt=SALT, policy=policy
+        )
+        for (session_id, name), text in sorted(acked.items()):
+            replay = client.anonymize(session_id, corpus[name], source=name)[
+                "text"
+            ]
+            if replay != text:
+                fail(
+                    seed,
+                    "acked result for {} in session {} changed after "
+                    "recovery".format(name, session_id),
+                )
+        print("acked-result stability: {} result(s) replayed".format(len(acked)))
+
+        session_id = client.create_session(SALT)["id"]
+        client.freeze(session_id, corpus)
+        for name in sorted(corpus):
+            text = client.anonymize(session_id, corpus[name], source=name)[
+                "text"
+            ]
+            if text != reference[name]:
+                fail(
+                    seed,
+                    "clean-round output for {} differs from the batch "
+                    "reference".format(name),
+                )
+        client.close()
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=30)
+        if daemon.returncode != 0:
+            fail(seed, "clean daemon exited {} on SIGTERM:\n{}".format(
+                daemon.returncode, out
+            ))
+    finally:
+        if daemon is not None and daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate(timeout=10)
+
+    print(
+        "CHAOS SOAK PASS seed={} in {:.1f}s ({} acked results, {} "
+        "frozen sessions)".format(
+            seed, time.time() - started, len(acked), len(frozen_sessions)
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -717,6 +717,209 @@ def corpus_chaos_main(workers: int) -> int:
                 pass
 
 
+def hang_drill_main(workers: int) -> int:
+    """Wedge one worker's serve loops; the watchdog must revive it.
+
+    An injected ``worker-hang`` fault live-locks the worker owning the
+    drill session — process alive, sockets bound, heartbeat stopped.
+    The supervisor's watchdog must detect the stale heartbeat within
+    ``--watchdog-timeout``, SIGKILL the worker, and respawn it in place
+    under the existing budget, while the retrying client rides the hang
+    out and a witness session on the other shard never notices.
+    """
+    if workers < 2:
+        fail("--hang needs --workers >= 2")
+    started = time.time()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    workdir = Path(tempfile.mkdtemp(prefix="repro-hang-"))
+    state_dir = workdir / "state"
+
+    sys.path.insert(0, SRC)
+    from repro.service.client import (
+        RetryingServiceClient,
+        RetryPolicy,
+        ServiceClient,
+    )
+
+    daemon, url = spawn_daemon(
+        env,
+        workdir,
+        "supervisor",
+        workers=workers,
+        extra_args=(
+            "--state-dir",
+            str(state_dir),
+            "--watchdog-timeout",
+            "2",
+        ),
+        extra_env={"REPRO_FAULT_PLAN": "worker-hang:hang-me.cfg"},
+    )
+    try:
+        policy = RetryPolicy(max_attempts=12, base_delay=0.2, max_delay=1.0)
+        client = RetryingServiceClient(
+            url, timeout=5, salt="hang-secret", policy=policy
+        )
+        session_id = client.create_session("hang-secret")["id"]
+        victim_shard = client.session(session_id)["shard"]
+        shards = client.healthz()["shards"]
+        victim_url = shards[str(victim_shard)]
+        victim_probe = ServiceClient(victim_url, timeout=30)
+        victim_pid = victim_probe.healthz()["pid"]
+        victim_probe.close()
+
+        witness_shard = next(int(i) for i in shards if int(i) != victim_shard)
+        witness = ServiceClient(shards[str(witness_shard)], timeout=30)
+        witness_health = witness.healthz()
+        witness_pid = witness_health["pid"]
+        budget = witness_health.get("respawn_budget", {})
+        if not budget:
+            fail("healthz does not report the respawn budget")
+        full_budget = budget[str(victim_shard)]
+        witness_session = witness.create_session("witness-secret")["id"]
+        witness_before = witness.anonymize(
+            witness_session, SAMPLE, source="witness.cfg"
+        )["text"]
+        print(
+            "drill session on shard {} (pid {}), witness on shard {} "
+            "(pid {}), respawn budget {}".format(
+                victim_shard, victim_pid, witness_shard, witness_pid,
+                full_budget,
+            )
+        )
+
+        # This request wedges worker <victim_shard>: the handler drops
+        # the connection, arms the live-hang, and the next serve-loop
+        # tick parks both accept loops in an infinite sleep.  The
+        # retrying client rides it out — dropped connection, retries
+        # that hang against the wedged (but still bound) socket until
+        # its short timeout, then the watchdog's SIGKILL + respawn lets
+        # a retry land on the revived worker, which recovers the shard
+        # and answers after an auto-resume.
+        result = client.anonymize(
+            session_id, SAMPLE, source="hang-me.cfg"
+        )["text"]
+        if "foo.com" in result:
+            fail("post-respawn response leaked raw identifiers")
+        print("rode out the hang; anonymize answered after respawn")
+
+        if daemon.poll() is not None:
+            fail(
+                "the supervisor died during the drill (exit {})".format(
+                    daemon.returncode
+                )
+            )
+        # The wedge lands at the victim's next serve-loop tick, which
+        # can be AFTER the client's retry already succeeded — so the
+        # kill + respawn may still be in flight here.  Poll until the
+        # revived worker answers with a new pid; probes against the
+        # wedged-but-bound socket (or mid-respawn) time out or reset,
+        # which just means "keep waiting".
+        import http.client as httplib
+
+        from repro.service.client import ServiceClientError
+
+        health = None
+        deadline = time.time() + 20
+        while time.time() < deadline:
+            try:
+                respawned = ServiceClient(victim_url, timeout=2)
+                health = respawned.healthz()
+                respawned.close()
+            except (OSError, httplib.HTTPException, ServiceClientError):
+                health = None
+            if health is not None and health["pid"] != victim_pid:
+                break
+            time.sleep(0.2)
+        if health is None or health["pid"] == victim_pid:
+            fail(
+                "worker {} was never killed (same pid) — the watchdog "
+                "did not fire".format(victim_shard)
+            )
+        if health.get("generation", 0) < 1:
+            fail("respawned worker does not report a new generation")
+        watchdog = health.get("watchdog") or {}
+        if watchdog.get("timeout") != 2.0:
+            fail("healthz does not report the watchdog timeout")
+        remaining = health.get("respawn_budget", {}).get(str(victim_shard))
+        if remaining != full_budget - 1:
+            fail(
+                "respawn budget for shard {} is {} (expected {})".format(
+                    victim_shard, remaining, full_budget - 1
+                )
+            )
+        print(
+            "shard {} respawned in place (pid {} -> {}, generation {}, "
+            "budget {} -> {})".format(
+                victim_shard,
+                victim_pid,
+                health["pid"],
+                health["generation"],
+                full_budget,
+                remaining,
+            )
+        )
+
+        witness_health = witness.healthz()
+        if witness_health["pid"] != witness_pid:
+            fail("witness worker was disturbed (pid changed)")
+        if witness_health.get("generation", 0) != 0:
+            fail("witness worker respawned during the drill")
+        witness_after = witness.anonymize(
+            witness_session, SAMPLE, source="witness.cfg"
+        )["text"]
+        if witness_after != witness_before:
+            fail("witness shard's output changed across the drill")
+        witness.close()
+        print("witness shard undisturbed (same pid, generation 0)")
+
+        metrics = ServiceClient(url, timeout=30).metrics_text()
+
+        def labeled(name, shard):
+            needle = '{}{{shard="{}"}}'.format(name, shard)
+            for line in metrics.splitlines():
+                if line.startswith(needle + " "):
+                    return int(float(line.split()[-1]))
+            fail("metrics missing {!r}".format(needle))
+
+        if labeled("repro_worker_hung_total", victim_shard) < 1:
+            fail("repro_worker_hung_total did not count the hang")
+        if labeled("repro_worker_respawns_total", victim_shard) < 1:
+            fail("repro_worker_respawns_total did not count the respawn")
+        if labeled("repro_worker_hung_total", witness_shard) != 0:
+            fail("the witness shard was counted as hung")
+        print(
+            "metrics ok: hung={} respawns={} (victim), hung=0 "
+            "(witness)".format(
+                labeled("repro_worker_hung_total", victim_shard),
+                labeled("repro_worker_respawns_total", victim_shard),
+            )
+        )
+
+        daemon.send_signal(signal.SIGTERM)
+        out, _ = daemon.communicate(timeout=30)
+        if daemon.returncode != 0:
+            fail(
+                "supervisor exited {} after SIGTERM:\n{}".format(
+                    daemon.returncode, out
+                )
+            )
+        if "hung" not in out:
+            fail("supervisor log never mentioned the hang:\n" + out)
+        if "respawning" not in out:
+            fail("supervisor log never mentioned the respawn:\n" + out)
+        print("graceful drain ok")
+        print("HANG DRILL PASS in {:.1f}s".format(time.time() - started))
+        return 0
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            try:
+                daemon.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+
+
 def main(workers: int = 1) -> int:
     started = time.time()
 
@@ -864,12 +1067,19 @@ if __name__ == "__main__":
         "kill, ENOSPC park; needs --workers >= 2)",
     )
     parser.add_argument(
+        "--hang",
+        action="store_true",
+        help="run the hung-worker watchdog drill (needs --workers >= 2)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
         help="daemon worker processes (>= 2 uses the sharded drill)",
     )
     cli_args = parser.parse_args()
+    if cli_args.hang:
+        sys.exit(hang_drill_main(cli_args.workers))
     if cli_args.corpus_chaos:
         sys.exit(corpus_chaos_main(cli_args.workers))
     if cli_args.chaos and cli_args.workers >= 2:

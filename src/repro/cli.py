@@ -24,6 +24,7 @@ from repro.attacks.textual import scan_for_leaks
 from repro.core import Anonymizer, AnonymizerConfig
 from repro.core.rules import rule_inventory
 from repro.core.status import (
+    EXIT_BAD_FAULT_PLAN,
     EXIT_LEAKS,
     EXIT_LEAKS_AND_QUARANTINE,
     EXIT_NO_INPUT,
@@ -304,10 +305,17 @@ def main(argv=None) -> int:
         chunk_files=args.chunk_files,
         plugins=plugins,
     )
+    from repro.core.faults import FaultPlanError
     from repro.plugins import UnknownPluginError
 
     try:
         anonymizer = Anonymizer(config)
+    except FaultPlanError as exc:
+        print(
+            "error: invalid REPRO_FAULT_PLAN: {}".format(exc),
+            file=sys.stderr,
+        )
+        return EXIT_BAD_FAULT_PLAN
     except UnknownPluginError as exc:
         print("error: {}".format(exc), file=sys.stderr)
         return EXIT_UNKNOWN_PLUGIN

@@ -1,0 +1,233 @@
+"""Named crash points at every durability boundary (ALICE-style).
+
+The journal, snapshot, run-manifest, corpus-manifest, and topology
+writers each promise a crash-consistency invariant ("fsync before ack",
+"tmp+rename, never a prefix", "torn tail discarded, never served").
+Those promises are only as good as the crash schedule they were tested
+under.  This module turns every durability boundary into a *named crash
+point* that ``scripts/crash_explorer.py`` can enumerate: for each point
+it re-runs a seeded workload with that point armed, the process SIGKILLs
+itself the moment execution reaches the boundary, and the explorer then
+recovers and asserts the invariants (no acknowledged data lost, torn
+tails discarded, resumed output byte-identical to an uninterrupted run).
+
+Instrumented code calls :func:`crash_here` with a registered name:
+
+    crash_here("journal.append.pre-fsync")
+
+The hook is zero-cost when off: with neither ``REPRO_CRASH_POINT`` nor
+``REPRO_CRASH_TRACE`` set in the environment, ``crash_here`` is a single
+``is None`` check.  Armed via ``REPRO_CRASH_POINT=<name>[:<nth>]`` the
+process dies with ``SIGKILL`` on the *nth* time execution reaches that
+point (default: the first) — SIGKILL, not an exception, because the
+contract under test is what the *disk* looks like when the process gets
+no chance to clean up.  ``REPRO_CRASH_TRACE=<path>`` appends every point
+reached to *path* (one name per line) without crashing, so the explorer
+can prove a workload actually exercises the points it claims to.
+
+Points whose boundary is a *partial* write (a torn journal record) use
+:func:`would_crash` to decide whether to materialize the partial bytes
+before calling :func:`crash_here`, so trace mode never tears anything.
+
+The registry is a static table rather than call-site registration so the
+explorer can enumerate every point without importing (and executing) the
+whole service tier; ``tests/test_crashpoints.py`` keeps the table honest
+by tracing a workload through each instrumented subsystem.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "CRASH_POINTS",
+    "CRASH_POINT_ENV",
+    "CRASH_TRACE_ENV",
+    "arm",
+    "crash_here",
+    "disarm",
+    "registered_points",
+    "would_crash",
+]
+
+CRASH_POINT_ENV = "REPRO_CRASH_POINT"
+CRASH_TRACE_ENV = "REPRO_CRASH_TRACE"
+
+#: Every named crash point, in the order a request would meet them.
+#: ``<scope>.tmp-written`` / ``<scope>.renamed`` pairs bracket the
+#: :func:`repro.core.runner.atomic_write_text` rename discipline for one
+#: caller; the journal points bracket the fsync-before-ack discipline.
+CRASH_POINTS: Dict[str, str] = {
+    "journal.append.pre-write": (
+        "journal append: record assembled, nothing on disk yet — the "
+        "request must simply vanish (it was never acknowledged)"
+    ),
+    "journal.append.torn": (
+        "journal append: half the record written and flushed, the rest "
+        "never — recovery must discard the torn tail, not serve it"
+    ),
+    "journal.append.pre-fsync": (
+        "journal append: full record written and flushed but not yet "
+        "fsync'd — still unacknowledged, still discardable"
+    ),
+    "journal.append.post-fsync": (
+        "journal append: record durable but the response not yet sent "
+        "(the pre-ack window) — a resubmission must converge on the "
+        "journaled result, never re-run the effect twice"
+    ),
+    "journal.rotate.pre-truncate": (
+        "snapshot rotation: snapshot renamed into place, journal not yet "
+        "truncated — replay must skip records with seq <= snapshot.seq"
+    ),
+    "journal.rotate.post-truncate": (
+        "snapshot rotation complete: journal truncated and fsync'd"
+    ),
+    "snapshot.tmp-written": (
+        "session snapshot: tmp file written and fsync'd, rename pending "
+        "— the old snapshot (or none) must still be what recovery sees"
+    ),
+    "snapshot.renamed": (
+        "session snapshot: renamed into place, rotation not yet begun"
+    ),
+    "session.meta.tmp-written": (
+        "session create: meta.json tmp written, rename pending — a "
+        "half-created session directory must not poison recovery"
+    ),
+    "session.meta.renamed": (
+        "session create: meta.json in place, journal not yet opened"
+    ),
+    "topology.tmp-written": (
+        "serve startup: topology.json tmp written, rename pending"
+    ),
+    "topology.renamed": (
+        "serve startup: topology.json renamed into place"
+    ),
+    "runner.output.tmp-written": (
+        "batch runner: an output's tmp file written and fsync'd, rename "
+        "pending — no truncated output may ever be observable"
+    ),
+    "runner.output.renamed": (
+        "batch runner: one output renamed into place, manifest stale"
+    ),
+    "runner.manifest.tmp-written": (
+        "batch runner: run manifest tmp written, rename pending — "
+        "--resume must fall back to a full, byte-identical re-run"
+    ),
+    "runner.manifest.renamed": (
+        "batch runner: run manifest renamed into place"
+    ),
+    "corpus.manifest.pre-fsync": (
+        "corpus fan-out: resume-manifest line written and flushed but "
+        "not fsync'd — --resume must treat the file as not-yet-recorded "
+        "or recorded, never as corrupt"
+    ),
+    "corpus.manifest.post-fsync": (
+        "corpus fan-out: resume-manifest line durable, file not yet "
+        "re-driven — --resume must skip it and stay byte-identical"
+    ),
+}
+
+
+class _CrashState:
+    """Parsed arming/tracing state (one instance per process, or None)."""
+
+    __slots__ = ("armed", "nth", "hits", "trace_path")
+
+    def __init__(self, armed: Optional[str], nth: int, trace_path: Optional[str]):
+        self.armed = armed
+        self.nth = nth
+        self.hits = 0
+        self.trace_path = trace_path
+
+
+def _parse_spec(spec: str) -> Tuple[str, int]:
+    name, _, nth_text = spec.partition(":")
+    name = name.strip()
+    if name not in CRASH_POINTS:
+        raise ValueError(
+            "unknown crash point {!r}; registered points: {}".format(
+                name, ", ".join(sorted(CRASH_POINTS))
+            )
+        )
+    nth = 1
+    if nth_text.strip():
+        nth = int(nth_text)
+        if nth < 1:
+            raise ValueError("crash point nth must be >= 1 in {!r}".format(spec))
+    return name, nth
+
+
+def _state_from_env() -> Optional[_CrashState]:
+    spec = os.environ.get(CRASH_POINT_ENV)
+    trace = os.environ.get(CRASH_TRACE_ENV)
+    if not spec and not trace:
+        return None
+    name, nth = _parse_spec(spec) if spec else (None, 1)
+    return _CrashState(name, nth, trace or None)
+
+
+_STATE: Optional[_CrashState] = _state_from_env()
+
+
+def registered_points() -> Dict[str, str]:
+    """The full registry, name -> invariant description (a copy)."""
+    return dict(CRASH_POINTS)
+
+
+def arm(spec: str) -> None:
+    """Arm a crash point in-process (tests; production uses the env)."""
+    global _STATE
+    name, nth = _parse_spec(spec)
+    trace = _STATE.trace_path if _STATE is not None else None
+    _STATE = _CrashState(name, nth, trace)
+
+
+def trace_to(path: Optional[str]) -> None:
+    """Record reached points to *path* (None stops tracing)."""
+    global _STATE
+    if path is None and (_STATE is None or _STATE.armed is None):
+        _STATE = None
+        return
+    armed = _STATE.armed if _STATE is not None else None
+    nth = _STATE.nth if _STATE is not None else 1
+    _STATE = _CrashState(armed, nth, path)
+
+
+def disarm() -> None:
+    """Drop all arming/tracing state (tests)."""
+    global _STATE
+    _STATE = None
+
+
+def would_crash(name: str) -> bool:
+    """True when the *next* :func:`crash_here` call for *name* will kill
+    the process — lets a call site materialize a partial write first."""
+    state = _STATE
+    if state is None or state.armed != name:
+        return False
+    return state.hits + 1 >= state.nth
+
+
+def crash_here(name: str) -> None:
+    """Mark that execution reached the crash point *name*.
+
+    No-op when nothing is armed or traced.  When traced, appends the
+    name to the trace file.  When armed for *name* and the hit count
+    reaches ``nth``, the process SIGKILLs itself — no atexit handlers,
+    no flushes, exactly what a power cut leaves behind.
+    """
+    state = _STATE
+    if state is None:
+        return
+    if name not in CRASH_POINTS:
+        raise RuntimeError("unregistered crash point {!r}".format(name))
+    if state.trace_path is not None:
+        with open(state.trace_path, "a", encoding="utf-8") as handle:
+            handle.write(name + "\n")
+    if state.armed == name:
+        state.hits += 1
+        if state.hits >= state.nth:
+            os.kill(os.getpid(), signal.SIGKILL)
+            os._exit(137)  # unreachable fallback

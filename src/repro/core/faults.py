@@ -49,25 +49,50 @@ failing disk, not a crash):
   and retries at the next snapshot boundary.  Use the fault source
   ``snapshot`` (spec ``snapshot-eio:snapshot``) to target it.
 
+One liveness fault exercises the supervisor's hung-worker watchdog:
+
+* ``worker-hang:<match>`` — the handler for a source containing *match*
+  wedges the worker's serve loops without exiting (a live-lock, not a
+  crash).  The worker stops refreshing its heartbeat; the supervisor
+  must notice within ``--watchdog-timeout``, SIGKILL it, and respawn in
+  place under the existing budget.
+
+Finally, ``chaos:<seed>:<rate>[:<kinds>]`` is the *seeded chaos
+scheduler*: instead of naming one deterministic trigger it composes the
+fault kinds above probabilistically from a PRNG seeded with ``<seed>``.
+Every trigger point rolls the dice once (probability ``<rate>``, a float
+in ``(0, 1]``), so a long soak run injects an arbitrary interleaving of
+faults — yet the whole schedule is reproducible by re-running with the
+printed seed.  ``<kinds>`` is an optional ``+``-separated subset; the
+default set is the in-process faults (torn, ENOSPC, EIO, connection
+drops).  The process-killing kinds (``journal-kill``, ``worker-exit``,
+``worker-hang``) must be opted into explicitly.
+
 A plan is a ``;``-separated list of specs, taken from
 ``AnonymizerConfig.fault_plan`` or the ``REPRO_FAULT_PLAN`` environment
 variable (config wins).  Hit counters live on the plan instance, so each
 worker process — which rebuilds its anonymizer, and with it its plan —
 counts independently; that keeps injection deterministic per process.
+A malformed plan raises :class:`FaultPlanError`; entry points catch it
+and exit with ``EXIT_BAD_FAULT_PLAN`` instead of a traceback.
 """
 
 from __future__ import annotations
 
 import os
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 __all__ = [
     "FAULT_PLAN_ENV",
+    "ChaosSchedule",
     "FaultInjected",
     "FaultPlan",
+    "FaultPlanError",
     "FaultSpec",
     "build_fault_plan",
+    "parse_env_fault_plan",
 ]
 
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -75,6 +100,7 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 _KINDS = (
     "rule",
     "worker-exit",
+    "worker-hang",
     "write-fail",
     "journal-kill",
     "journal-torn",
@@ -84,9 +110,65 @@ _KINDS = (
     "snapshot-eio",
 )
 
+#: Chaos-mode composition: the safe default set (faults the process
+#: survives) and the full opt-in set.
+_CHAOS_DEFAULT_KINDS = (
+    "journal-torn",
+    "journal-enospc",
+    "snapshot-eio",
+    "drop-pre-commit",
+    "drop-post-commit",
+)
+_CHAOS_ALLOWED_KINDS = _CHAOS_DEFAULT_KINDS + (
+    "journal-kill",
+    "worker-exit",
+    "worker-hang",
+)
+
 
 class FaultInjected(RuntimeError):
     """Raised by an injected ``rule`` fault (never by production code)."""
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan spec cannot be parsed.
+
+    Subclasses :class:`ValueError` so existing callers (the service's
+    session-options validation) keep treating it as a 400; the CLI entry
+    points catch it explicitly and exit ``EXIT_BAD_FAULT_PLAN``.
+    """
+
+
+class ChaosSchedule:
+    """The seeded probabilistic fault composer behind ``chaos:`` mode.
+
+    Every trigger point asks :meth:`roll` whether to inject its fault
+    kind; each enabled-kind query burns exactly one PRNG draw, so the
+    schedule is a pure function of (seed, sequence of queries) — re-run
+    the same workload with the same seed and the same faults fire at
+    the same points.
+    """
+
+    def __init__(self, seed: str, rate: float, kinds: Tuple[str, ...]):
+        self.seed = seed
+        self.rate = rate
+        self.kinds = frozenset(kinds)
+        self._rng = random.Random("repro-chaos\x00" + seed)
+        #: Injection counts per kind, for soak-run reporting.
+        self.injected: Dict[str, int] = {}
+
+    def roll(self, kind: str, source: str) -> bool:
+        if kind not in self.kinds:
+            return False
+        if self._rng.random() >= self.rate:
+            return False
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        return True
+
+    def __str__(self) -> str:
+        return "chaos:{}:{}:{}".format(
+            self.seed, self.rate, "+".join(sorted(self.kinds))
+        )
 
 
 @dataclass(frozen=True)
@@ -106,45 +188,117 @@ class FaultSpec:
 class FaultPlan:
     """A parsed fault plan plus its per-process trigger state."""
 
-    def __init__(self, specs: Tuple[FaultSpec, ...]):
+    def __init__(
+        self,
+        specs: Tuple[FaultSpec, ...],
+        chaos: Optional[ChaosSchedule] = None,
+    ):
         self.specs = specs
+        self.chaos = chaos
         self._rule_hits: Dict[str, int] = {}
         self._rules_fired: Set[str] = set()
         self._writes_failed: Set[str] = set()
         self._once_fired: Set[str] = set()
 
     @classmethod
-    def parse(cls, text: str) -> "FaultPlan":
-        """Parse ``kind:target[:nth]`` specs separated by ``;``.
+    def _parse_chaos(cls, chunk: str, parts: List[str]) -> ChaosSchedule:
+        if len(parts) < 3 or not parts[1].strip() or not parts[2].strip():
+            raise FaultPlanError(
+                "bad chaos spec {!r}: expected "
+                "chaos:<seed>:<rate>[:<kind>+<kind>...]".format(chunk)
+            )
+        seed = parts[1].strip()
+        try:
+            rate = float(parts[2])
+        except ValueError:
+            raise FaultPlanError(
+                "chaos rate must be a float in (0, 1], got {!r} in "
+                "{!r}".format(parts[2], chunk)
+            ) from None
+        if not 0.0 < rate <= 1.0:
+            raise FaultPlanError(
+                "chaos rate must be in (0, 1], got {} in {!r}".format(
+                    rate, chunk
+                )
+            )
+        kinds: Tuple[str, ...] = _CHAOS_DEFAULT_KINDS
+        if len(parts) >= 4 and parts[3].strip():
+            requested = tuple(
+                kind.strip().lower().replace("_", "-")
+                for kind in parts[3].split("+")
+                if kind.strip()
+            )
+            unknown = [k for k in requested if k not in _CHAOS_ALLOWED_KINDS]
+            if unknown or not requested:
+                raise FaultPlanError(
+                    "chaos kinds {!r} not composable; pick from {}".format(
+                        unknown or parts[3],
+                        "/".join(_CHAOS_ALLOWED_KINDS),
+                    )
+                )
+            kinds = requested
+        return ChaosSchedule(seed, rate, kinds)
 
-        A malformed plan raises :class:`ValueError` — a typo'd fault plan
-        silently injecting nothing would defeat the tests that rely on it.
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``kind:target[:nth]`` / ``chaos:seed:rate`` specs
+        separated by ``;``.
+
+        A malformed plan raises :class:`FaultPlanError` — a typo'd fault
+        plan silently injecting nothing would defeat the tests that rely
+        on it.
         """
         specs: List[FaultSpec] = []
+        chaos: Optional[ChaosSchedule] = None
         for chunk in text.split(";"):
             chunk = chunk.strip()
             if not chunk:
                 continue
             parts = chunk.split(":")
             kind = parts[0].strip().lower().replace("_", "-")
+            if kind == "chaos":
+                if chaos is not None:
+                    raise FaultPlanError(
+                        "fault plan {!r} has more than one chaos "
+                        "spec".format(text)
+                    )
+                chaos = cls._parse_chaos(chunk, parts)
+                continue
             if kind not in _KINDS or len(parts) < 2 or not parts[1].strip():
-                raise ValueError(
+                raise FaultPlanError(
                     "bad fault spec {!r}: expected kind:target[:nth] with "
-                    "kind in {}".format(chunk, "/".join(_KINDS))
+                    "kind in {} (or chaos:<seed>:<rate>)".format(
+                        chunk, "/".join(_KINDS)
+                    )
                 )
             target = parts[1].strip()
             nth = 1
             if len(parts) >= 3 and parts[2].strip():
-                nth = int(parts[2])
+                try:
+                    nth = int(parts[2])
+                except ValueError:
+                    raise FaultPlanError(
+                        "fault nth must be an integer in {!r}".format(chunk)
+                    ) from None
                 if nth < 1:
-                    raise ValueError("fault nth must be >= 1 in {!r}".format(chunk))
+                    raise FaultPlanError(
+                        "fault nth must be >= 1 in {!r}".format(chunk)
+                    )
             specs.append(FaultSpec(kind=kind, target=target, nth=nth))
-        if not specs:
-            raise ValueError("fault plan {!r} contains no specs".format(text))
-        return cls(tuple(specs))
+        if not specs and chaos is None:
+            raise FaultPlanError(
+                "fault plan {!r} contains no specs".format(text)
+            )
+        return cls(tuple(specs), chaos=chaos)
 
     def describe(self) -> str:
-        return "; ".join(str(spec) for spec in self.specs)
+        parts = [str(spec) for spec in self.specs]
+        if self.chaos is not None:
+            parts.append(str(self.chaos))
+        return "; ".join(parts)
+
+    def _chaos_roll(self, kind: str, source: str) -> bool:
+        return self.chaos is not None and self.chaos.roll(kind, source)
 
     # -- trigger points ---------------------------------------------------
 
@@ -170,7 +324,7 @@ class FaultPlan:
         return any(
             spec.kind == "worker-exit" and spec.target in source
             for spec in self.specs
-        )
+        ) or self._chaos_roll("worker-exit", source)
 
     def _fire_once(self, kind: str, name: str) -> bool:
         """True exactly once per (matching spec, name) for *kind*."""
@@ -191,22 +345,28 @@ class FaultPlan:
         return any(
             spec.kind == "journal-kill" and spec.target in source
             for spec in self.specs
-        )
+        ) or self._chaos_roll("journal-kill", source)
 
     def torn_append_once(self, source: str) -> bool:
         """True exactly once: the journal append for *source* must be
         torn (half the record written, then the append fails)."""
-        return self._fire_once("journal-torn", source)
+        return self._fire_once("journal-torn", source) or self._chaos_roll(
+            "journal-torn", source
+        )
 
     def enospc_append_once(self, source: str) -> bool:
         """True exactly once: the journal append for *source* must fail
         with ``OSError(ENOSPC)`` before writing any bytes (full disk)."""
-        return self._fire_once("journal-enospc", source)
+        return self._fire_once("journal-enospc", source) or self._chaos_roll(
+            "journal-enospc", source
+        )
 
     def snapshot_eio_once(self, source: str) -> bool:
         """True exactly once: the snapshot write for *source* must fail
         with ``OSError(EIO)`` (failing disk; journal stays intact)."""
-        return self._fire_once("snapshot-eio", source)
+        return self._fire_once("snapshot-eio", source) or self._chaos_roll(
+            "snapshot-eio", source
+        )
 
     def drop_connection_once(self, stage: str, source: str) -> bool:
         """True exactly once per (stage, source): the service handler
@@ -214,7 +374,17 @@ class FaultPlan:
         ``"pre-commit"`` or ``"post-commit"``."""
         if stage not in ("pre-commit", "post-commit"):
             raise ValueError("unknown drop stage {!r}".format(stage))
-        return self._fire_once("drop-{}".format(stage), source)
+        return self._fire_once(
+            "drop-{}".format(stage), source
+        ) or self._chaos_roll("drop-{}".format(stage), source)
+
+    def hang_worker_once(self, source: str) -> bool:
+        """True exactly once: the worker handling *source* must wedge its
+        serve loops without exiting (a live-lock the watchdog must
+        detect)."""
+        return self._fire_once("worker-hang", source) or self._chaos_roll(
+            "worker-hang", source
+        )
 
     def fail_write_once(self, name: str) -> bool:
         """True exactly once per matching *name*: the write must fail now."""
@@ -238,6 +408,20 @@ def build_fault_plan(config) -> Optional[FaultPlan]:
     text = getattr(config, "fault_plan", None)
     if text is None:
         text = os.environ.get(FAULT_PLAN_ENV)
+    if not text:
+        return None
+    return FaultPlan.parse(text)
+
+
+def parse_env_fault_plan() -> Optional[FaultPlan]:
+    """Parse ``REPRO_FAULT_PLAN`` from the environment, or None if unset.
+
+    Entry points (batch CLI, ``serve``, the supervisor) call this before
+    doing any work so a malformed plan is reported once, clearly, with
+    ``EXIT_BAD_FAULT_PLAN`` — not as a traceback from deep inside the
+    first anonymizer construction.
+    """
+    text = os.environ.get(FAULT_PLAN_ENV)
     if not text:
         return None
     return FaultPlan.parse(text)

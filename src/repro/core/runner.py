@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from repro.core.crashpoints import crash_here
 from repro.core.digests import digest_text
 from repro.core.engine import Anonymizer
 from repro.core.faults import FaultPlan
@@ -134,6 +135,7 @@ def atomic_write_text(
     text: str,
     fault_plan: Optional[FaultPlan] = None,
     name: Optional[str] = None,
+    crash_scope: Optional[str] = None,
 ) -> str:
     """Write *text* to *path* atomically; return its content digest.
 
@@ -141,6 +143,11 @@ def atomic_write_text(
     with :func:`os.replace`, so *path* either keeps its old content or
     holds the complete new content — never a prefix.  On any failure the
     temporary file is removed before the exception propagates.
+
+    *crash_scope* names the durability boundary this write implements
+    (``"snapshot"``, ``"topology"``, ...): the two crash points
+    ``<scope>.tmp-written`` and ``<scope>.renamed`` bracket the rename so
+    the explorer can kill the process on either side of it.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -150,11 +157,15 @@ def atomic_write_text(
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
+        if crash_scope is not None:
+            crash_here(crash_scope + ".tmp-written")
         if fault_plan is not None and fault_plan.fail_write_once(
             name if name is not None else str(path)
         ):
             raise OSError("injected write failure for {}".format(path.name))
         os.replace(tmp, path)
+        if crash_scope is not None:
+            crash_here(crash_scope + ".renamed")
     except BaseException:
         try:
             tmp.unlink()
@@ -330,7 +341,10 @@ def run_anonymization(
             continue
         out_path = Path(out_path_for(name))
         try:
-            digest = atomic_write_text(out_path, rewritten[name], plan, name)
+            digest = atomic_write_text(
+                out_path, rewritten[name], plan, name,
+                crash_scope="runner.output",
+            )
         except OSError as exc:
             result.outcomes[name] = FileOutcome(
                 name, "write-failed", str(out_path), detail=type(exc).__name__
@@ -359,6 +373,8 @@ def run_anonymization(
             },
         }
         atomic_write_text(
-            Path(manifest_path), json.dumps(manifest, indent=2, sort_keys=True)
+            Path(manifest_path),
+            json.dumps(manifest, indent=2, sort_keys=True),
+            crash_scope="runner.manifest",
         )
     return result

@@ -37,6 +37,11 @@ failures) so a wrapper can branch on the *kind* of dirtiness:
   family that is not registered (typo, or the out-of-tree plugin's
   ``REPRO_PLUGINS`` path is missing).  Distinct from ``EXIT_USAGE`` so a
   wrapper can tell a malformed invocation from a missing plugin.
+* ``EXIT_BAD_FAULT_PLAN`` (12) — ``REPRO_FAULT_PLAN`` (or a chaos soak's
+  ``chaos:`` spec) could not be parsed.  Fault plans exist to *prove*
+  failure handling, so a typo'd plan silently injecting nothing — or
+  surfacing as a raw traceback mid-run — would defeat the harness; the
+  CLI and the daemon refuse to start instead.
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ __all__ = [
     "EXIT_JOURNAL_CORRUPT",
     "EXIT_PARTIAL_CORPUS",
     "EXIT_UNKNOWN_PLUGIN",
+    "EXIT_BAD_FAULT_PLAN",
     "exit_code_for",
 ]
 
@@ -69,6 +75,7 @@ EXIT_RECOVERY_FAILED = 8
 EXIT_JOURNAL_CORRUPT = 9
 EXIT_PARTIAL_CORPUS = 10
 EXIT_UNKNOWN_PLUGIN = 11
+EXIT_BAD_FAULT_PLAN = 12
 
 
 def exit_code_for(leaks: bool = False, dirty: bool = False) -> int:

@@ -18,6 +18,7 @@ import threading
 from pathlib import Path
 
 from repro.core.status import (
+    EXIT_BAD_FAULT_PLAN,
     EXIT_JOURNAL_CORRUPT,
     EXIT_NO_INPUT,
     EXIT_OK,
@@ -121,6 +122,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="after binding, write the service URL here (scripts/CI poll it)",
     )
+    parser.add_argument(
+        "--watchdog-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="with --workers > 1, SIGKILL and respawn a worker whose "
+        "heartbeat is older than this (0 disables the watchdog)",
+    )
     return parser
 
 
@@ -129,6 +138,18 @@ def serve_main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.workers < 1 or args.threads < 1 or args.queue_limit < 1:
         parser.error("--workers, --threads, and --queue-limit must be >= 1")
+    # A typo'd fault plan must refuse to start, not inject nothing or
+    # explode mid-request: validate the environment spec before binding.
+    from repro.core.faults import FaultPlanError, parse_env_fault_plan
+
+    try:
+        parse_env_fault_plan()
+    except FaultPlanError as exc:
+        print(
+            "error: invalid REPRO_FAULT_PLAN: {}".format(exc),
+            file=sys.stderr,
+        )
+        return EXIT_BAD_FAULT_PLAN
     if args.workers > 1:
         if args.unix_socket is not None:
             parser.error(

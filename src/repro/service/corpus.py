@@ -63,6 +63,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.crashpoints import crash_here
 from repro.core.digests import digest_text
 from repro.core.runner import atomic_write_text, salt_fingerprint
 from repro.core.status import (
@@ -328,7 +329,9 @@ class ResumeManifest:
         with self._lock:
             self._handle.write(line)
             self._handle.flush()
+            crash_here("corpus.manifest.pre-fsync")
             os.fsync(self._handle.fileno())
+            crash_here("corpus.manifest.post-fsync")
 
     def close(self) -> None:
         if self._handle is not None:

@@ -51,6 +51,7 @@ import shutil
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.crashpoints import crash_here, would_crash
 from repro.core.faults import FaultPlan
 from repro.core.runner import atomic_write_text, salt_fingerprint
 from repro.core.state import (
@@ -93,6 +94,11 @@ class JournalCorruptError(JournalError):
 class RecoveryError(JournalError):
     """A resume request cannot be honored (wrong salt, quarantined or
     unknown history).  Maps to a 409 at the HTTP layer, never a 500."""
+
+
+class _CreationArtifact(Exception):
+    """Internal: a session directory is crash-mid-create debris (no
+    meta, no records, no snapshot) and may be removed, not quarantined."""
 
 
 class JournalDiskError(JournalError):
@@ -170,6 +176,7 @@ class SessionJournal:
         atomic_write_text(
             journal.meta_path,
             json.dumps(meta, indent=2, sort_keys=True),
+            crash_scope="session.meta",
         )
         journal._open(truncate_to=0)
         return journal
@@ -213,15 +220,25 @@ class SessionJournal:
         record = dict(record)
         record["seq"] = self.seq
         line = _record_line(record)
-        if fault_plan is not None and (
-            fault_plan.should_kill_journal(fault_source)
-            or fault_plan.torn_append_once(fault_source)
-        ):
+        crash_here("journal.append.pre-write")
+        # Each fault trigger is consulted exactly once per append: under
+        # the chaos scheduler every call burns a PRNG draw, so asking the
+        # same question twice could get two different answers.
+        kill = fault_plan is not None and fault_plan.should_kill_journal(
+            fault_source
+        )
+        torn = (
+            not kill
+            and fault_plan is not None
+            and fault_plan.torn_append_once(fault_source)
+        )
+        if kill or torn or would_crash("journal.append.torn"):
             # Torn append: half the record reaches disk, never the rest.
             self._handle.write(line[: max(1, len(line) // 2)])
             self._handle.flush()
             os.fsync(self._handle.fileno())
-            if fault_plan.should_kill_journal(fault_source):
+            crash_here("journal.append.torn")
+            if kill:
                 os._exit(3)  # simulated crash mid-journal-write
             self.seq -= 1
             self._broken = True
@@ -236,7 +253,9 @@ class SessionJournal:
                 raise OSError(errno.ENOSPC, "injected: no space left on device")
             self._handle.write(line)
             self._handle.flush()
+            crash_here("journal.append.pre-fsync")
             os.fsync(self._handle.fileno())
+            crash_here("journal.append.post-fsync")
         except OSError as exc:
             # Full or failing disk.  Roll the append back cleanly: the
             # write may have landed partially in the OS buffer, so
@@ -289,7 +308,9 @@ class SessionJournal:
             ):
                 raise OSError(errno.EIO, "injected: input/output error")
             atomic_write_text(
-                self.snapshot_path, json.dumps(document, sort_keys=True)
+                self.snapshot_path,
+                json.dumps(document, sort_keys=True),
+                crash_scope="snapshot",
             )
         except OSError as exc:
             raise JournalDiskError(
@@ -298,10 +319,12 @@ class SessionJournal:
                     type(exc).__name__, exc
                 )
             ) from exc
+        crash_here("journal.rotate.pre-truncate")
         self._open(truncate_to=None)
         self._handle.truncate(0)
         self._handle.seek(0)
         os.fsync(self._handle.fileno())
+        crash_here("journal.rotate.post-truncate")
         self.appended_since_snapshot = 0
 
     def close(self) -> None:
@@ -359,6 +382,9 @@ class RecoverySummary:
         self.recoverable: Dict[str, RecoveredSession] = {}
         self.quarantined: Dict[str, str] = {}
         self.torn_discarded = 0
+        #: Directories discarded as crash-mid-create debris (no meta, no
+        #: records, no snapshot — nothing was ever acknowledged).
+        self.artifacts_discarded = 0
 
     def describe(self) -> str:
         return (
@@ -498,6 +524,10 @@ class SessionStore:
             session_id = directory.name
             try:
                 recovered = self._scan_session(session_id, directory)
+            except _CreationArtifact:
+                shutil.rmtree(directory, ignore_errors=True)
+                summary.artifacts_discarded += 1
+                continue
             except JournalError as exc:
                 try:
                     quarantined = self._quarantine(directory)
@@ -523,6 +553,14 @@ class SessionStore:
     def _scan_session(self, session_id: str, directory: Path) -> RecoveredSession:
         meta = _load_json(directory / META_NAME, "session meta")
         if meta is None:
+            if not (directory / SNAPSHOT_NAME).exists():
+                records, _, _ = _scan_journal(directory / JOURNAL_NAME)
+                if not records:
+                    # A crash mid-create (before meta.json was renamed
+                    # into place) leaves a directory holding at most tmp
+                    # debris.  Nothing in it was ever acknowledged, so
+                    # it is a discardable crash artifact, not corruption.
+                    raise _CreationArtifact(session_id)
             raise JournalCorruptError(
                 "session {} has no meta.json".format(session_id)
             )

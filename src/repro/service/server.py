@@ -285,6 +285,15 @@ class _ThreadingHTTPServer(socketserver.ThreadingMixIn, HTTPServer):
         self._handlers_lock = threading.Lock()
         super().__init__(*args, **kwargs)
 
+    def service_actions(self) -> None:
+        """Called by ``serve_forever`` between accepts (every poll
+        interval): refreshes this worker's watchdog heartbeat, so a
+        wedged accept loop is exactly what stops the heartbeat."""
+        super().service_actions()
+        service = getattr(self, "service", None)
+        if service is not None:
+            service.heartbeat_tick()
+
     def register_handler(self, handler) -> None:
         with self._handlers_lock:
             self._handlers.add(handler)
@@ -503,6 +512,22 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             document["workers"] = service.shard.count
             document["generation"] = service.generation
             document["shards"] = service.shard.table()
+        if service.status_board is not None and service.shard is not None:
+            board = service.status_board
+            count = service.shard.count
+            age = board.heartbeat_age(service.shard.index)
+            document["watchdog"] = {
+                "timeout": service.watchdog_timeout or None,
+                "heartbeat_age": None if age is None else round(age, 3),
+            }
+            document["respawns"] = {
+                str(i): board.respawns(i) for i in range(count)
+            }
+            if service.respawn_limit is not None:
+                document["respawn_budget"] = {
+                    str(i): max(0, service.respawn_limit - board.respawns(i))
+                    for i in range(count)
+                }
         if service.store is not None:
             document["durable"] = True
             document["recoverable_sessions"] = len(
@@ -648,6 +673,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             service.metrics.inc_counter("repro_corpus_failovers_total")
         text = self._read_body().decode("utf-8", errors="replace")
         fault_plan = session.anonymizer.fault_plan
+        if fault_plan is not None and fault_plan.hang_worker_once(source):
+            # Injected live-hang: wedge this worker's serve loops — the
+            # process stays alive, the sockets stay bound, the heartbeat
+            # stops.  Nothing inside the process recovers from this;
+            # only the supervisor's watchdog can (SIGKILL + respawn).
+            service.request_hang()
+            self.close_connection = True
+            return
         if fault_plan is not None and fault_plan.drop_connection_once(
             "pre-commit", source
         ):
@@ -904,6 +937,9 @@ class AnonymizationService:
         listen_socket: Optional[socket.socket] = None,
         direct_socket: Optional[socket.socket] = None,
         generation: int = 0,
+        status_board=None,
+        watchdog_timeout: float = 0.0,
+        respawn_limit: Optional[int] = None,
     ):
         self.metrics = ServiceMetrics()
         for name, help_text in DURABILITY_COUNTERS + CORPUS_COUNTERS:
@@ -960,6 +996,11 @@ class AnonymizationService:
         self.unix_socket = unix_socket
         self.shard = shard
         self.generation = generation
+        #: Supervisor-shared heartbeat/counter slots (pre-fork mode only).
+        self.status_board = status_board
+        self.watchdog_timeout = watchdog_timeout
+        self.respawn_limit = respawn_limit
+        self._hang_forever = False
         if listen_socket is not None:
             self.httpd: _ThreadingHTTPServer = _adopt_http_server(listen_socket)
         elif unix_socket is not None:
@@ -1011,6 +1052,25 @@ class AnonymizationService:
             {"shard": str(shard.index if shard is not None else 0)},
             lambda: 1.0 if self.sessions.disk_degraded_count() else 0.0,
         )
+        if status_board is not None and shard is not None:
+            # Each worker exposes only its OWN shard's series: the
+            # aggregated scrape merges one series per live worker, so
+            # the supervisor-owned counts are never multiplied by N.
+            own = shard.index
+            self.metrics.register_labeled_gauge(
+                "repro_worker_respawns_total",
+                "Times the supervisor respawned this shard's worker "
+                "(pre-registered at 0; counted by the supervisor).",
+                {"shard": str(own)},
+                lambda: float(status_board.respawns(own)),
+            )
+            self.metrics.register_labeled_gauge(
+                "repro_worker_hung_total",
+                "Times the watchdog SIGKILLed this shard's worker for a "
+                "stale heartbeat (hang, not crash).",
+                {"shard": str(own)},
+                lambda: float(status_board.hung(own)),
+            )
         self._thread: Optional[threading.Thread] = None
         self._direct_thread: Optional[threading.Thread] = None
 
@@ -1029,6 +1089,24 @@ class AnonymizationService:
         if self.unix_socket is not None:
             return "unix://{}".format(host)
         return "http://{}:{}".format(host, port)
+
+    # -- watchdog heartbeat ----------------------------------------------
+
+    def heartbeat_tick(self) -> None:
+        """Refresh this worker's heartbeat slot (called by every serve
+        loop between accepts).  An injected live-hang wedges the caller
+        right here — which is the point: the loop that would have beaten
+        the heart is the loop that is stuck."""
+        if self._hang_forever:
+            while True:
+                time.sleep(3600)
+        if self.status_board is not None and self.shard is not None:
+            self.status_board.beat(self.shard.index)
+
+    def request_hang(self) -> None:
+        """Arm the injected live-hang (``worker-hang`` fault): every
+        serve loop wedges at its next ``heartbeat_tick``."""
+        self._hang_forever = True
 
     # -- lifecycle -------------------------------------------------------
 

@@ -120,6 +120,7 @@ def write_topology(state_dir, workers: int) -> None:
             indent=2,
             sort_keys=True,
         ),
+        crash_scope="topology",
     )
 
 

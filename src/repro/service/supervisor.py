@@ -45,6 +45,7 @@ import select
 import signal
 import socket
 import sys
+import threading
 import time
 import traceback
 from typing import Dict, List, Optional, Tuple
@@ -62,6 +63,7 @@ from repro.service.sharding import (
     shard_state_dir,
     write_topology,
 )
+from repro.service.watchdog import WorkerStatusBoard
 
 __all__ = ["RESPAWN_LIMIT", "resolve_socket_strategy", "run_supervisor"]
 
@@ -111,10 +113,9 @@ def _worker_process(
     shard: ShardInfo,
     generation: int,
     ready_fd: int,
+    board: Optional[WorkerStatusBoard] = None,
 ) -> int:
     """Run one worker (inside the forked child); returns its exit code."""
-    import threading
-
     from repro.service.journal import JournalError
     from repro.service.server import AnonymizationService
 
@@ -140,6 +141,9 @@ def _worker_process(
             listen_socket=listen_socket,
             direct_socket=direct_socket,
             generation=generation,
+            status_board=board,
+            watchdog_timeout=getattr(args, "watchdog_timeout", 0.0),
+            respawn_limit=RESPAWN_LIMIT,
         )
     except JournalError as exc:
         print(
@@ -204,6 +208,12 @@ class _Supervisor:
         self.pids: Dict[int, int] = {}  # pid -> shard index
         self.generations: List[int] = [0] * self.workers
         self.respawns: List[int] = [0] * self.workers
+        #: Shared heartbeat/counter slots, created pre-fork so every
+        #: worker generation inherits the same pages.
+        self.board = WorkerStatusBoard(self.workers)
+        self.watchdog_timeout = float(
+            getattr(args, "watchdog_timeout", 0.0) or 0.0
+        )
         self.shared_socket: Optional[socket.socket] = None
         self.reservation: Optional[socket.socket] = None
         self.direct_sockets: List[socket.socket] = []
@@ -239,6 +249,11 @@ class _Supervisor:
 
     def spawn(self, index: int) -> int:
         """Fork the worker for *index*; returns the readiness read-fd."""
+        # 0.0 = "not serving yet": the watchdog only judges a worker
+        # after its serve loops post the first real heartbeat, so slow
+        # recovery at startup is never mistaken for a hang (that window
+        # is covered by the readiness timeout instead).
+        self.board.beat(index, now=0.0)
         read_fd, write_fd = os.pipe()
         pid = os.fork()
         if pid == 0:
@@ -265,6 +280,7 @@ class _Supervisor:
                     shard,
                     self.generations[index],
                     write_fd,
+                    board=self.board,
                 )
             except SystemExit as exc:
                 code = int(exc.code or 0)
@@ -311,6 +327,45 @@ class _Supervisor:
         self.shutting_down = True
         self.signal_workers(signal.SIGTERM)
 
+    # -- the hung-worker watchdog ----------------------------------------
+
+    def _watchdog_loop(self) -> None:
+        """SIGKILL any worker whose heartbeat went stale.
+
+        A worker that *exits* is caught by ``os.wait``; this thread
+        catches the one that *hangs* — process alive, sockets bound,
+        serve loops wedged.  The kill feeds the killed pid straight into
+        the normal ``os.wait`` respawn path (same budget, same one-shot
+        fault-plan stripping), so detection and recovery share one code
+        path.
+        """
+        interval = max(0.05, min(1.0, self.watchdog_timeout / 4.0))
+        while not self.shutting_down and self.pids:
+            time.sleep(interval)
+            if self.shutting_down:
+                return
+            for pid, index in list(self.pids.items()):
+                age = self.board.heartbeat_age(index)
+                if age is None or age <= self.watchdog_timeout:
+                    continue
+                self.board.record_hung(index)
+                # Reset the slot so one hang is one kill: the respawn
+                # only starts the clock again after its first beat.
+                self.board.beat(index, now=0.0)
+                print(
+                    "worker {} (shard {}) hung: no heartbeat for "
+                    "{:.1f}s (watchdog timeout {:.1f}s); killing "
+                    "pid {}".format(
+                        index, index, age, self.watchdog_timeout, pid
+                    ),
+                    file=sys.stderr,
+                    flush=True,
+                )
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+
     def run(self) -> int:
         self.bind()
         signal.signal(signal.SIGTERM, self._on_signal)
@@ -332,6 +387,13 @@ class _Supervisor:
             from pathlib import Path
 
             Path(self.args.ready_file).write_text(self.base_url + "\n")
+
+        if self.watchdog_timeout > 0:
+            threading.Thread(
+                target=self._watchdog_loop,
+                name="hung-worker-watchdog",
+                daemon=True,
+            ).start()
 
         final_code = EXIT_OK
         while self.pids:
@@ -360,6 +422,7 @@ class _Supervisor:
                 self.signal_workers(signal.SIGTERM)
                 continue
             self.respawns[index] += 1
+            self.board.record_respawn(index)
             if self.respawns[index] > RESPAWN_LIMIT:
                 print(
                     "worker {} crash-looped past {} respawns; shutting "

@@ -1,0 +1,108 @@
+"""Hung-worker detection: heartbeats and respawn counters over mmap.
+
+A worker that *dies* is visible to the supervisor the moment
+:func:`os.wait` returns; a worker that *hangs* (a wedged serve loop, a
+runaway C call holding the GIL, a deadlock) keeps its process table
+entry, keeps its listening sockets, and silently stops answering — the
+worst failure mode for a service that promises every acknowledged
+request is durable, because clients just see timeouts while the
+supervisor sees nothing.
+
+:class:`WorkerStatusBoard` closes that gap with one anonymous shared
+``mmap`` created by the supervisor *before* forking, so every worker —
+including respawned ones, which are forked from the same parent —
+inherits the same physical pages:
+
+* each worker's serve loops refresh a per-shard **heartbeat** slot with
+  ``time.monotonic()`` (``CLOCK_MONOTONIC`` is system-wide on Linux, so
+  parent and child timestamps compare directly);
+* the supervisor's watchdog thread scans the slots and SIGKILLs any
+  worker whose heartbeat is older than ``--watchdog-timeout`` — the
+  normal ``os.wait`` respawn path then revives it under the existing
+  budget;
+* the supervisor records **respawn** and **hung** counts per shard in
+  the same board, which is how the numbers reach worker-served
+  ``/metrics`` (``repro_worker_respawns_total{shard}``,
+  ``repro_worker_hung_total{shard}``) and ``/healthz`` (remaining
+  respawn budget) without any extra wire protocol.
+
+Each slot is three independently-written 8-byte fields (heartbeat
+float, respawns, hung).  Every field has exactly one writer — the
+worker owns its heartbeat, the supervisor owns the counters — and
+8-byte aligned stores are not torn on the platforms this runs on, so no
+cross-process lock is needed (a stale read costs one watchdog interval,
+nothing more).
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+import time
+from typing import Optional
+
+__all__ = ["SLOT_BYTES", "WorkerStatusBoard"]
+
+#: Per-shard slot layout: heartbeat (f64) | respawns (u64) | hung (u64).
+SLOT_BYTES = 24
+_HEARTBEAT = struct.Struct("<d")
+_COUNTER = struct.Struct("<Q")
+
+
+class WorkerStatusBoard:
+    """Shared per-shard worker status, inherited across fork."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._map = mmap.mmap(-1, workers * SLOT_BYTES)
+
+    def _check(self, shard: int) -> int:
+        if not 0 <= shard < self.workers:
+            raise IndexError("shard {} out of range".format(shard))
+        return shard * SLOT_BYTES
+
+    # -- heartbeat (written by the worker's serve loops) -----------------
+
+    def beat(self, shard: int, now: Optional[float] = None) -> None:
+        base = self._check(shard)
+        _HEARTBEAT.pack_into(
+            self._map, base, time.monotonic() if now is None else now
+        )
+
+    def heartbeat(self, shard: int) -> float:
+        """Last heartbeat (monotonic seconds); 0.0 if never beaten."""
+        base = self._check(shard)
+        return _HEARTBEAT.unpack_from(self._map, base)[0]
+
+    def heartbeat_age(self, shard: int) -> Optional[float]:
+        """Seconds since the last heartbeat, or None if never beaten."""
+        beat = self.heartbeat(shard)
+        if beat <= 0.0:
+            return None
+        return max(0.0, time.monotonic() - beat)
+
+    # -- counters (written by the supervisor only) -----------------------
+
+    def record_respawn(self, shard: int) -> None:
+        base = self._check(shard) + 8
+        count = _COUNTER.unpack_from(self._map, base)[0]
+        _COUNTER.pack_into(self._map, base, count + 1)
+
+    def respawns(self, shard: int) -> int:
+        return _COUNTER.unpack_from(self._map, self._check(shard) + 8)[0]
+
+    def record_hung(self, shard: int) -> None:
+        base = self._check(shard) + 16
+        count = _COUNTER.unpack_from(self._map, base)[0]
+        _COUNTER.pack_into(self._map, base, count + 1)
+
+    def hung(self, shard: int) -> int:
+        return _COUNTER.unpack_from(self._map, self._check(shard) + 16)[0]
+
+    def close(self) -> None:
+        try:
+            self._map.close()
+        except (BufferError, ValueError):
+            pass

@@ -1,0 +1,390 @@
+"""The crash-point registry, chaos scheduler, and worker status board.
+
+Three layers of the robustness harness:
+
+* :mod:`repro.core.crashpoints` — the named-crash-point registry that
+  ``scripts/crash_explorer.py`` enumerates.  The tests keep the static
+  table honest (every registered name is wired into real code), verify
+  the arm/trace/nth semantics in-process, and SIGKILL subprocesses at
+  armed points to prove the hook actually kills.
+* ``chaos:`` mode of :mod:`repro.core.faults` — the seeded scheduler
+  must be a pure function of (seed, query sequence), and malformed
+  specs must raise :class:`FaultPlanError`, which the CLI entry points
+  turn into ``EXIT_BAD_FAULT_PLAN`` instead of a traceback.
+* :mod:`repro.service.watchdog` — the mmap'd per-shard status board the
+  hung-worker watchdog and the ``/metrics`` respawn counters read.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import crashpoints
+from repro.core.crashpoints import (
+    CRASH_POINTS,
+    arm,
+    crash_here,
+    disarm,
+    registered_points,
+    trace_to,
+    would_crash,
+)
+from repro.core.faults import (
+    ChaosSchedule,
+    FaultPlan,
+    FaultPlanError,
+    parse_env_fault_plan,
+)
+from repro.core.status import EXIT_BAD_FAULT_PLAN
+from repro.service.watchdog import SLOT_BYTES, WorkerStatusBoard
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def _always_disarm():
+    yield
+    disarm()
+
+
+class TestRegistry:
+    def test_at_least_ten_points_across_all_paths(self):
+        points = registered_points()
+        assert len(points) >= 10
+        prefixes = {name.split(".")[0] for name in points}
+        # Journal, snapshot (via journal.rotate + snapshot.*), and both
+        # manifest paths must be represented.
+        assert {"journal", "snapshot", "runner", "corpus"} <= prefixes
+        assert all(desc for desc in points.values())
+
+    def test_registered_points_returns_a_copy(self):
+        points = registered_points()
+        points["bogus"] = "x"
+        assert "bogus" not in CRASH_POINTS
+
+    def test_every_point_is_wired_into_real_code(self):
+        """The static table must not drift from the instrumented code:
+        every name is either called literally or composed from a
+        ``crash_scope`` prefix by ``atomic_write_text``."""
+        src = Path(SRC) / "repro"
+        combined = "".join(
+            path.read_text(encoding="utf-8")
+            for path in (
+                src / "service" / "journal.py",
+                src / "service" / "corpus.py",
+                src / "service" / "sharding.py",
+                src / "core" / "runner.py",
+            )
+        )
+        for name in CRASH_POINTS:
+            scope, _, suffix = name.rpartition(".")
+            wired = '"{}"'.format(name) in combined or (
+                suffix in ("tmp-written", "renamed")
+                and '"{}"'.format(scope) in combined
+            )
+            assert wired, "crash point {} is not wired anywhere".format(name)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown crash point"):
+            arm("no.such.point")
+        with pytest.raises(ValueError, match="nth must be >= 1"):
+            arm("journal.append.pre-fsync:0")
+
+    def test_crash_here_rejects_unregistered_names_when_active(self):
+        arm("journal.append.pre-fsync:100")
+        with pytest.raises(RuntimeError, match="unregistered crash point"):
+            crash_here("not.registered")
+
+    def test_crash_here_is_noop_when_disarmed(self):
+        disarm()
+        crash_here("journal.append.pre-fsync")  # must not raise or kill
+        assert would_crash("journal.append.pre-fsync") is False
+
+
+class TestArmAndTrace:
+    def test_nth_counts_hits_before_killing(self):
+        # nth=3: two hits are survivable; the *next* one would kill.
+        arm("journal.append.post-fsync:3")
+        assert would_crash("journal.append.post-fsync") is False
+        crash_here("journal.append.post-fsync")
+        assert would_crash("journal.append.post-fsync") is False
+        crash_here("journal.append.post-fsync")
+        assert would_crash("journal.append.post-fsync") is True
+        assert would_crash("journal.append.pre-fsync") is False
+
+    def test_trace_records_reached_points_without_crashing(self, tmp_path):
+        trace = tmp_path / "trace.log"
+        trace_to(str(trace))
+        crash_here("journal.append.pre-write")
+        crash_here("journal.append.post-fsync")
+        trace_to(None)
+        assert trace.read_text().splitlines() == [
+            "journal.append.pre-write",
+            "journal.append.post-fsync",
+        ]
+
+    def test_trace_covers_the_durable_session_lifecycle(self, tmp_path):
+        """One create + append + snapshot touches meta, journal, and
+        snapshot points — proof the instrumentation is live, not dead
+        table entries."""
+        from repro.service.journal import SessionJournal
+
+        trace = tmp_path / "trace.log"
+        trace_to(str(trace))
+        try:
+            journal = SessionJournal.create(
+                tmp_path / "sess", "sess", "fingerprint", {}
+            )
+            journal.append({"kind": "anonymize", "source": "a.cfg"})
+            journal.write_snapshot({"salt_fingerprint": "fingerprint"})
+            journal.close()
+        finally:
+            trace_to(None)
+        reached = set(trace.read_text().splitlines())
+        assert {
+            "session.meta.tmp-written",
+            "session.meta.renamed",
+            "journal.append.pre-write",
+            "journal.append.pre-fsync",
+            "journal.append.post-fsync",
+            "snapshot.tmp-written",
+            "snapshot.renamed",
+            "journal.rotate.pre-truncate",
+            "journal.rotate.post-truncate",
+        } <= reached
+        # Trace mode must never tear anything.
+        assert "journal.append.torn" not in reached
+
+    def test_trace_covers_the_runner_write_discipline(self, tmp_path):
+        from repro.core.runner import atomic_write_text
+
+        trace = tmp_path / "trace.log"
+        trace_to(str(trace))
+        try:
+            atomic_write_text(
+                tmp_path / "out.anon", "text", crash_scope="runner.output"
+            )
+        finally:
+            trace_to(None)
+        assert trace.read_text().splitlines() == [
+            "runner.output.tmp-written",
+            "runner.output.renamed",
+        ]
+
+
+def _run_armed(point: str, tmp_path: Path) -> subprocess.CompletedProcess:
+    """Run a minimal durable-journal workload with *point* armed."""
+    script = (
+        "from repro.service.journal import SessionJournal\n"
+        "j = SessionJournal.create(r'{dir}', 's', 'fp', {{}})\n"
+        "j.append({{'kind': 'anonymize', 'source': 'a.cfg'}})\n"
+        "j.append({{'kind': 'anonymize', 'source': 'b.cfg'}})\n"
+        "print('SURVIVED')\n"
+    ).format(dir=str(tmp_path / "sess"))
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CRASH_POINT"] = point
+    return subprocess.run(
+        [sys.executable, "-c", script],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+class TestKillForReal:
+    def test_armed_point_sigkills_the_process(self, tmp_path):
+        result = _run_armed("journal.append.pre-fsync", tmp_path)
+        assert result.returncode == -signal.SIGKILL
+        assert "SURVIVED" not in result.stdout
+
+    def test_nth_spec_survives_until_the_nth_hit(self, tmp_path):
+        result = _run_armed("journal.append.pre-write:2", tmp_path)
+        assert result.returncode == -signal.SIGKILL
+        # The first append committed; the journal holds exactly one
+        # record and recovery accepts it.
+        from repro.service.journal import _scan_journal
+
+        records, _, torn = _scan_journal(
+            tmp_path / "sess" / "journal.jsonl"
+        )
+        assert len(records) == 1 and torn == 0
+
+    def test_torn_point_leaves_a_discardable_half_record(self, tmp_path):
+        result = _run_armed("journal.append.torn", tmp_path)
+        assert result.returncode == -signal.SIGKILL
+        from repro.service.journal import _scan_journal
+
+        records, _, torn = _scan_journal(
+            tmp_path / "sess" / "journal.jsonl"
+        )
+        assert records == [] and torn == 1
+
+
+class TestChaosSchedule:
+    def test_same_seed_same_schedule(self):
+        kinds = ("journal-torn", "snapshot-eio")
+        a = ChaosSchedule("seed-1", 0.3, kinds)
+        b = ChaosSchedule("seed-1", 0.3, kinds)
+        rolls_a = [a.roll("journal-torn", "f{}".format(i)) for i in range(200)]
+        rolls_b = [b.roll("journal-torn", "f{}".format(i)) for i in range(200)]
+        assert rolls_a == rolls_b
+        assert any(rolls_a) and not all(rolls_a)
+        assert a.injected == b.injected
+
+    def test_different_seeds_differ(self):
+        kinds = ("journal-torn",)
+        sched1 = ChaosSchedule("seed-1", 0.3, kinds)
+        sched2 = ChaosSchedule("seed-2", 0.3, kinds)
+        seq1 = [sched1.roll("journal-torn", str(i)) for i in range(100)]
+        seq2 = [sched2.roll("journal-torn", str(i)) for i in range(100)]
+        assert seq1 != seq2
+
+    def test_disabled_kind_burns_no_draw(self):
+        enabled_only = ChaosSchedule("s", 0.5, ("journal-torn",))
+        with_noise = ChaosSchedule("s", 0.5, ("journal-torn",))
+        sequence = []
+        for i in range(50):
+            sequence.append(enabled_only.roll("journal-torn", str(i)))
+        for i in range(50):
+            # Interleave queries for a *disabled* kind: they must not
+            # consume PRNG draws or the schedule would no longer be a
+            # pure function of the enabled-kind query sequence.
+            with_noise.roll("worker-exit", str(i))
+            assert with_noise.roll("journal-torn", str(i)) == sequence[i]
+
+    def test_plan_composes_chaos_with_fixed_specs(self):
+        plan = FaultPlan.parse("journal-torn:a.cfg;chaos:s1:0.5:snapshot-eio")
+        assert plan.chaos is not None
+        assert plan.chaos.kinds == frozenset({"snapshot-eio"})
+        assert "chaos:s1:0.5" in plan.describe()
+        # The fixed spec still fires deterministically.
+        assert plan.torn_append_once("a.cfg") is True
+        assert plan.torn_append_once("a.cfg") is False
+
+    def test_worker_hang_spec(self):
+        plan = FaultPlan.parse("worker-hang:hang-me.cfg")
+        assert plan.hang_worker_once("other.cfg") is False
+        assert plan.hang_worker_once("hang-me.cfg") is True
+        assert plan.hang_worker_once("hang-me.cfg") is False
+
+
+class TestFaultPlanValidation:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "chaos",  # no seed/rate
+            "chaos:seed",  # no rate
+            "chaos::0.5",  # empty seed
+            "chaos:seed:zero",  # non-numeric rate
+            "chaos:seed:0",  # rate out of range
+            "chaos:seed:1.5",  # rate out of range
+            "chaos:seed:0.5:rule",  # non-composable kind
+            "chaos:a:0.5;chaos:b:0.5",  # duplicate chaos
+            "journal-torn",  # missing target
+            "bogus-kind:x",  # unknown kind
+            "rule:r:zero",  # non-integer nth
+            "rule:r:0",  # nth < 1
+            ";;",  # no specs at all
+        ],
+    )
+    def test_malformed_specs_raise_fault_plan_error(self, spec):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(spec)
+
+    def test_parse_env_fault_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert parse_env_fault_plan() is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "chaos:s:0.2")
+        plan = parse_env_fault_plan()
+        assert plan is not None and plan.chaos is not None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "chaos:s:nope")
+        with pytest.raises(FaultPlanError):
+            parse_env_fault_plan()
+
+
+class TestBadPlanExitCodes:
+    def test_serve_refuses_bad_plan_with_dedicated_exit_code(
+        self, monkeypatch, capsys
+    ):
+        from repro.service.cli import serve_main
+
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "chaos:seed:not-a-rate")
+        code = serve_main(["--port", "0"])
+        assert code == EXIT_BAD_FAULT_PLAN
+        err = capsys.readouterr().err
+        assert "invalid REPRO_FAULT_PLAN" in err
+        assert "Traceback" not in err
+
+    def test_batch_cli_refuses_bad_plan_with_dedicated_exit_code(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        from repro.cli import main
+
+        config = tmp_path / "a.cfg"
+        config.write_text("hostname cr1.lax.foo.com\n")
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "definitely:not;;valid::")
+        code = main(
+            [str(config), "--salt", "s", "--out-dir", str(tmp_path / "out")]
+        )
+        assert code == EXIT_BAD_FAULT_PLAN
+        err = capsys.readouterr().err
+        assert "invalid REPRO_FAULT_PLAN" in err
+        assert "Traceback" not in err
+
+
+class TestWorkerStatusBoard:
+    def test_slots_are_independent(self):
+        board = WorkerStatusBoard(3)
+        try:
+            board.beat(0, now=10.0)
+            board.record_respawn(1)
+            board.record_hung(2)
+            board.record_hung(2)
+            assert board.heartbeat(0) == 10.0
+            assert board.heartbeat(1) == 0.0
+            assert board.respawns(0) == 0
+            assert board.respawns(1) == 1
+            assert board.hung(2) == 2
+            assert board.hung(0) == 0
+        finally:
+            board.close()
+
+    def test_heartbeat_age_sentinel(self):
+        board = WorkerStatusBoard(1)
+        try:
+            # Never beaten (or reset after a kill): age is unknowable,
+            # not huge — the watchdog must skip, not re-kill.
+            assert board.heartbeat_age(0) is None
+            board.beat(0)
+            age = board.heartbeat_age(0)
+            assert age is not None and age < 5.0
+            board.beat(0, now=0.0)
+            assert board.heartbeat_age(0) is None
+        finally:
+            board.close()
+
+    def test_bounds_checked(self):
+        board = WorkerStatusBoard(2)
+        try:
+            with pytest.raises(IndexError):
+                board.beat(2)
+            with pytest.raises(IndexError):
+                board.respawns(-1)
+        finally:
+            board.close()
+        with pytest.raises(ValueError):
+            WorkerStatusBoard(0)
+
+    def test_slot_layout_is_stable(self):
+        # The supervisor and every worker generation share the mmap by
+        # inheritance; the layout is a cross-process ABI.
+        assert SLOT_BYTES == 24

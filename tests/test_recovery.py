@@ -1000,6 +1000,62 @@ class TestDiskFaultDegradation:
         assert again["text"] == reference["siteB/cr1.cfg"]
         manager2.close_all()
 
+    def test_enospc_then_snapshot_eio_same_session_heals_losslessly(
+        self, tmp_path, figure1_text
+    ):
+        """Two different disk faults in one session: ENOSPC parks the
+        append, the healing retry's own snapshot rotation then hits EIO
+        — park, heal, and replay must still lose nothing."""
+        from repro.service.journal import JournalDiskError
+
+        manager, _, metrics = _durable_manager(
+            tmp_path / "state", snapshot_every=1
+        )
+        session = manager.create(
+            SALT,
+            {"fault_plan": "journal-enospc:full.cfg;snapshot-eio:snapshot"},
+        )
+        # Append fails at the disk level: rolled back, parked read-only.
+        with pytest.raises(JournalDiskError):
+            session.anonymize(figure1_text, source="full.cfg")
+        assert session.disk_degraded is True
+
+        # The healing retry commits the record — and its snapshot
+        # rotation (snapshot_every=1) immediately hits the injected EIO.
+        # The request must still succeed: the journal record is durable,
+        # only the rotation is skipped.
+        healed = session.anonymize(figure1_text, source="full.cfg")
+        assert session.disk_degraded is False
+        assert (
+            metrics.counter_value(
+                "repro_service_journal_snapshot_failures_total"
+            )
+            == 1
+        )
+        assert session.journal.appended_since_snapshot == 1
+
+        # Both one-shot faults are spent: the next append rotates fine.
+        ok = session.anonymize(figure1_text, source="fine.cfg")
+        assert session.journal.appended_since_snapshot == 0
+        manager.close_all()
+
+        # Restart: nothing quarantined, nothing torn, both acknowledged
+        # requests replay byte-identically.
+        manager2, store2, _ = _durable_manager(tmp_path / "state")
+        assert store2.summary.quarantined == {}
+        assert store2.summary.torn_discarded == 0
+        restored = manager2.resume(SALT, session.id)
+        # The last rotation succeeded, so the whole history lives in the
+        # snapshot and no journal deltas are left to replay.
+        assert restored.describe()["requests_replayed"] == 0
+        assert restored.anonymize(figure1_text, source="full.cfg")[
+            "text"
+        ] == healed["text"]
+        assert restored.anonymize(figure1_text, source="fine.cfg")[
+            "text"
+        ] == ok["text"]
+        manager2.close_all()
+
     def test_snapshot_eio_is_nonfatal_and_selfheals(
         self, tmp_path, figure1_text
     ):
